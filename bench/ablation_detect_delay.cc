@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Ablation (Section 5.1): tag elimination "does not scale well with
+ * increasing misprediction penalty". Sweeps the scoreboard detection
+ * delay (1..4 cycles) for tag elimination and, as a control, shows
+ * sequential wakeup is untouched (it has no detection loop at all).
+ */
+
+#include "bench_util.hh"
+
+using namespace hpa;
+using namespace hpa::benchutil;
+
+int
+main()
+{
+    banner("Ablation: tag-elimination detection delay",
+           "Kim & Lipasti, ISCA 2003, Section 5.1 (penalty scaling)");
+    uint64_t budget = instBudget();
+
+    WorkloadCache cache;
+    for (unsigned width : {4u, 8u}) {
+        std::printf("\n--- %u-wide (normalized IPC) ---\n", width);
+        row("bench",
+            {"te d=1", "te d=2", "te d=3", "te d=4", "seq-wkup"},
+            10, 11);
+        std::vector<std::vector<double>> cols(5);
+        for (const auto &name : workloads::benchmarkNames()) {
+            const auto &w = cache.get(name);
+            auto base = runSim(w, sim::baseMachine(width).cfg, budget);
+            double b = base->ipc();
+            std::vector<std::string> cells;
+            unsigned col = 0;
+            for (unsigned d = 1; d <= 4; ++d, ++col) {
+                auto m = sim::withWakeup(
+                    sim::baseMachine(width),
+                    core::WakeupModel::TagElimination, 1024);
+                m.cfg.tagelim_detect_delay = d;
+                auto s = runSim(w, m.cfg, budget);
+                cells.push_back(fmt(s->ipc() / b, 4));
+                cols[col].push_back(s->ipc() / b);
+            }
+            auto sw = runSim(
+                w,
+                sim::withWakeup(sim::baseMachine(width),
+                                core::WakeupModel::Sequential, 1024)
+                    .cfg,
+                budget);
+            cells.push_back(fmt(sw->ipc() / b, 4));
+            cols[4].push_back(sw->ipc() / b);
+            row(name, cells, 10, 11);
+        }
+        std::vector<std::string> means;
+        for (auto &c : cols)
+            means.push_back(fmt(geomean(c), 4));
+        row("geomean", means, 10, 11);
+    }
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Ablation (Sections 3.2/5.1): how the last-arrival predictor table
+ * size feeds through to sequential-wakeup IPC. The paper argues
+ * sequential wakeup is insensitive to predictor accuracy because a
+ * misprediction costs only one slow-bus cycle.
+ */
+
+#include "bench_util.hh"
+
+using namespace hpa;
+using namespace hpa::benchutil;
+
+int
+main()
+{
+    banner("Ablation: predictor size vs. sequential wakeup IPC",
+           "Kim & Lipasti, ISCA 2003, Sections 3.2 and 5.1 "
+           "(insensitivity to predictor accuracy)");
+    uint64_t budget = instBudget();
+
+    WorkloadCache cache;
+    row("bench",
+        {"128", "512", "1024", "4096", "no pred"}, 10, 11);
+    for (const auto &name : workloads::benchmarkNames()) {
+        const auto &w = cache.get(name);
+        auto base = runSim(w, sim::baseMachine(4).cfg, budget);
+        double b = base->ipc();
+        std::vector<std::string> cells;
+        for (unsigned entries : {128u, 512u, 1024u, 4096u}) {
+            auto s = runSim(
+                w,
+                sim::withWakeup(sim::baseMachine(4),
+                                core::WakeupModel::Sequential,
+                                entries)
+                    .cfg,
+                budget);
+            cells.push_back(fmt(s->ipc() / b, 4));
+        }
+        auto np = runSim(
+            w,
+            sim::withWakeup(sim::baseMachine(4),
+                            core::WakeupModel::SequentialNoPred)
+                .cfg,
+            budget);
+        cells.push_back(fmt(np->ipc() / b, 4));
+        row(name, cells, 10, 11);
+    }
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ablation (Section 6 future work): half-price *renaming*. The map
+ * table is read once per source operand; this harness halves the
+ * rename lookup ports (2W -> W) and measures the dispatch-group
+ * splits and IPC cost, with and without the other half-price
+ * techniques stacked on top — the "operand-centric" end point the
+ * paper sketches.
+ */
+
+#include "bench_util.hh"
+
+using namespace hpa;
+using namespace hpa::benchutil;
+
+int
+main()
+{
+    banner("Ablation: half-price register renaming (future work)",
+           "Kim & Lipasti, ISCA 2003, Section 6");
+    uint64_t budget = instBudget();
+
+    WorkloadCache cache;
+    for (unsigned width : {4u, 8u}) {
+        std::printf("\n--- %u-wide (normalized IPC) ---\n", width);
+        row("bench",
+            {"half-rename", "all-half", "splits/kinst"}, 10, 13);
+        std::vector<double> nrn, nall;
+        for (const auto &name : workloads::benchmarkNames()) {
+            const auto &w = cache.get(name);
+            auto base = runSim(w, sim::baseMachine(width).cfg, budget);
+            auto rn = runSim(
+                w,
+                sim::withRename(sim::baseMachine(width),
+                                core::RenameModel::HalfPort)
+                    .cfg,
+                budget);
+            // Everything halved: wakeup + register file + rename.
+            auto all_machine = sim::withRename(
+                sim::withRegfile(
+                    sim::withWakeup(sim::baseMachine(width),
+                                    core::WakeupModel::Sequential,
+                                    1024),
+                    core::RegfileModel::SequentialAccess),
+                core::RenameModel::HalfPort);
+            auto all = runSim(w, all_machine.cfg, budget);
+
+            double b = base->ipc();
+            nrn.push_back(rn->ipc() / b);
+            nall.push_back(all->ipc() / b);
+            double splits =
+                1000.0 * double(rn->core().stats().renameStalls.value())
+                / double(rn->core().stats().committed.value());
+            row(name,
+                {fmt(rn->ipc() / b, 4), fmt(all->ipc() / b, 4),
+                 fmt(splits, 2)},
+                10, 13);
+        }
+        row("geomean",
+            {fmt(geomean(nrn), 4), fmt(geomean(nall), 4), ""}, 10, 13);
+    }
+    std::printf("\n(all-half: sequential wakeup + sequential register "
+                "access + half rename ports)\n");
+    return 0;
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses: per-run instruction
+ * budgets, cached workload programs, simulation runners and aligned
+ * table printing. Every harness regenerates one of the paper's
+ * tables or figures; `HPA_INSTS` bounds the committed instructions
+ * per timing run (default 200k) so a full sweep stays laptop-sized.
+ */
+
+#ifndef HPA_BENCH_BENCH_UTIL_HH
+#define HPA_BENCH_BENCH_UTIL_HH
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hh"
+#include "workloads/workloads.hh"
+
+namespace hpa::benchutil
+{
+
+/** Committed-instruction budget per timing run (HPA_INSTS env). */
+inline uint64_t
+instBudget(uint64_t def = 200000)
+{
+    if (const char *s = std::getenv("HPA_INSTS")) {
+        uint64_t v = std::strtoull(s, nullptr, 10);
+        if (v > 0)
+            return v;
+    }
+    return def;
+}
+
+/** Build-once cache of full-scale workload programs. */
+class WorkloadCache
+{
+  public:
+    const workloads::Workload &
+    get(const std::string &name)
+    {
+        auto it = cache_.find(name);
+        if (it == cache_.end())
+            it = cache_
+                .emplace(name,
+                         workloads::make(name, workloads::Scale::Full))
+                .first;
+        return it->second;
+    }
+
+  private:
+    std::map<std::string, workloads::Workload> cache_;
+};
+
+/**
+ * Run one timing simulation to the instruction budget, fast-forwarding
+ * functionally to the kernel's `steady:` label (past data-structure
+ * initialization) when the program defines one.
+ */
+inline std::unique_ptr<sim::Simulation>
+runSim(const workloads::Workload &w, const core::CoreConfig &cfg,
+       uint64_t budget)
+{
+    uint64_t ff = 0;
+    auto it = w.program.symbols.find("steady");
+    if (it != w.program.symbols.end())
+        ff = it->second;
+    auto s = std::make_unique<sim::Simulation>(w.program, cfg, budget,
+                                               ff);
+    s->run();
+    return s;
+}
+
+/** Print the harness banner. */
+inline void
+banner(const std::string &what, const std::string &paper_ref)
+{
+    std::printf("==============================================="
+                "=====================\n");
+    std::printf("%s\n", what.c_str());
+    std::printf("Reproduces: %s\n", paper_ref.c_str());
+    std::printf("==============================================="
+                "=====================\n");
+}
+
+/** Print one aligned row: name column then fixed-width cells. */
+inline void
+row(const std::string &name, const std::vector<std::string> &cells,
+    int name_w = 10, int cell_w = 12)
+{
+    std::printf("%-*s", name_w, name.c_str());
+    for (const auto &c : cells)
+        std::printf("%*s", cell_w, c.c_str());
+    std::printf("\n");
+}
+
+inline std::string
+fmt(double v, int prec = 3)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+inline std::string
+pct(double v, int prec = 1)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", prec, 100.0 * v);
+    return buf;
+}
+
+/** Geometric mean of a non-empty vector. */
+inline double
+geomean(const std::vector<double> &v)
+{
+    double logsum = 0;
+    for (double x : v)
+        logsum += std::log(x);
+    return std::exp(logsum / double(v.size()));
+}
+
+} // namespace hpa::benchutil
+
+#endif // HPA_BENCH_BENCH_UTIL_HH

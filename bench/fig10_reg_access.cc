@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 10: register-access characterization of 2-source
+ * instructions — issued back-to-back with a producer (>=1 operand
+ * from the bypass network), both operands ready at insert (2 register
+ * reads), or issued non-back-to-back (2 register reads). The paper
+ * reports <4% of dynamic instructions needing two read ports.
+ */
+
+#include "bench_util.hh"
+
+using namespace hpa;
+using namespace hpa::benchutil;
+
+int
+main()
+{
+    banner("Figure 10: register accesses of 2-source instructions",
+           "Kim & Lipasti, ISCA 2003, Figure 10 (paper: <4% of all "
+           "instructions need 2 read ports)");
+    uint64_t budget = instBudget();
+
+    WorkloadCache cache;
+    for (unsigned width : {4u, 8u}) {
+        std::printf("\n--- %u-wide base machine ---\n", width);
+        row("bench",
+            {"b2b issue", "2 ready", "non-b2b", "2-port/all"},
+            10, 12);
+        for (const auto &name : workloads::benchmarkNames()) {
+            auto s = runSim(cache.get(name),
+                            sim::baseMachine(width).cfg, budget);
+            const auto &st = s->core().stats();
+            double n = double(st.rfBackToBack.value()
+                              + st.rfTwoReady.value()
+                              + st.rfNonBackToBack.value());
+            if (n == 0)
+                n = 1;
+            double all = double(st.committed.value());
+            double two_port = double(st.rfTwoReady.value()
+                                     + st.rfNonBackToBack.value());
+            row(name,
+                {pct(st.rfBackToBack.value() / n),
+                 pct(st.rfTwoReady.value() / n),
+                 pct(st.rfNonBackToBack.value() / n),
+                 pct(two_port / all)});
+        }
+    }
+    std::printf("\n(last column: instructions requiring two register "
+                "read ports, as a fraction of all commits)\n");
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Figure 2: percentage of dynamic instructions with a 2-source
+ * format, with stores broken out separately. Purely a program
+ * property: measured on the functional emulator.
+ */
+
+#include "func/emulator.hh"
+
+#include "bench_util.hh"
+
+using namespace hpa;
+using namespace hpa::benchutil;
+
+int
+main()
+{
+    banner("Figure 2: percentage of 2-source-format instructions",
+           "Kim & Lipasti, ISCA 2003, Figure 2 (paper: 18-36% "
+           "2-source format)");
+    uint64_t budget = instBudget(1000000);
+
+    WorkloadCache cache;
+    row("bench", {"2-src fmt", "stores", "other"});
+    for (const auto &name : workloads::benchmarkNames()) {
+        const auto &w = cache.get(name);
+        func::Emulator emu(w.program);
+        uint64_t two = 0, stores = 0, total = 0;
+        while (!emu.halted() && total < budget) {
+            auto rec = emu.step();
+            ++total;
+            if (rec.inst.isStore())
+                ++stores;
+            else if (rec.inst.isTwoSourceFormat())
+                ++two;
+        }
+        double t = double(total);
+        row(name, {pct(two / t), pct(stores / t),
+                   pct((total - two - stores) / t)});
+    }
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 3: breakdown of 2-source-format instructions by unique
+ * source operands — nops (zero-register destinations, eliminated at
+ * decode), instructions with fewer than two unique sources (zero
+ * registers / identical operands), and true 2-source instructions.
+ */
+
+#include "func/emulator.hh"
+
+#include "bench_util.hh"
+
+using namespace hpa;
+using namespace hpa::benchutil;
+
+int
+main()
+{
+    banner("Figure 3: breakdown of 2-source-format instructions",
+           "Kim & Lipasti, ISCA 2003, Figure 3 (paper: 6-23% of all "
+           "instructions are true 2-source)");
+    uint64_t budget = instBudget(1000000);
+
+    WorkloadCache cache;
+    row("bench",
+        {"nops", "<2 unique", "2 unique", "2src/all"}, 10, 12);
+    for (const auto &name : workloads::benchmarkNames()) {
+        const auto &w = cache.get(name);
+        func::Emulator emu(w.program);
+        uint64_t nops = 0, one = 0, two = 0, fmt2 = 0, total = 0;
+        while (!emu.halted() && total < budget) {
+            auto rec = emu.step();
+            ++total;
+            if (rec.inst.isStore() || !rec.inst.isTwoSourceFormat())
+                continue;
+            ++fmt2;
+            if (rec.inst.isNop())
+                ++nops;
+            else if (rec.inst.uniqueSrcRegs().count == 2)
+                ++two;
+            else
+                ++one;
+        }
+        double f = double(fmt2 ? fmt2 : 1);
+        row(name, {pct(nops / f), pct(one / f), pct(two / f),
+                   pct(double(two) / double(total))});
+    }
+    std::printf("\n(last column: true 2-source instructions as a "
+                "fraction of all dynamic instructions)\n");
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 7: accuracy of the PC-indexed bimodal last-arriving operand
+ * predictor as the table size sweeps 128..4096 entries, plus the
+ * simultaneous-wakeup fraction that can count either way.
+ */
+
+#include "core/last_arrival.hh"
+
+#include "bench_util.hh"
+
+using namespace hpa;
+using namespace hpa::benchutil;
+
+int
+main()
+{
+    banner("Figure 7: last-arriving operand prediction accuracy",
+           "Kim & Lipasti, ISCA 2003, Figure 7 (paper: ~85-97% with "
+           "a small bimodal table)");
+    uint64_t budget = instBudget();
+
+    WorkloadCache cache;
+    for (unsigned width : {4u, 8u}) {
+        std::printf("\n--- %u-wide base machine ---\n", width);
+        row("bench",
+            {"128", "512", "1024", "4096", "simultaneous"}, 10, 13);
+        for (const auto &name : workloads::benchmarkNames()) {
+            auto s = runSim(cache.get(name),
+                            sim::baseMachine(width).cfg, budget);
+            const auto &mon = s->core().lapMonitor();
+            double simul = mon.samples()
+                ? double(mon.simultaneous()) / double(mon.samples())
+                : 0.0;
+            std::vector<std::string> cells;
+            for (unsigned i = 0;
+                 i < core::LastArrivalMonitor::NUM_SIZES; ++i)
+                cells.push_back(pct(mon.accuracy(i)));
+            cells.push_back(pct(simul));
+            row(name, cells, 10, 13);
+        }
+    }
+    return 0;
+}

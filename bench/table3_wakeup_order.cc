@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Table 3: stability of operand wakeup order (same/different as the
+ * previous dynamic instance of the same PC) and the left/right
+ * distribution of last-arriving operands. The paper finds ~90% same
+ * order but a near-uniform left/right split — motivating a
+ * history-based predictor.
+ */
+
+#include "bench_util.hh"
+
+using namespace hpa;
+using namespace hpa::benchutil;
+
+int
+main()
+{
+    banner("Table 3: operand wakeup order and last-arriving operand",
+           "Kim & Lipasti, ISCA 2003, Table 3 (paper: ~81-99% same "
+           "order; left/right roughly balanced)");
+    uint64_t budget = instBudget();
+
+    WorkloadCache cache;
+    for (unsigned width : {4u, 8u}) {
+        std::printf("\n--- %u-wide base machine ---\n", width);
+        row("bench", {"same", "diff", "left last", "right last"});
+        for (const auto &name : workloads::benchmarkNames()) {
+            auto s = runSim(cache.get(name),
+                            sim::baseMachine(width).cfg, budget);
+            const auto &st = s->core().stats();
+            double order = double(st.orderSame.value()
+                                  + st.orderDiff.value());
+            double lastn = double(st.leftLast.value()
+                                  + st.rightLast.value());
+            if (order == 0)
+                order = 1;
+            if (lastn == 0)
+                lastn = 1;
+            row(name,
+                {pct(st.orderSame.value() / order),
+                 pct(st.orderDiff.value() / order),
+                 pct(st.leftLast.value() / lastn),
+                 pct(st.rightLast.value() / lastn)});
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Circuit-delay claims (Sections 3.3 and 4): wakeup-logic delay with
+ * one vs. two bus comparators per entry, and register-file access
+ * time vs. read-port count, from the calibrated analytical models.
+ */
+
+#include <cstdio>
+
+#include "model/timing_models.hh"
+
+#include "bench_util.hh"
+
+using namespace hpa;
+using namespace hpa::benchutil;
+
+int
+main()
+{
+    banner("Circuit timing models",
+           "Kim & Lipasti, ISCA 2003, Sections 3.3 and 4 "
+           "(466->374 ps; 1.71->1.36 ns)");
+
+    model::WakeupDelayModel wd;
+    std::printf("\nWakeup logic delay (ps), 0.18u, 4-wide:\n");
+    row("entries", {"conv (2 cmp)", "seq (1 cmp)", "speedup"}, 10, 14);
+    for (unsigned n : {16u, 32u, 64u, 128u, 256u}) {
+        row(std::to_string(n),
+            {fmt(wd.delayPs(n, 2), 1), fmt(wd.delayPs(n, 1), 1),
+             pct(wd.speedup(n, 2, 1))},
+            10, 14);
+    }
+    std::printf("Paper claim (64-entry, 4-wide): 466 ps -> 374 ps "
+                "(24.6%% speedup). Model: %.0f -> %.0f (%.1f%%).\n",
+                wd.delayPs(64, 2), wd.delayPs(64, 1),
+                100 * wd.speedup(64, 2, 1));
+
+    model::RegfileTimingModel rf;
+    std::printf("\nRegister file access time (ns), 160 entries, "
+                "0.18u:\n");
+    row("ports", {"access ns", "rel. area"}, 10, 14);
+    for (unsigned p : {8u, 12u, 16u, 20u, 24u, 32u}) {
+        row(std::to_string(p),
+            {fmt(rf.accessNs(160, p), 3),
+             fmt(rf.area(160, p) / rf.area(160, 16), 3)},
+            10, 14);
+    }
+    std::printf("Paper claim (8-wide, 24 -> 16 ports): 1.71 ns -> "
+                "1.36 ns (20.5%% drop). Model: %.2f -> %.2f "
+                "(%.1f%%).\n",
+                rf.accessNs(160, 24), rf.accessNs(160, 16),
+                100 * rf.reduction(160, 24, 16));
+
+    std::printf("\nScaling with window size (sequential-wakeup gain "
+                "grows with the window):\n");
+    row("entries", {"gain"}, 10, 14);
+    for (unsigned n : {32u, 64u, 128u, 256u})
+        row(std::to_string(n), {pct(wd.speedup(n, 2, 1))}, 10, 14);
+    return 0;
+}

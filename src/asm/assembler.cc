@@ -1,0 +1,660 @@
+#include "asm/assembler.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <optional>
+
+namespace hpa::assembler
+{
+
+using isa::Opcode;
+using isa::RegIndex;
+using isa::StaticInst;
+
+namespace
+{
+
+/** A parsed operand. */
+struct Operand
+{
+    enum class Kind
+    {
+        IntReg,     ///< r0..r31
+        FpReg,      ///< f0..f31
+        Literal,    ///< #expr
+        Mem,        ///< expr(reg)
+        Expr,       ///< bare expression or label (branch target, imm)
+    };
+
+    Kind kind;
+    RegIndex reg = 31;          // register (IntReg/FpReg/Mem base)
+    std::string expr;           // unevaluated expression text
+};
+
+/** A tokenized source line. */
+struct Line
+{
+    unsigned number = 0;
+    std::string label;
+    std::string mnemonic;       // empty for label-only lines
+    std::vector<Operand> ops;
+    /** Assigned during pass 1. */
+    uint64_t address = 0;
+    bool inText = true;
+};
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+std::string
+lower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return s;
+}
+
+std::optional<RegIndex>
+parseIntReg(const std::string &t)
+{
+    std::string s = lower(t);
+    if (s == "sp")
+        return RegIndex(30);
+    if (s == "lr")
+        return RegIndex(26);
+    if (s == "zero")
+        return RegIndex(31);
+    if (s.size() >= 2 && s[0] == 'r') {
+        int v = 0;
+        for (size_t i = 1; i < s.size(); ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(s[i])))
+                return std::nullopt;
+            v = v * 10 + (s[i] - '0');
+        }
+        if (v <= 31)
+            return RegIndex(v);
+    }
+    return std::nullopt;
+}
+
+std::optional<RegIndex>
+parseFpReg(const std::string &t)
+{
+    std::string s = lower(t);
+    if (s == "fzero")
+        return RegIndex(31);
+    if (s.size() >= 2 && s[0] == 'f') {
+        int v = 0;
+        for (size_t i = 1; i < s.size(); ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(s[i])))
+                return std::nullopt;
+            v = v * 10 + (s[i] - '0');
+        }
+        if (v <= 31)
+            return RegIndex(v);
+    }
+    return std::nullopt;
+}
+
+/** Split a comma list, respecting that '(' groups never contain ','. */
+std::vector<std::string>
+splitOperands(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == ',') {
+            out.push_back(trim(cur));
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    cur = trim(cur);
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+Operand
+parseOperand(const std::string &tok, unsigned line)
+{
+    Operand op;
+    if (tok.empty())
+        throw AsmError(line, "empty operand");
+
+    if (tok[0] == '#') {
+        op.kind = Operand::Kind::Literal;
+        op.expr = trim(tok.substr(1));
+        return op;
+    }
+    if (auto r = parseIntReg(tok)) {
+        op.kind = Operand::Kind::IntReg;
+        op.reg = *r;
+        return op;
+    }
+    if (auto f = parseFpReg(tok)) {
+        op.kind = Operand::Kind::FpReg;
+        op.reg = *f;
+        return op;
+    }
+    // Memory operand: disp(reg) or (reg).
+    size_t paren = tok.find('(');
+    if (paren != std::string::npos) {
+        if (tok.back() != ')')
+            throw AsmError(line, "malformed memory operand: " + tok);
+        std::string base =
+            trim(tok.substr(paren + 1, tok.size() - paren - 2));
+        auto r = parseIntReg(base);
+        if (!r)
+            throw AsmError(line, "bad base register: " + base);
+        op.kind = Operand::Kind::Mem;
+        op.reg = *r;
+        op.expr = trim(tok.substr(0, paren));
+        return op;
+    }
+    op.kind = Operand::Kind::Expr;
+    op.expr = tok;
+    return op;
+}
+
+/** Mnemonic table mapping to opcodes; pseudos handled separately. */
+std::optional<Opcode>
+mnemonicOpcode(const std::string &m)
+{
+    for (unsigned i = 0;
+         i < static_cast<unsigned>(Opcode::NumOpcodes); ++i) {
+        auto op = static_cast<Opcode>(i);
+        if (isa::opInfo(op).mnemonic == m)
+            return op;
+    }
+    return std::nullopt;
+}
+
+class Assembler
+{
+  public:
+    Assembler(const std::string &source, const AsmOptions &opts)
+        : opts_(opts)
+    {
+        tokenize(source);
+    }
+
+    Program
+    run()
+    {
+        pass1();
+        pass2();
+        prog_.codeBase = opts_.code_base;
+        prog_.dataBase = opts_.data_base;
+        prog_.entry = prog_.symbols.count("start")
+            ? prog_.symbols.at("start") : opts_.code_base;
+        return std::move(prog_);
+    }
+
+  private:
+    AsmOptions opts_;
+    std::vector<Line> lines_;
+    Program prog_;
+
+    void
+    tokenize(const std::string &source)
+    {
+        unsigned lineno = 0;
+        size_t pos = 0;
+        while (pos <= source.size()) {
+            size_t nl = source.find('\n', pos);
+            std::string raw = nl == std::string::npos
+                ? source.substr(pos) : source.substr(pos, nl - pos);
+            pos = nl == std::string::npos ? source.size() + 1 : nl + 1;
+            ++lineno;
+
+            // Strip comments (';' and '//').
+            size_t c = raw.find(';');
+            if (c != std::string::npos)
+                raw = raw.substr(0, c);
+            c = raw.find("//");
+            if (c != std::string::npos)
+                raw = raw.substr(0, c);
+            raw = trim(raw);
+            if (raw.empty())
+                continue;
+
+            Line ln;
+            ln.number = lineno;
+
+            // Label?
+            size_t colon = raw.find(':');
+            if (colon != std::string::npos
+                && raw.find_first_of(" \t") > colon) {
+                ln.label = trim(raw.substr(0, colon));
+                raw = trim(raw.substr(colon + 1));
+            }
+
+            if (!raw.empty()) {
+                size_t sp = raw.find_first_of(" \t");
+                ln.mnemonic = lower(sp == std::string::npos
+                                    ? raw : raw.substr(0, sp));
+                std::string rest = sp == std::string::npos
+                    ? "" : trim(raw.substr(sp));
+                if (!rest.empty())
+                    for (auto &t : splitOperands(rest))
+                        ln.ops.push_back(parseOperand(t, lineno));
+            }
+            lines_.push_back(std::move(ln));
+        }
+    }
+
+    /** Evaluate a (possibly symbolic) expression. */
+    int64_t
+    evalExpr(const std::string &expr, unsigned line) const
+    {
+        std::string e = trim(expr);
+        if (e.empty())
+            return 0;
+        // sym+num / sym-num (split at last +/- not at position 0 and
+        // not part of a leading sign or hex literal).
+        for (size_t i = e.size(); i-- > 1;) {
+            if ((e[i] == '+' || e[i] == '-')
+                && !std::isdigit(static_cast<unsigned char>(e[0]))
+                && e[0] != '-' && e[0] != '+') {
+                int64_t lhs = evalExpr(e.substr(0, i), line);
+                int64_t rhs = evalExpr(e.substr(i + 1), line);
+                return e[i] == '+' ? lhs + rhs : lhs - rhs;
+            }
+        }
+        // Character literal.
+        if (e.size() >= 3 && e.front() == '\'' && e.back() == '\'')
+            return static_cast<int64_t>(e[1]);
+        // Numeric literal.
+        char first = e[0];
+        if (std::isdigit(static_cast<unsigned char>(first))
+            || first == '-' || first == '+') {
+            try {
+                size_t used = 0;
+                int64_t v = std::stoll(e, &used, 0);
+                if (used != e.size())
+                    throw AsmError(line, "bad number: " + e);
+                return v;
+            } catch (const std::exception &) {
+                throw AsmError(line, "bad number: " + e);
+            }
+        }
+        // Symbol.
+        auto it = prog_.symbols.find(e);
+        if (it == prog_.symbols.end())
+            throw AsmError(line, "undefined symbol: " + e);
+        return static_cast<int64_t>(it->second);
+    }
+
+    /** Number of machine instructions a (pseudo)mnemonic expands to. */
+    unsigned
+    instCount(const Line &ln) const
+    {
+        const std::string &m = ln.mnemonic;
+        if (m == "la")
+            return 2;
+        if (m == "li") {
+            if (ln.ops.size() != 2)
+                throw AsmError(ln.number, "li needs 2 operands");
+            int64_t v = evalNumericOnly(ln.ops[1].expr, ln.number);
+            return (v >= -32768 && v <= 32767) ? 1 : 2;
+        }
+        return 1;
+    }
+
+    /** Pass-1 evaluation for li: numeric constants only. */
+    int64_t
+    evalNumericOnly(const std::string &expr, unsigned line) const
+    {
+        std::string e = trim(expr);
+        if (e.empty() || (!std::isdigit(static_cast<unsigned char>(e[0]))
+                          && e[0] != '-' && e[0] != '+'
+                          && !(e.size() >= 3 && e.front() == '\'')))
+            throw AsmError(line, "li requires a numeric constant");
+        return evalExpr(e, line);
+    }
+
+    void
+    pass1()
+    {
+        uint64_t text = opts_.code_base;
+        uint64_t data = opts_.data_base;
+        bool in_text = true;
+
+        for (Line &ln : lines_) {
+            ln.inText = in_text;
+            ln.address = in_text ? text : data;
+            if (!ln.label.empty()) {
+                if (prog_.symbols.count(ln.label))
+                    throw AsmError(ln.number,
+                                   "duplicate label: " + ln.label);
+                prog_.symbols[ln.label] = ln.address;
+            }
+            if (ln.mnemonic.empty())
+                continue;
+
+            const std::string &m = ln.mnemonic;
+            if (m == ".text") {
+                in_text = true;
+            } else if (m == ".data") {
+                in_text = false;
+            } else if (m == ".word") {
+                data += 8 * ln.ops.size();
+            } else if (m == ".long") {
+                data += 4 * ln.ops.size();
+            } else if (m == ".byte") {
+                data += ln.ops.size();
+            } else if (m == ".space") {
+                data += static_cast<uint64_t>(
+                    evalNumericOnly(ln.ops.at(0).expr, ln.number));
+            } else if (m == ".align") {
+                uint64_t a = static_cast<uint64_t>(
+                    evalNumericOnly(ln.ops.at(0).expr, ln.number));
+                if (a == 0 || (a & (a - 1)))
+                    throw AsmError(ln.number, ".align must be power of 2");
+                uint64_t &p = in_text ? text : data;
+                p = (p + a - 1) & ~(a - 1);
+                // Re-pin the label (if any) to the aligned address.
+                if (!ln.label.empty())
+                    prog_.symbols[ln.label] = p;
+                ln.address = p;
+            } else if (m[0] == '.') {
+                throw AsmError(ln.number, "unknown directive: " + m);
+            } else {
+                if (!in_text)
+                    throw AsmError(ln.number,
+                                   "instruction in .data section");
+                text += 4 * instCount(ln);
+            }
+            // Labels on section-switch lines bind to the new section
+            // start; keep simple and forbid it instead.
+            if ((m == ".text" || m == ".data") && !ln.label.empty())
+                throw AsmError(ln.number,
+                               "label not allowed on section directive");
+        }
+    }
+
+    void
+    emit(const StaticInst &si)
+    {
+        prog_.code.push_back(isa::encode(si));
+    }
+
+    void
+    emitData(uint64_t v, unsigned bytes)
+    {
+        for (unsigned i = 0; i < bytes; ++i)
+            prog_.data.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    RegIndex
+    wantIntReg(const Line &ln, unsigned i) const
+    {
+        if (i >= ln.ops.size()
+            || ln.ops[i].kind != Operand::Kind::IntReg)
+            throw AsmError(ln.number, "expected integer register");
+        return ln.ops[i].reg;
+    }
+
+    RegIndex
+    wantFpReg(const Line &ln, unsigned i) const
+    {
+        if (i >= ln.ops.size() || ln.ops[i].kind != Operand::Kind::FpReg)
+            throw AsmError(ln.number, "expected fp register");
+        return ln.ops[i].reg;
+    }
+
+    /** Branch displacement, in words, from instruction at addr. */
+    int32_t
+    branchDisp(const Operand &op, uint64_t addr, unsigned line) const
+    {
+        int64_t v = evalExpr(op.expr, line);
+        // Numeric constants are raw word displacements; symbols are
+        // absolute targets.
+        bool symbolic = !op.expr.empty()
+            && !std::isdigit(static_cast<unsigned char>(op.expr[0]))
+            && op.expr[0] != '-' && op.expr[0] != '+';
+        int64_t disp = symbolic
+            ? (v - static_cast<int64_t>(addr) - 4) / 4 : v;
+        if (disp < -(1 << 20) || disp >= (1 << 20))
+            throw AsmError(line, "branch displacement out of range");
+        return static_cast<int32_t>(disp);
+    }
+
+    void
+    pass2()
+    {
+        for (const Line &ln : lines_) {
+            if (ln.mnemonic.empty())
+                continue;
+            const std::string &m = ln.mnemonic;
+            try {
+                if (m[0] == '.')
+                    emitDirective(ln);
+                else
+                    emitInstruction(ln);
+            } catch (const std::out_of_range &) {
+                throw AsmError(ln.number, "missing operand");
+            }
+        }
+    }
+
+    void
+    emitDirective(const Line &ln)
+    {
+        const std::string &m = ln.mnemonic;
+        if (m == ".text" || m == ".data")
+            return;
+        if (m == ".word") {
+            for (const auto &op : ln.ops)
+                emitData(static_cast<uint64_t>(
+                             evalExpr(op.expr, ln.number)), 8);
+        } else if (m == ".long") {
+            for (const auto &op : ln.ops)
+                emitData(static_cast<uint64_t>(
+                             evalExpr(op.expr, ln.number)), 4);
+        } else if (m == ".byte") {
+            for (const auto &op : ln.ops)
+                emitData(static_cast<uint64_t>(
+                             evalExpr(op.expr, ln.number)), 1);
+        } else if (m == ".space") {
+            auto n = static_cast<uint64_t>(
+                evalExpr(ln.ops.at(0).expr, ln.number));
+            prog_.data.insert(prog_.data.end(), n, 0);
+        } else if (m == ".align") {
+            uint64_t a = static_cast<uint64_t>(
+                evalExpr(ln.ops.at(0).expr, ln.number));
+            if (ln.inText) {
+                uint64_t cur = opts_.code_base + 4 * prog_.code.size();
+                while (cur & (a - 1)) {
+                    emit(isa::makeNop());
+                    cur += 4;
+                }
+            } else {
+                uint64_t cur = opts_.data_base + prog_.data.size();
+                while (cur & (a - 1)) {
+                    prog_.data.push_back(0);
+                    ++cur;
+                }
+            }
+        }
+    }
+
+    void
+    emitOperate(const Line &ln, Opcode op)
+    {
+        bool fp = isa::opInfo(op).opClass == isa::OpClass::FpAlu
+            || isa::opInfo(op).opClass == isa::OpClass::FpMult
+            || isa::opInfo(op).opClass == isa::OpClass::FpDiv;
+        unsigned nsrc = isa::opInfo(op).numSrcFields;
+
+        if (nsrc == 1) {
+            // sqrtf fa, fc / itof ra, fc / ftoi fa, rc
+            RegIndex src, dst;
+            if (op == Opcode::ITOF) {
+                src = wantIntReg(ln, 0);
+                dst = wantFpReg(ln, 1);
+            } else if (op == Opcode::FTOI) {
+                src = wantFpReg(ln, 0);
+                dst = wantIntReg(ln, 1);
+            } else {
+                src = wantFpReg(ln, 0);
+                dst = wantFpReg(ln, 1);
+            }
+            emit(isa::makeOp(op, src, 31, dst));
+            return;
+        }
+
+        if (ln.ops.size() != 3)
+            throw AsmError(ln.number, "operate needs 3 operands");
+        RegIndex ra = fp ? wantFpReg(ln, 0) : wantIntReg(ln, 0);
+        RegIndex rc = fp ? wantFpReg(ln, 2) : wantIntReg(ln, 2);
+        if (ln.ops[1].kind == Operand::Kind::Literal) {
+            int64_t v = evalExpr(ln.ops[1].expr, ln.number);
+            if (v < 0 || v > 255)
+                throw AsmError(ln.number,
+                               "literal out of range (0..255)");
+            emit(isa::makeOpImm(op, ra, static_cast<uint8_t>(v), rc));
+        } else {
+            RegIndex rb = fp ? wantFpReg(ln, 1) : wantIntReg(ln, 1);
+            emit(isa::makeOp(op, ra, rb, rc));
+        }
+    }
+
+    void
+    emitInstruction(const Line &ln)
+    {
+        const std::string &m = ln.mnemonic;
+
+        // --- Pseudo-instructions. ---
+        if (m == "nop") {
+            emit(isa::makeNop());
+            return;
+        }
+        if (m == "mov") {
+            RegIndex ra = wantIntReg(ln, 0), rc = wantIntReg(ln, 1);
+            emit(isa::makeOp(Opcode::BIS, ra, 31, rc));
+            return;
+        }
+        if (m == "clr") {
+            emit(isa::makeOp(Opcode::BIS, 31, 31, wantIntReg(ln, 0)));
+            return;
+        }
+        if (m == "neg") {
+            emit(isa::makeOp(Opcode::SUB, 31, wantIntReg(ln, 0),
+                             wantIntReg(ln, 1)));
+            return;
+        }
+        if (m == "not") {
+            emit(isa::makeOp(Opcode::ORNOT, 31, wantIntReg(ln, 0),
+                             wantIntReg(ln, 1)));
+            return;
+        }
+        if (m == "li" || m == "la") {
+            RegIndex rc = wantIntReg(ln, 0);
+            int64_t v = evalExpr(ln.ops.at(1).expr, ln.number);
+            bool one_inst = m == "li" && v >= -32768 && v <= 32767;
+            if (one_inst) {
+                emit(isa::makeMem(Opcode::LDA, rc, 31,
+                                  static_cast<int32_t>(v)));
+            } else {
+                if (v < INT32_MIN || v > INT32_MAX)
+                    throw AsmError(ln.number,
+                                   "li/la constant exceeds 32 bits");
+                int32_t lo = static_cast<int16_t>(v & 0xFFFF);
+                int32_t hi = static_cast<int32_t>((v - lo) >> 16);
+                emit(isa::makeMem(Opcode::LDAH, rc, 31, hi));
+                emit(isa::makeMem(Opcode::LDA, rc, rc, lo));
+            }
+            return;
+        }
+
+        auto opc = mnemonicOpcode(m);
+        if (!opc)
+            throw AsmError(ln.number, "unknown mnemonic: " + m);
+        Opcode op = *opc;
+        const isa::OpInfo &inf = isa::opInfo(op);
+
+        switch (inf.format) {
+          case isa::Format::Operate:
+            emitOperate(ln, op);
+            break;
+          case isa::Format::Memory: {
+            bool fp = op == Opcode::LDF || op == Opcode::STF;
+            RegIndex ra = fp ? wantFpReg(ln, 0) : wantIntReg(ln, 0);
+            if (ln.ops.size() < 2
+                || ln.ops[1].kind != Operand::Kind::Mem)
+                throw AsmError(ln.number, "expected disp(base) operand");
+            int64_t d = evalExpr(ln.ops[1].expr, ln.number);
+            if (d < -32768 || d > 32767)
+                throw AsmError(ln.number, "displacement out of range");
+            emit(isa::makeMem(op, ra, ln.ops[1].reg,
+                              static_cast<int32_t>(d)));
+            break;
+          }
+          case isa::Format::Branch: {
+            uint64_t pc = ln.address;
+            if (op == Opcode::BR || op == Opcode::BSR) {
+                RegIndex link = op == Opcode::BSR ? isa::LINK_REG : 31;
+                unsigned ti = 0;
+                if (ln.ops.size() == 2) {
+                    link = wantIntReg(ln, 0);
+                    ti = 1;
+                }
+                emit(isa::makeBranch(
+                         op, link,
+                         branchDisp(ln.ops.at(ti), pc, ln.number)));
+            } else {
+                RegIndex ra = wantIntReg(ln, 0);
+                emit(isa::makeBranch(
+                         op, ra,
+                         branchDisp(ln.ops.at(1), pc, ln.number)));
+            }
+            break;
+          }
+          case isa::Format::Jump: {
+            RegIndex link = op == Opcode::JSR ? isa::LINK_REG : 31;
+            unsigned ti = 0;
+            if (ln.ops.size() == 2) {
+                link = wantIntReg(ln, 0);
+                ti = 1;
+            }
+            if (op == Opcode::RET && ln.ops.empty()) {
+                emit(isa::makeJump(op, 31, isa::LINK_REG));
+                break;
+            }
+            if (ti >= ln.ops.size()
+                || ln.ops[ti].kind != Operand::Kind::Mem)
+                throw AsmError(ln.number, "expected (reg) operand");
+            emit(isa::makeJump(op, link, ln.ops[ti].reg));
+            break;
+          }
+          case isa::Format::System:
+            if (op == Opcode::OUT)
+                emit(isa::makeSystem(op, wantIntReg(ln, 0)));
+            else
+                emit(isa::makeSystem(op));
+            break;
+        }
+    }
+};
+
+} // namespace
+
+Program
+assemble(const std::string &source, const AsmOptions &opts)
+{
+    Assembler as(source, opts);
+    return as.run();
+}
+
+} // namespace hpa::assembler

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * A two-pass assembler for HPA-ISA.
+ *
+ * Source syntax (one instruction or directive per line):
+ *
+ *   ; comment                     // comment
+ *   label:  add   r1, r2, r3     ; rc <- ra op rb
+ *           add   r1, #8, r3     ; 8-bit literal second operand
+ *           ldq   r2, 16(r4)     ; memory: disp(base)
+ *           lda   r1, 100(r31)
+ *           beq   r2, loop       ; branch to label
+ *           br    done           ; br [ra,] target
+ *           bsr   r26, func
+ *           jsr   r26, (r4)
+ *           ret   (r26)
+ *           halt
+ *
+ * Pseudo-instructions:
+ *   nop              -> bis r31, r31, r31   (2-source-format nop)
+ *   mov  ra, rc      -> bis ra, r31, rc
+ *   clr  rc          -> bis r31, r31, rc
+ *   li   rc, imm     -> lda (16-bit) or ldah+lda pair (32-bit)
+ *   la   rc, label   -> ldah+lda pair (always two instructions)
+ *   neg  rb, rc      -> sub r31, rb, rc
+ *   not  rb, rc      -> ornot r31, rb, rc
+ *
+ * Directives:
+ *   .text / .data            section switch
+ *   .word v, ...             8-byte values (also accepts labels)
+ *   .long v, ...             4-byte values
+ *   .byte v, ...             1-byte values
+ *   .space n                 n zero bytes
+ *   .align n                 pad to n-byte boundary (text: nops)
+ *
+ * Register aliases: sp = r30, lr = r26, zero = r31, fzero = f31.
+ */
+
+#ifndef HPA_ASM_ASSEMBLER_HH
+#define HPA_ASM_ASSEMBLER_HH
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "isa/decode.hh"
+
+namespace hpa::assembler
+{
+
+/** Assembly failure with source line context. */
+class AsmError : public std::runtime_error
+{
+  public:
+    AsmError(unsigned line, const std::string &msg)
+        : std::runtime_error("asm line " + std::to_string(line) + ": "
+                             + msg),
+          line(line)
+    {}
+
+    unsigned line;
+};
+
+/** Section base addresses for the assembled image. */
+struct AsmOptions
+{
+    uint64_t code_base = 0x1000;
+    uint64_t data_base = 0x100000;
+};
+
+/** An assembled, loadable program image. */
+struct Program
+{
+    uint64_t codeBase = 0;
+    uint64_t entry = 0;
+    std::vector<isa::MachInst> code;
+
+    uint64_t dataBase = 0;
+    std::vector<uint8_t> data;
+
+    std::map<std::string, uint64_t> symbols;
+
+    /** Address one past the last code word. */
+    uint64_t codeEnd() const { return codeBase + 4 * code.size(); }
+    /** Address one past the last data byte. */
+    uint64_t dataEnd() const { return dataBase + data.size(); }
+
+    /** Look up a symbol; throws std::out_of_range when missing. */
+    uint64_t symbol(const std::string &name) const
+    {
+        return symbols.at(name);
+    }
+};
+
+/**
+ * Assemble HPA-ISA source text.
+ * @throws AsmError on any syntax or range error.
+ */
+Program assemble(const std::string &source, const AsmOptions &opts = {});
+
+} // namespace hpa::assembler
+
+#endif // HPA_ASM_ASSEMBLER_HH

@@ -1,0 +1,986 @@
+#include "core/core.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace hpa::core
+{
+
+CoreConfig
+fourWideConfig()
+{
+    CoreConfig c;
+    c.width = 4;
+    c.ruu_size = 64;
+    c.lsq_size = 32;
+    c.num_int_alu = 4;
+    c.num_fp_alu = 2;
+    c.num_int_muldiv = 2;
+    c.num_fp_muldiv = 2;
+    c.num_mem_ports = 2;
+    return c;
+}
+
+CoreConfig
+eightWideConfig()
+{
+    CoreConfig c;
+    c.width = 8;
+    c.ruu_size = 128;
+    c.lsq_size = 64;
+    c.num_int_alu = 8;
+    c.num_fp_alu = 4;
+    c.num_int_muldiv = 4;
+    c.num_fp_muldiv = 4;
+    c.num_mem_ports = 4;
+    return c;
+}
+
+void
+CoreStats::regStats(stats::Registry &reg)
+{
+    reg.add(&committed);
+    reg.add(&cycles);
+    reg.add(&dispatched);
+    reg.add(&issued);
+    reg.add(&squashedIssues);
+    reg.add(&loadMissReplays);
+    reg.add(&tagElimMisissues);
+    reg.add(&seqRegAccesses);
+    reg.add(&seqWakeupDelayed);
+    reg.add(&renameStalls);
+    reg.add(&branchMispredicts);
+    reg.add(&fetchedControl);
+    reg.add(&fmt2srcInsts);
+    reg.add(&fmtStores);
+    reg.add(&fmtOther);
+    reg.add(&fmtNops);
+    reg.add(&fmtOneUnique);
+    reg.add(&fmtTwoUnique);
+    reg.add(&readyAtInsert);
+    reg.add(&wakeupSlack);
+    reg.add(&orderSame);
+    reg.add(&orderDiff);
+    reg.add(&leftLast);
+    reg.add(&rightLast);
+    reg.add(&rfBackToBack);
+    reg.add(&rfTwoReady);
+    reg.add(&rfNonBackToBack);
+}
+
+Core::Core(const CoreConfig &cfg, InstSource &source)
+    : cfg_(cfg), source_(source), hier_(cfg.mem), bp_(cfg.bpred),
+      fu_(cfg), lap_(cfg.lap_entries),
+      window_(cfg.ruu_size), consumers_(cfg.ruu_size)
+{
+    lookahead_ = source_.next();
+    if (!lookahead_)
+        sourceDone_ = true;
+}
+
+void
+Core::regStats(stats::Registry &reg)
+{
+    stats_.regStats(reg);
+    hier_.regStats(reg);
+    bp_.regStats(reg);
+}
+
+uint64_t
+Core::run(uint64_t max_cycles)
+{
+    while (!done()) {
+        tick();
+        if (max_cycles && cycle_ >= max_cycles)
+            break;
+    }
+    return stats_.committed.value();
+}
+
+void
+Core::tick()
+{
+    ++cycle_;
+    ++stats_.cycles;
+
+    commit();
+    processEvents();
+    select();
+    dispatch();
+    fetch();
+
+    if (windowCount_ > 0 && cycle_ - lastCommitCycle_ > 100000)
+        throw std::logic_error("core deadlock: no commit in 100k cycles");
+}
+
+// --------------------------------------------------------------------
+// Commit
+// --------------------------------------------------------------------
+
+void
+Core::commitFormatStats(const DynInst &di)
+{
+    const isa::StaticInst &si = di.rec.inst;
+    if (si.isStore()) {
+        ++stats_.fmtStores;
+        return;
+    }
+    if (!si.isTwoSourceFormat()) {
+        ++stats_.fmtOther;
+        return;
+    }
+    ++stats_.fmt2srcInsts;
+    if (si.isNop())
+        ++stats_.fmtNops;
+    else if (si.uniqueSrcRegs().count == 2)
+        ++stats_.fmtTwoUnique;
+    else
+        ++stats_.fmtOneUnique;
+}
+
+void
+Core::commit()
+{
+    unsigned budget = cfg_.width;
+    while (budget > 0 && windowCount_ > 0) {
+        DynInst &di = window_[head_];
+        if (!di.completed || di.completeCycle >= cycle_)
+            break;
+
+        if (di.isStore())
+            hier_.dataAccess(di.rec.effAddr, true);
+
+        isa::RegIndex dest = di.rec.inst.destReg();
+        if (dest != isa::NO_REG && !isa::isZeroReg(dest)
+            && lastProducer_[dest].seq == di.seq)
+            lastProducer_[dest] = ProducerRef{};
+
+        commitFormatStats(di);
+        if (commitListener_)
+            commitListener_(di, cycle_);
+        consumers_[head_].clear();
+        di.inWindow = false;
+        if (di.rec.inst.isMemRef())
+            --lsqCount_;
+        ++stats_.committed;
+        lastCommitCycle_ = cycle_;
+
+        head_ = (head_ + 1) % cfg_.ruu_size;
+        --windowCount_;
+        --budget;
+    }
+}
+
+// --------------------------------------------------------------------
+// Events
+// --------------------------------------------------------------------
+
+void
+Core::scheduleEvent(uint64_t when, Event ev)
+{
+    assert(when > cycle_);
+    events_[when].push_back(ev);
+}
+
+void
+Core::processEvents()
+{
+    auto it = events_.find(cycle_);
+    if (it == events_.end())
+        return;
+    std::vector<Event> bucket = std::move(it->second);
+    events_.erase(it);
+
+    auto rank = [](EventKind k) {
+        switch (k) {
+          case EventKind::LoadMissDetect:
+          case EventKind::TagElimDetect:
+            return 0;
+          case EventKind::Complete:
+            return 1;
+          default:
+            return 2;
+        }
+    };
+    std::stable_sort(bucket.begin(), bucket.end(),
+                     [&](const Event &a, const Event &b) {
+                         return rank(a.kind) < rank(b.kind);
+                     });
+
+    for (const Event &ev : bucket) {
+        DynInst &di = window_[ev.slot];
+        if (!di.inWindow || di.seq != ev.seq || !di.issued
+            || di.issueToken != ev.token)
+            continue;
+        switch (ev.kind) {
+          case EventKind::FastWake: handleFastWake(ev); break;
+          case EventKind::SlowWake: handleSlowWake(ev); break;
+          case EventKind::Complete: handleComplete(ev); break;
+          case EventKind::LoadMissDetect: handleLoadMiss(ev); break;
+          case EventKind::TagElimDetect: handleTagElim(ev); break;
+        }
+    }
+}
+
+void
+Core::noteSecondWake(DynInst &ci, uint64_t now)
+{
+    // Called when the second operand data-wakeup of a 2-pending
+    // instruction is observed: record Figure 6 / Table 3 samples and
+    // train the last-arrival predictors.
+    uint64_t slack = now - ci.firstWakeCycle;
+    stats_.wakeupSlack.sample(
+        static_cast<unsigned>(std::min<uint64_t>(slack, 4)));
+
+    bool simultaneous = slack == 0;
+    // The operand waking *now* is the last-arriving one; on a
+    // simultaneous wakeup the order is undefined.
+    bool right_last = !simultaneous && ci.firstWakeWasLeft;
+
+    if (!simultaneous) {
+        if (right_last)
+            ++stats_.rightLast;
+        else
+            ++stats_.leftLast;
+
+        uint64_t pc = ci.rec.pc;
+        auto [hist, inserted] =
+            orderHistory_.try_emplace(pc, right_last ? 1 : 0);
+        if (!inserted) {
+            if ((hist->second != 0) == right_last)
+                ++stats_.orderSame;
+            else
+                ++stats_.orderDiff;
+            hist->second = right_last ? 1 : 0;
+        }
+        lap_.update(pc, right_last);
+    }
+    lapMon_.resolve(ci.rec.pc, ci.shadowPredBits, simultaneous,
+                    right_last);
+
+    if (cfg_.sequentialWakeup()) {
+        // The tag of the last-arriving operand is visible one cycle
+        // late when it landed on the slow side; a simultaneous wakeup
+        // always pays the slow-bus cycle (one side is always slow).
+        bool last_on_slow = false;
+        for (unsigned i = 0; i < ci.numSrc; ++i) {
+            const OperandState &op = ci.src[i];
+            if (simultaneous) {
+                if (op.slowSide)
+                    last_on_slow = true;
+            } else if (op.leftField != ci.firstWakeWasLeft
+                       && op.slowSide) {
+                last_on_slow = true;
+            }
+        }
+        if (last_on_slow)
+            ++stats_.seqWakeupDelayed;
+    }
+}
+
+void
+Core::wakeOperand(DynInst &ci, OperandState &op, uint64_t now,
+                  uint64_t producer_seq, bool slow_bus)
+{
+    if (slow_bus) {
+        // Slow-bus re-broadcast: only slow-side operands gain their
+        // tag match here; data availability was recorded at the fast
+        // broadcast.
+        if (op.slowSide && !op.ready && op.dataReady) {
+            op.ready = true;
+            op.wakeCycle = now;
+            op.wakeProducerSeq = producer_seq;
+        }
+        return;
+    }
+
+    if (!op.dataReady) {
+        op.dataReady = true;
+        op.dataReadyCycle = now;
+        op.wakeProducerSeq = producer_seq;
+
+        if (ci.twoPending && !ci.lapResolved) {
+            if (ci.wakesSeen == 0) {
+                ci.wakesSeen = 1;
+                ci.firstWakeCycle = now;
+                ci.firstWakeWasLeft = op.leftField;
+            } else {
+                ci.wakesSeen = 2;
+                ci.lapResolved = true;
+                noteSecondWake(ci, now);
+            }
+        }
+    }
+
+    // Tag visibility depends on the wakeup-logic organization.
+    bool sees_tag;
+    if (cfg_.sequentialWakeup())
+        sees_tag = !op.slowSide;
+    else if (cfg_.wakeup == WakeupModel::TagElimination)
+        sees_tag = op.watched;
+    else
+        sees_tag = true;
+
+    if (sees_tag && !op.ready) {
+        op.ready = true;
+        op.wakeCycle = now;
+        op.wakeProducerSeq = producer_seq;
+    }
+}
+
+void
+Core::handleFastWake(const Event &ev)
+{
+    for (const Consumer &c : consumers_[ev.slot]) {
+        DynInst &ci = window_[c.slot];
+        if (!ci.inWindow || ci.seq != c.seq)
+            continue;
+        OperandState &op = ci.src[c.opIdx];
+        if (op.producerSeq != ev.seq)
+            continue;
+        wakeOperand(ci, op, cycle_, ev.seq, false);
+    }
+    if (cfg_.sequentialWakeup())
+        scheduleEvent(cycle_ + 1,
+                      Event{EventKind::SlowWake, ev.slot, ev.seq,
+                            ev.token});
+}
+
+void
+Core::handleSlowWake(const Event &ev)
+{
+    for (const Consumer &c : consumers_[ev.slot]) {
+        DynInst &ci = window_[c.slot];
+        if (!ci.inWindow || ci.seq != c.seq)
+            continue;
+        OperandState &op = ci.src[c.opIdx];
+        if (op.producerSeq != ev.seq)
+            continue;
+        wakeOperand(ci, op, cycle_, ev.seq, true);
+    }
+}
+
+void
+Core::handleComplete(const Event &ev)
+{
+    DynInst &di = window_[ev.slot];
+    di.completed = true;
+    di.completeCycle = cycle_;
+
+    if (di.mispredictedBranch && fetchStalledOnBranch_) {
+        fetchStalledOnBranch_ = false;
+        fetchResumeCycle_ =
+            std::max(cycle_ + 1,
+                     di.fetchCycle + cfg_.min_branch_penalty);
+    }
+}
+
+void
+Core::repairConsumersOf(int slot, uint64_t producer_seq)
+{
+    for (const Consumer &c : consumers_[slot]) {
+        DynInst &ci = window_[c.slot];
+        if (!ci.inWindow || ci.seq != c.seq)
+            continue;
+        OperandState &op = ci.src[c.opIdx];
+        if (op.producerSeq != producer_seq
+            || op.wakeProducerSeq != producer_seq)
+            continue;
+        if (!op.dataReady && !op.ready)
+            continue;
+        if (op.dataReady && ci.twoPending && !ci.lapResolved) {
+            // Un-record the speculative wakeup observation.
+            if (ci.wakesSeen > 0)
+                --ci.wakesSeen;
+            if (ci.wakesSeen == 0)
+                ci.firstWakeCycle = NO_CYCLE;
+        }
+        op.ready = false;
+        op.dataReady = false;
+        op.wakeCycle = NO_CYCLE;
+        op.dataReadyCycle = NO_CYCLE;
+        op.wakeProducerSeq = NO_SEQ;
+    }
+}
+
+void
+Core::squashWindow(uint64_t first_cycle, uint64_t last_cycle,
+                   uint64_t trigger_seq, bool selective)
+{
+    // Collect issued-in-shadow instructions.
+    std::vector<int> candidates;
+    unsigned idx = head_;
+    for (unsigned n = 0; n < windowCount_; ++n) {
+        DynInst &di = window_[idx];
+        if (di.inWindow && di.issued && !di.completed
+            && di.seq != trigger_seq && di.issueCycle >= first_cycle
+            && di.issueCycle <= last_cycle)
+            candidates.push_back(int(idx));
+        idx = (idx + 1) % cfg_.ruu_size;
+    }
+
+    std::vector<int> squash;
+    if (!selective) {
+        squash = std::move(candidates);
+    } else {
+        // Taint propagation from the trigger through wake producers.
+        std::vector<uint64_t> tainted{trigger_seq};
+        bool changed = true;
+        std::vector<bool> in(candidates.size(), false);
+        while (changed) {
+            changed = false;
+            for (size_t i = 0; i < candidates.size(); ++i) {
+                if (in[i])
+                    continue;
+                DynInst &di = window_[candidates[i]];
+                for (unsigned s = 0; s < di.numSrc; ++s) {
+                    uint64_t wp = di.src[s].wakeProducerSeq;
+                    if (wp == NO_SEQ)
+                        continue;
+                    if (std::find(tainted.begin(), tainted.end(), wp)
+                        != tainted.end()) {
+                        in[i] = true;
+                        tainted.push_back(di.seq);
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        for (size_t i = 0; i < candidates.size(); ++i)
+            if (in[i])
+                squash.push_back(candidates[i]);
+    }
+
+    for (int slot : squash) {
+        DynInst &di = window_[slot];
+        di.issued = false;
+        ++di.issueToken;
+        di.seqRegAccess = false;
+        di.wakeBroadcastCycle = NO_CYCLE;
+        if (di.tagElimMisissue) {
+            di.tagElimMisissue = false;
+            di.requireDataReady = true;
+        }
+        ++stats_.squashedIssues;
+        repairConsumersOf(slot, di.seq);
+    }
+}
+
+void
+Core::handleLoadMiss(const Event &ev)
+{
+    DynInst &load = window_[ev.slot];
+    assert(load.isLoad() && load.loadMissReplay);
+
+    uint64_t assumed_total = 1 + hier_.assumedLoadLatency();
+    uint64_t first = load.issueCycle + assumed_total;
+    uint64_t last = first + cfg_.replay_shadow - 1;
+    squashWindow(first, last, load.seq,
+                 cfg_.recovery == RecoveryModel::Selective);
+
+    // Cancel the speculative wakeups of the load's own dependents and
+    // re-broadcast at the true arrival time.
+    repairConsumersOf(ev.slot, load.seq);
+    uint64_t true_wake = load.issueCycle + 1 + load.memLatency;
+    load.wakeBroadcastCycle = true_wake;
+    isa::RegIndex dest = load.rec.inst.destReg();
+    if (dest != isa::NO_REG && !isa::isZeroReg(dest)
+        && true_wake > cycle_)
+        scheduleEvent(true_wake,
+                      Event{EventKind::FastWake, ev.slot, ev.seq,
+                            ev.token});
+}
+
+void
+Core::handleTagElim(const Event &ev)
+{
+    DynInst &di = window_[ev.slot];
+    if (!di.tagElimMisissue)
+        return;
+    uint64_t first = di.issueCycle;
+    uint64_t last = di.issueCycle + cfg_.tagelim_detect_delay;
+    squashWindow(first, last, NO_SEQ, false);
+}
+
+// --------------------------------------------------------------------
+// Select / issue
+// --------------------------------------------------------------------
+
+bool
+Core::eligible(const DynInst &di) const
+{
+    if (!di.inWindow || di.issued || di.completed
+        || di.dispatchCycle >= cycle_)
+        return false;
+
+    if (cfg_.wakeup == WakeupModel::TagElimination) {
+        for (unsigned i = 0; i < di.numSrc; ++i) {
+            const OperandState &op = di.src[i];
+            if (op.watched && !op.ready)
+                return false;
+        }
+        if (di.requireDataReady && !di.allSrcDataReady())
+            return false;
+        return true;
+    }
+    return di.allSrcReady();
+}
+
+bool
+Core::lsqAllowsLoad(const DynInst &load) const
+{
+    uint64_t lo = load.rec.effAddr;
+    uint64_t hi = lo + load.rec.inst.memSize();
+    unsigned idx = head_;
+    for (unsigned n = 0; n < windowCount_; ++n) {
+        const DynInst &di = window_[idx];
+        if (di.seq >= load.seq)
+            break;
+        if (di.inWindow && di.isStore()) {
+            uint64_t slo = di.rec.effAddr;
+            uint64_t shi = slo + di.rec.inst.memSize();
+            if (slo < hi && lo < shi) {
+                // Overlapping older store: its address must be known
+                // (agen issued) and its data produced before the load
+                // can obtain a forwarded value.
+                if (!di.issued)
+                    return false;
+                if (di.storeDataProducerSeq != NO_SEQ) {
+                    const DynInst &p =
+                        window_[di.storeDataProducerSlot];
+                    if (p.inWindow
+                        && p.seq == di.storeDataProducerSeq
+                        && !p.completed)
+                        return false;
+                }
+            }
+        }
+        idx = (idx + 1) % cfg_.ruu_size;
+    }
+    return true;
+}
+
+unsigned
+Core::computeRfPorts(const DynInst &di) const
+{
+    // An operand is captured from the bypass network only when its
+    // value arrives within the bypass window ending at the issue
+    // cycle (Section 4.2 assumes a 1-cycle window); anything older
+    // is a register-file read.
+    unsigned ports = 0;
+    for (unsigned i = 0; i < di.numSrc; ++i) {
+        const OperandState &op = di.src[i];
+        // Only values observed arriving on the bypass network
+        // qualify; operands read from the architectural register
+        // file at insert (no producer broadcast) never do.
+        bool bypassed = op.dataReady
+            && op.wakeProducerSeq != NO_SEQ
+            && op.dataReadyCycle <= cycle_
+            && cycle_ - op.dataReadyCycle < cfg_.bypass_window;
+        if (!bypassed)
+            ++ports;
+    }
+    return ports;
+}
+
+void
+Core::issueInst(DynInst &di, int slot)
+{
+    di.issued = true;
+    di.issueCycle = cycle_;
+    ++di.issueToken;
+    ++stats_.issued;
+    bool first_issue = di.issueToken == 1;
+
+    unsigned ports = computeRfPorts(di);
+    di.rfPorts = ports;
+
+    di.seqRegAccess = cfg_.regfile == RegfileModel::SequentialAccess
+        && ports == 2;
+    if (di.seqRegAccess) {
+        ++stats_.seqRegAccesses;
+        ++blockedSlotsNext_;
+    }
+    unsigned extra = di.seqRegAccess ? 1 : 0;
+
+    // Figure 10 characterization (first issue only).
+    if (first_issue && di.numSrc == 2) {
+        if (ports <= 1) {
+            ++stats_.rfBackToBack;
+        } else if (di.src[0].readyAtInsert && di.src[1].readyAtInsert) {
+            ++stats_.rfTwoReady;
+        } else {
+            ++stats_.rfNonBackToBack;
+        }
+    }
+
+    isa::RegIndex dest = di.rec.inst.destReg();
+    bool broadcasts = dest != isa::NO_REG && !isa::isZeroReg(dest);
+    uint64_t wake_cycle;
+    uint64_t complete_cycle;
+
+    if (di.isLoad()) {
+        // Determine the actual memory latency: forwarded from an
+        // older overlapping store, or from the cache hierarchy.
+        bool forwarded = false;
+        uint64_t lo = di.rec.effAddr;
+        uint64_t hi = lo + di.rec.inst.memSize();
+        unsigned idx = head_;
+        for (unsigned n = 0; n < windowCount_; ++n) {
+            const DynInst &st = window_[idx];
+            if (st.seq >= di.seq)
+                break;
+            if (st.inWindow && st.isStore()) {
+                uint64_t slo = st.rec.effAddr;
+                uint64_t shi = slo + st.rec.inst.memSize();
+                if (slo < hi && lo < shi)
+                    forwarded = true;
+            }
+            idx = (idx + 1) % cfg_.ruu_size;
+        }
+        unsigned mem_lat = forwarded
+            ? hier_.assumedLoadLatency()
+            : hier_.dataAccess(di.rec.effAddr, false);
+        di.memLatency = mem_lat;
+
+        unsigned assumed_total = 1 + hier_.assumedLoadLatency();
+        unsigned actual_total = 1 + mem_lat;
+        di.latency = actual_total;
+
+        wake_cycle = cycle_ + assumed_total;
+        complete_cycle = cycle_ + cfg_.schedToExec() + actual_total - 1;
+
+        if (actual_total > assumed_total) {
+            di.loadMissReplay = true;
+            ++stats_.loadMissReplays;
+            scheduleEvent(cycle_ + assumed_total + cfg_.replay_shadow,
+                          Event{EventKind::LoadMissDetect, slot,
+                                di.seq, di.issueToken});
+        } else {
+            di.loadMissReplay = false;
+        }
+    } else {
+        unsigned lat =
+            isa::opClassLatency(di.rec.inst.opClass()) + extra;
+        di.latency = lat;
+        wake_cycle = cycle_ + lat;
+        complete_cycle = cycle_ + cfg_.schedToExec() + lat - 1;
+    }
+
+    if (broadcasts) {
+        di.wakeBroadcastCycle = wake_cycle;
+        scheduleEvent(wake_cycle,
+                      Event{EventKind::FastWake, slot, di.seq,
+                            di.issueToken});
+    } else {
+        di.wakeBroadcastCycle = cycle_;
+    }
+    scheduleEvent(complete_cycle,
+                  Event{EventKind::Complete, slot, di.seq,
+                        di.issueToken});
+
+    // Tag elimination: the scoreboard detects issues whose unwatched
+    // operands were not actually data-ready.
+    if (cfg_.wakeup == WakeupModel::TagElimination) {
+        bool premature = false;
+        for (unsigned i = 0; i < di.numSrc; ++i) {
+            const OperandState &op = di.src[i];
+            if (!op.dataReady || op.dataReadyCycle > cycle_)
+                premature = true;
+        }
+        if (premature) {
+            di.tagElimMisissue = true;
+            ++stats_.tagElimMisissues;
+            scheduleEvent(cycle_ + cfg_.tagelim_detect_delay + 1,
+                          Event{EventKind::TagElimDetect, slot,
+                                di.seq, di.issueToken});
+        }
+    }
+}
+
+void
+Core::select()
+{
+    blockedSlots_ = blockedSlotsNext_;
+    blockedSlotsNext_ = 0;
+
+    unsigned avail = cfg_.width > blockedSlots_
+        ? cfg_.width - blockedSlots_ : 0;
+    bool crossbar = cfg_.regfile == RegfileModel::HalfPortCrossbar;
+    unsigned ports_left = crossbar ? cfg_.width : ~0u;
+
+    // Oldest-first, loads and branches prioritized (Section 2.1).
+    for (int pass = 0; pass < 2 && avail > 0; ++pass) {
+        unsigned idx = head_;
+        for (unsigned n = 0; n < windowCount_ && avail > 0; ++n) {
+            DynInst &di = window_[idx];
+            unsigned slot = idx;
+            idx = (idx + 1) % cfg_.ruu_size;
+
+            bool high_prio = di.isLoad() || di.isControl();
+            if ((pass == 0) != high_prio)
+                continue;
+            if (!eligible(di))
+                continue;
+            if (di.isLoad() && !lsqAllowsLoad(di))
+                continue;
+            if (crossbar) {
+                unsigned ports = computeRfPorts(di);
+                if (ports > ports_left)
+                    continue;
+                ports_left -= ports;
+            }
+            if (!fu_.acquire(di.rec.inst.opClass(), cycle_)) {
+                if (crossbar)
+                    ports_left += computeRfPorts(di);
+                continue;
+            }
+            issueInst(di, int(slot));
+            --avail;
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Dispatch
+// --------------------------------------------------------------------
+
+void
+Core::applyWakePlacement(DynInst &di)
+{
+    if (cfg_.sequentialWakeup()) {
+        if (di.twoPending) {
+            bool right_fast = cfg_.wakeup == WakeupModel::Sequential
+                ? di.predRightLast : true;
+            for (unsigned i = 0; i < di.numSrc; ++i) {
+                OperandState &op = di.src[i];
+                op.slowSide = op.leftField == right_fast;
+            }
+        }
+        // Single pending operands always sit on the fast side.
+    } else if (cfg_.wakeup == WakeupModel::TagElimination) {
+        if (di.twoPending) {
+            for (unsigned i = 0; i < di.numSrc; ++i) {
+                OperandState &op = di.src[i];
+                op.watched = op.leftField != di.predRightLast;
+            }
+        } else {
+            // Watch the pending operand (if any).
+            for (unsigned i = 0; i < di.numSrc; ++i)
+                di.src[i].watched = !di.src[i].readyAtInsert;
+        }
+    }
+}
+
+void
+Core::setupOperands(DynInst &di, int slot)
+{
+    const isa::StaticInst &si = di.rec.inst;
+
+    isa::SrcList raw = si.srcRegs();
+    isa::SrcList sched;
+    if (si.isStore()) {
+        // Stores schedule as address generation only; the data move
+        // is handled by the store scheduler at commit (Section 2.3).
+        sched.push(raw.regs[1]);
+        // Track the data producer to gate store-to-load forwarding.
+        isa::RegIndex data_reg = raw.regs[0];
+        if (!isa::isZeroReg(data_reg)) {
+            ProducerRef pr = lastProducer_[data_reg];
+            if (pr.seq != NO_SEQ) {
+                di.storeDataProducerSeq = pr.seq;
+                di.storeDataProducerSlot = pr.slot;
+            }
+        }
+        if (isa::isZeroReg(sched.regs[0]))
+            sched.count = 0;
+    } else {
+        sched = si.uniqueSrcRegs();
+    }
+
+    di.numSrc = sched.count;
+    unsigned pending = 0;
+    for (unsigned i = 0; i < di.numSrc; ++i) {
+        OperandState &op = di.src[i];
+        op = OperandState{};
+        op.reg = sched.regs[i];
+        op.leftField = raw.count > 0 && sched.regs[i] == raw.regs[0];
+
+        ProducerRef pr = lastProducer_[op.reg];
+        bool ready_now = true;
+        if (pr.seq != NO_SEQ) {
+            DynInst &p = window_[pr.slot];
+            assert(p.seq == pr.seq && p.inWindow);
+            consumers_[pr.slot].push_back(
+                Consumer{slot, uint8_t(i), di.seq});
+            op.producerSeq = pr.seq;
+            ready_now = p.issued
+                && p.wakeBroadcastCycle != NO_CYCLE
+                && p.wakeBroadcastCycle <= cycle_;
+            if (ready_now)
+                op.wakeProducerSeq = pr.seq;
+        }
+
+        if (ready_now) {
+            op.ready = true;
+            op.dataReady = true;
+            op.readyAtInsert = true;
+            op.wakeCycle = cycle_;
+            // Record the true arrival time when the value came off an
+            // in-flight producer's broadcast (it may still be within
+            // a multi-cycle bypass window); architectural values read
+            // from the register file carry the insert cycle and are
+            // excluded from bypass capture in computeRfPorts().
+            op.dataReadyCycle = op.wakeProducerSeq != NO_SEQ
+                ? window_[pr.slot].wakeBroadcastCycle : cycle_;
+        } else {
+            ++pending;
+        }
+    }
+
+    di.twoPending = di.numSrc == 2 && pending == 2;
+
+    // Figure 4: ready operands of 2-source instructions at insert.
+    if (di.numSrc == 2)
+        stats_.readyAtInsert.sample(2 - pending);
+
+    if (di.twoPending) {
+        di.predRightLast = lap_.predictRightLast(di.rec.pc);
+        di.shadowPredBits = lapMon_.snapshot(di.rec.pc);
+    }
+}
+
+void
+Core::dispatch()
+{
+    unsigned budget = cfg_.width;
+    // Rename-stage map-table lookup ports: two per slot on the base
+    // machine, one per slot in the half-price rename extension.
+    unsigned rename_ports = cfg_.rename == RenameModel::HalfPort
+        ? cfg_.width : 2 * cfg_.width;
+    while (budget > 0 && !fetchQueue_.empty() && !windowFull()) {
+        FetchedInst &fi = fetchQueue_.front();
+        if (fi.earliestDispatch > cycle_)
+            break;
+        if (fi.rec.inst.isMemRef() && lsqCount_ >= cfg_.lsq_size)
+            break;
+        unsigned lookups = fi.rec.inst.uniqueSrcRegs().count;
+        if (lookups > rename_ports) {
+            ++stats_.renameStalls;
+            // The group splits here — unless nothing has dispatched
+            // yet this cycle, in which case the lone instruction
+            // serializes through the port (guarantees progress on
+            // degenerate 1-wide configurations).
+            if (budget != cfg_.width)
+                break;
+            rename_ports = 0;
+        } else {
+            rename_ports -= lookups;
+        }
+
+        unsigned slot = tail_;
+        DynInst &di = window_[slot];
+        di = DynInst{};
+        consumers_[slot].clear();
+
+        di.rec = fi.rec;
+        di.seq = nextSeq_++;
+        di.inWindow = true;
+        di.fetchCycle = fi.fetchCycle;
+        di.dispatchCycle = cycle_;
+        di.mispredictedBranch = fi.mispredicted;
+
+        setupOperands(di, int(slot));
+        applyWakePlacement(di);
+
+        isa::RegIndex dest = di.rec.inst.destReg();
+        if (dest != isa::NO_REG && !isa::isZeroReg(dest))
+            lastProducer_[dest] = ProducerRef{di.seq, int(slot)};
+
+        if (di.rec.inst.isMemRef())
+            ++lsqCount_;
+
+        tail_ = (tail_ + 1) % cfg_.ruu_size;
+        ++windowCount_;
+        ++stats_.dispatched;
+        --budget;
+        fetchQueue_.pop_front();
+    }
+}
+
+// --------------------------------------------------------------------
+// Fetch
+// --------------------------------------------------------------------
+
+void
+Core::fetch()
+{
+    if (sourceDone_ && !lookahead_)
+        return;
+    if (fetchStalledOnBranch_ || cycle_ < fetchResumeCycle_)
+        return;
+
+    unsigned budget = cfg_.width;
+    size_t fq_cap = size_t(cfg_.front_end_depth) * cfg_.width;
+    uint64_t fetched_line = ~0ull;
+    uint64_t line_mask = ~uint64_t(hier_.il1().config().line_bytes - 1);
+
+    while (budget > 0 && fetchQueue_.size() < fq_cap && lookahead_) {
+        const func::ExecRecord &rec = *lookahead_;
+
+        uint64_t line = rec.pc & line_mask;
+        if (line != fetched_line) {
+            unsigned lat = hier_.fetchAccess(rec.pc);
+            unsigned hit_lat = hier_.il1().config().latency;
+            if (lat > hit_lat) {
+                // IL1 miss: fetch stalls for the fill.
+                fetchResumeCycle_ = cycle_ + (lat - hit_lat);
+                return;
+            }
+            fetched_line = line;
+        }
+
+        FetchedInst fi;
+        fi.rec = rec;
+        fi.fetchCycle = cycle_;
+        fi.earliestDispatch = cycle_ + cfg_.front_end_depth;
+        fi.mispredicted = false;
+
+        bool stop_group = false;
+        if (rec.inst.isControl()) {
+            ++stats_.fetchedControl;
+            bpred::Prediction pred = bp_.predict(rec.pc, rec.inst);
+            bool mispred = pred.taken != rec.taken
+                || (rec.taken
+                    && (!pred.targetKnown
+                        || pred.target != rec.nextPc));
+            bp_.resolve(rec.pc, rec.inst, rec.taken, rec.nextPc);
+            if (mispred) {
+                ++stats_.branchMispredicts;
+                if (rec.inst.isCondBranch()
+                    && pred.taken != rec.taken)
+                    ++bp_.dirMispredicts;
+                else
+                    ++bp_.targetMispredicts;
+                fi.mispredicted = true;
+                fetchStalledOnBranch_ = true;
+                stop_group = true;
+            } else if (rec.taken) {
+                // Fetch stops at the first taken branch in a cycle.
+                stop_group = true;
+            }
+        }
+
+        fetchQueue_.push_back(fi);
+        lookahead_ = source_.next();
+        if (!lookahead_)
+            sourceDone_ = true;
+        --budget;
+        if (stop_group)
+            break;
+    }
+}
+
+} // namespace hpa::core

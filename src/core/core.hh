@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Cycle-level out-of-order core implementing the paper's base machine
+ * (speculative scheduling with non-selective recovery, RUU-style
+ * unified window, Table 1 resources) and the half-price techniques:
+ * sequential wakeup (Section 3.3), sequential register access
+ * (Section 4.3), tag elimination (Section 3.1 reference scheme), the
+ * extra-RF-stage and half-ports+crossbar register files (Section 5.2),
+ * and selective recovery (Figure 5).
+ *
+ * Timing conventions (cycle numbers are select-eligibility times):
+ *  - Wakeup and select are atomic: an instruction woken at cycle t can
+ *    be selected at cycle t.
+ *  - A producer selected at cycle s with effective latency L
+ *    broadcasts on the fast bus at cycle s+L; slow-bus (sequential
+ *    wakeup) consumers see the tag at s+L+1.
+ *  - SCHED->EXE occupies schedToExec() stages; an op selected at s
+ *    completes (value bypassed) at s + schedToExec() + L - 1.
+ *  - Loads are scheduled assuming a DL1 hit (1 agen + DL1 latency);
+ *    a miss squashes `replay_shadow` cycles of issue.
+ */
+
+#ifndef HPA_CORE_CORE_HH
+#define HPA_CORE_CORE_HH
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <unordered_map>
+#include <vector>
+
+#include "bpred/bpred.hh"
+#include "core/config.hh"
+#include "core/dyn_inst.hh"
+#include "core/fu_pool.hh"
+#include "core/inst_source.hh"
+#include "core/last_arrival.hh"
+#include "mem/hierarchy.hh"
+#include "stats/stats.hh"
+
+namespace hpa::core
+{
+
+/** Aggregate statistics exported by a core run. */
+struct CoreStats
+{
+    stats::Counter committed{"core.committed", "committed instructions"};
+    stats::Counter cycles{"core.cycles", "simulated cycles"};
+    stats::Counter dispatched{"core.dispatched",
+        "instructions inserted into the window"};
+    stats::Counter issued{"core.issued",
+        "issue events (including re-issues)"};
+    stats::Counter squashedIssues{"core.squashed_issues",
+        "issued instructions pulled back by recovery"};
+    stats::Counter loadMissReplays{"core.load_miss_replays",
+        "loads that triggered scheduling recovery"};
+    stats::Counter tagElimMisissues{"core.tagelim_misissues",
+        "tag-elimination premature issues"};
+    stats::Counter seqRegAccesses{"core.seq_reg_accesses",
+        "issues that took the sequential register access penalty"};
+    stats::Counter seqWakeupDelayed{"core.seq_wakeup_delayed",
+        "issues delayed because the last tag arrived on the slow bus"};
+    stats::Counter renameStalls{"core.rename_stalls",
+        "dispatch groups split by rename-port exhaustion"};
+    stats::Counter branchMispredicts{"core.branch_mispredicts",
+        "mispredicted control instructions"};
+    stats::Counter fetchedControl{"core.fetched_control",
+        "control instructions fetched"};
+
+    // --- Characterization (Figures 2-4, 6, 10, Table 3). ---
+    stats::Counter fmt2srcInsts{"fmt.two_source_format",
+        "committed non-store 2-source-format instructions"};
+    stats::Counter fmtStores{"fmt.stores", "committed stores"};
+    stats::Counter fmtOther{"fmt.other",
+        "committed 0/1-source-format instructions"};
+    stats::Counter fmtNops{"fmt.nops",
+        "2-source-format nops (zero-register destinations)"};
+    stats::Counter fmtOneUnique{"fmt.one_unique",
+        "2-source-format with one unique source (zero reg/identical)"};
+    stats::Counter fmtTwoUnique{"fmt.two_unique",
+        "2-source instructions (two unique non-zero sources)"};
+
+    stats::Distribution readyAtInsert{"sched.ready_at_insert",
+        "ready operands of 2-source insts at window insert", 2};
+    stats::Distribution wakeupSlack{"sched.wakeup_slack",
+        "cycles between the two operand wakeups (2-pending insts)", 4};
+
+    stats::Counter orderSame{"sched.wakeup_order_same",
+        "2-pending insts whose wakeup order matched last time at PC"};
+    stats::Counter orderDiff{"sched.wakeup_order_diff",
+        "2-pending insts whose wakeup order differed"};
+    stats::Counter leftLast{"sched.left_last",
+        "2-pending insts whose left operand arrived last"};
+    stats::Counter rightLast{"sched.right_last",
+        "2-pending insts whose right operand arrived last"};
+
+    stats::Counter rfBackToBack{"rf.back_to_back",
+        "2-source issues with >=1 operand off the bypass"};
+    stats::Counter rfTwoReady{"rf.two_ready",
+        "2-source issues needing 2 ports (both ready at insert)"};
+    stats::Counter rfNonBackToBack{"rf.non_back_to_back",
+        "2-source issues needing 2 ports (issued late)"};
+
+    void regStats(stats::Registry &reg);
+};
+
+/**
+ * The out-of-order core. Construct with a configuration and a
+ * committed-path instruction source, then run().
+ */
+class Core
+{
+  public:
+    Core(const CoreConfig &cfg, InstSource &source);
+
+    /** Advance one cycle. */
+    void tick();
+
+    /**
+     * Run to completion (source drained and window empty).
+     * @param max_cycles optional safety bound (0 = unbounded)
+     * @return committed instruction count
+     */
+    uint64_t run(uint64_t max_cycles = 0);
+
+    bool
+    done() const
+    {
+        return sourceDone_ && windowCount_ == 0 && fetchQueue_.empty();
+    }
+
+    uint64_t cycle() const { return cycle_; }
+    double
+    ipc() const
+    {
+        return cycle_ == 0 ? 0.0
+            : double(stats_.committed.value()) / double(cycle_);
+    }
+
+    const CoreStats &stats() const { return stats_; }
+    const CoreConfig &config() const { return cfg_; }
+    const LastArrivalMonitor &lapMonitor() const { return lapMon_; }
+    mem::Hierarchy &hierarchy() { return hier_; }
+    bpred::BranchPredictor &branchPredictor() { return bp_; }
+
+    /** Register core + memory + bpred statistics. */
+    void regStats(stats::Registry &reg);
+
+    /**
+     * Install a commit observer: called once per committed
+     * instruction, with its full pipeline timestamps still intact
+     * (fetch/dispatch/issue/complete cycles, replay flags). Used by
+     * the pipeline viewer and by tests.
+     */
+    void
+    setCommitListener(
+        std::function<void(const DynInst &, uint64_t commit_cycle)> fn)
+    {
+        commitListener_ = std::move(fn);
+    }
+
+  private:
+    // --- Event machinery. ---
+    enum class EventKind : uint8_t
+    {
+        FastWake,       ///< producer tag on the fast wakeup bus
+        SlowWake,       ///< re-broadcast on the slow bus (seq wakeup)
+        Complete,       ///< execution finished (value available)
+        LoadMissDetect, ///< latency misprediction detected
+        TagElimDetect,  ///< scoreboard flags a premature issue
+    };
+
+    struct Event
+    {
+        EventKind kind;
+        int slot;
+        uint64_t seq;
+        uint32_t token;
+    };
+
+    struct Consumer
+    {
+        int slot;
+        uint8_t opIdx;
+        uint64_t seq;
+    };
+
+    struct FetchedInst
+    {
+        func::ExecRecord rec;
+        uint64_t earliestDispatch;
+        bool mispredicted;
+        uint64_t fetchCycle;
+    };
+
+    // --- Pipeline phases (in intra-cycle order). ---
+    void commit();
+    void processEvents();
+    void select();
+    void dispatch();
+    void fetch();
+
+    // --- Helpers. ---
+    DynInst &inst(int slot) { return window_[slot]; }
+    bool windowFull() const { return windowCount_ == cfg_.ruu_size; }
+
+    void setupOperands(DynInst &di, int slot);
+    void applyWakePlacement(DynInst &di);
+    bool eligible(const DynInst &di) const;
+    bool lsqAllowsLoad(const DynInst &load) const;
+    unsigned computeRfPorts(const DynInst &di) const;
+    void issueInst(DynInst &di, int slot);
+    void scheduleEvent(uint64_t cycle, Event ev);
+    void handleFastWake(const Event &ev);
+    void handleSlowWake(const Event &ev);
+    void handleComplete(const Event &ev);
+    void handleLoadMiss(const Event &ev);
+    void handleTagElim(const Event &ev);
+    void wakeOperand(DynInst &ci, OperandState &op, uint64_t now,
+                     uint64_t producer_seq, bool slow_bus);
+    void noteSecondWake(DynInst &ci, uint64_t now);
+    void squashWindow(uint64_t first_cycle, uint64_t last_cycle,
+                      uint64_t trigger_seq, bool selective);
+    void repairConsumersOf(int slot, uint64_t producer_seq);
+    void commitFormatStats(const DynInst &di);
+
+    CoreConfig cfg_;
+    InstSource &source_;
+    mem::Hierarchy hier_;
+    bpred::BranchPredictor bp_;
+    FuPool fu_;
+    LastArrivalPredictor lap_;
+    LastArrivalMonitor lapMon_;
+    CoreStats stats_;
+
+    uint64_t cycle_ = 0;
+    uint64_t nextSeq_ = 0;
+
+    // Window: ring buffer of slots.
+    std::vector<DynInst> window_;
+    std::vector<std::vector<Consumer>> consumers_;
+    unsigned head_ = 0;
+    unsigned tail_ = 0;
+    unsigned windowCount_ = 0;
+    unsigned lsqCount_ = 0;
+
+    /** Youngest in-flight producer per unified register. */
+    struct ProducerRef
+    {
+        uint64_t seq = NO_SEQ;
+        int slot = -1;
+    };
+    ProducerRef lastProducer_[isa::NUM_UNIFIED_REGS];
+
+    std::map<uint64_t, std::vector<Event>> events_;
+
+    // Front end.
+    std::deque<FetchedInst> fetchQueue_;
+    uint64_t fetchResumeCycle_ = 0;
+    bool fetchStalledOnBranch_ = false;
+    uint64_t stalledBranchSeqTag_ = NO_SEQ; // pc tag for bookkeeping
+    bool sourceDone_ = false;
+    std::optional<func::ExecRecord> lookahead_;
+
+    /** Issue slots blocked this cycle by sequential register access
+     *  issues of the previous cycle. */
+    unsigned blockedSlots_ = 0;
+    unsigned blockedSlotsNext_ = 0;
+
+    /** Wakeup-order history per PC (Table 3). */
+    std::unordered_map<uint64_t, uint8_t> orderHistory_;
+
+    uint64_t lastCommitCycle_ = 0;
+
+    std::function<void(const DynInst &, uint64_t)> commitListener_;
+};
+
+} // namespace hpa::core
+
+#endif // HPA_CORE_CORE_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Per-instruction dynamic state tracked while an instruction is in
+ * the out-of-order window.
+ */
+
+#ifndef HPA_CORE_DYN_INST_HH
+#define HPA_CORE_DYN_INST_HH
+
+#include <cstdint>
+
+#include "func/emulator.hh"
+#include "isa/static_inst.hh"
+
+namespace hpa::core
+{
+
+/** Invalid cycle sentinel. */
+constexpr uint64_t NO_CYCLE = ~0ull;
+/** Invalid sequence number sentinel. */
+constexpr uint64_t NO_SEQ = ~0ull;
+
+/** State of one source operand of an in-window instruction. */
+struct OperandState
+{
+    isa::RegIndex reg = isa::NO_REG;
+    /** Sequence number of the in-flight producer; NO_SEQ when the
+     *  value was already available at insert. */
+    uint64_t producerSeq = NO_SEQ;
+    /** Format position: true when this unique operand came from the
+     *  left (ra) field. */
+    bool leftField = true;
+
+    /** Tag match observed (per-model bus timing applied). */
+    bool ready = false;
+    /** Cycle the operand's wakeup arrived (select-eligibility). */
+    uint64_t wakeCycle = NO_CYCLE;
+    /** Cycle the value is actually available (scoreboard view). */
+    bool dataReady = false;
+    uint64_t dataReadyCycle = NO_CYCLE;
+    /** Producer whose broadcast set `ready` (for replay repair). */
+    uint64_t wakeProducerSeq = NO_SEQ;
+
+    /** Sequential wakeup: operand listens to the slow bus. */
+    bool slowSide = false;
+    /** Tag elimination: operand has a comparator on the bus. */
+    bool watched = true;
+    /** Value was already available when inserted into the window. */
+    bool readyAtInsert = false;
+};
+
+/** A dynamic instruction occupying a window (RUU) slot. */
+struct DynInst
+{
+    func::ExecRecord rec;
+    uint64_t seq = NO_SEQ;
+
+    // --- Dependences (unique, non-zero source registers). ---
+    unsigned numSrc = 0;
+    OperandState src[2];
+
+    // --- Pipeline state. ---
+    bool inWindow = false;
+    bool issued = false;
+    bool completed = false;
+    uint64_t fetchCycle = NO_CYCLE;
+    uint64_t dispatchCycle = NO_CYCLE;
+    uint64_t issueCycle = NO_CYCLE;
+    uint64_t completeCycle = NO_CYCLE;
+    /** Incremented on every (re)issue; cancels stale events. */
+    uint32_t issueToken = 0;
+
+    /** Actual execution latency assigned at issue. */
+    unsigned latency = 1;
+    /** Actual memory-system latency for loads (set at issue). */
+    unsigned memLatency = 0;
+    /** Cycle this instruction's destination tag broadcasts on the
+     *  fast bus (select-eligibility of dependents). */
+    uint64_t wakeBroadcastCycle = NO_CYCLE;
+    /** Window slot of the store-data producer (stores only). */
+    int storeDataProducerSlot = -1;
+    /** Register-file read ports consumed at issue (0..2). */
+    unsigned rfPorts = 0;
+    /** Issued with the sequential-register-access penalty. */
+    bool seqRegAccess = false;
+    /** Load issued assuming a DL1 hit but missed. */
+    bool loadMissReplay = false;
+    /** Tag elimination: issued before an unwatched operand was
+     *  data-ready (mis-schedule). */
+    bool tagElimMisissue = false;
+    /** Tag elimination: after a mis-schedule the scoreboard gates
+     *  re-issue on full operand availability. */
+    bool requireDataReady = false;
+    /** Control instruction the front end mispredicted. */
+    bool mispredictedBranch = false;
+    /** Stores: in-flight producer of the store-data register (used to
+     *  gate store-to-load forwarding; not a scheduling operand). */
+    uint64_t storeDataProducerSeq = NO_SEQ;
+
+    // --- Characterization bookkeeping. ---
+    /** Operand wake-order stats already recorded for this inst. */
+    bool lapResolved = false;
+    /** Number of operand data-wakeups observed so far. */
+    uint8_t wakesSeen = 0;
+    /** Data-arrival cycle of the first operand wakeup. */
+    uint64_t firstWakeCycle = NO_CYCLE;
+    /** The first data wakeup was the left-field operand. */
+    bool firstWakeWasLeft = false;
+
+    // --- Last-arrival prediction bookkeeping (Figures 7, 14). ---
+    /** Two pending operands at insert (candidate for prediction). */
+    bool twoPending = false;
+    /** Main predictor's prediction: true = right field last. */
+    bool predRightLast = false;
+    /** Shadow predictor predictions per monitored table size. */
+    uint8_t shadowPredBits = 0;
+
+    bool isLoad() const { return rec.inst.isLoad(); }
+    bool isStore() const { return rec.inst.isStore(); }
+    bool isControl() const { return rec.inst.isControl(); }
+
+    /** All tag matches observed (per-model issue condition helper). */
+    bool
+    allSrcReady() const
+    {
+        for (unsigned i = 0; i < numSrc; ++i)
+            if (!src[i].ready)
+                return false;
+        return true;
+    }
+
+    /** All values actually available (scoreboard truth). */
+    bool
+    allSrcDataReady() const
+    {
+        for (unsigned i = 0; i < numSrc; ++i)
+            if (!src[i].dataReady)
+                return false;
+        return true;
+    }
+};
+
+} // namespace hpa::core
+
+#endif // HPA_CORE_DYN_INST_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Functional-unit pool with Table 1 unit counts and latencies.
+ * Multipliers are pipelined; dividers are not (they occupy their unit
+ * for the full operation latency).
+ */
+
+#ifndef HPA_CORE_FU_POOL_HH
+#define HPA_CORE_FU_POOL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hh"
+#include "isa/opcodes.hh"
+
+namespace hpa::core
+{
+
+/** Groups of units an op class maps onto. */
+enum class FuGroup : uint8_t
+{
+    IntAlu,
+    FpAlu,
+    IntMulDiv,
+    FpMulDiv,
+    MemPort,
+    NumGroups,
+};
+
+/** Map an op class onto its unit group. */
+FuGroup fuGroup(isa::OpClass cls);
+
+/** Per-cycle reservation tracker for all functional units. */
+class FuPool
+{
+  public:
+    explicit FuPool(const CoreConfig &cfg);
+
+    /**
+     * Try to reserve a unit of the group serving @p cls at @p cycle.
+     * Pipelined units are busy for one cycle; unpipelined (divide)
+     * units for the op latency.
+     * @return true when a unit was available and is now reserved.
+     */
+    bool acquire(isa::OpClass cls, uint64_t cycle);
+
+    /** Units in the group serving @p cls. */
+    unsigned count(isa::OpClass cls) const;
+
+  private:
+    /** busyUntil (exclusive) per unit instance, per group. */
+    std::vector<uint64_t> units_[size_t(FuGroup::NumGroups)];
+};
+
+} // namespace hpa::core
+
+#endif // HPA_CORE_FU_POOL_HH

@@ -1,0 +1,95 @@
+#include "core/inst_source.hh"
+
+namespace hpa::core
+{
+
+using isa::Opcode;
+using isa::RegIndex;
+
+SyntheticSource::SyntheticSource(const SyntheticParams &params)
+    : p_(params), rng_(params.seed), pc_(0x1000)
+{
+    // Seed the recent-destination window so early sources resolve.
+    for (unsigned r = 1; r <= 8; ++r)
+        recentDests_.push_back(static_cast<RegIndex>(r));
+}
+
+double
+SyntheticSource::uniform()
+{
+    return std::uniform_real_distribution<double>(0.0, 1.0)(rng_);
+}
+
+RegIndex
+SyntheticSource::pickSrc()
+{
+    if (uniform() < p_.zero_reg_frac)
+        return isa::INT_ZERO_REG;
+    // Geometric dependence distance over recently written registers.
+    size_t d = 0;
+    while (uniform() > p_.dep_distance_p
+           && d + 1 < recentDests_.size())
+        ++d;
+    return recentDests_[recentDests_.size() - 1 - d];
+}
+
+RegIndex
+SyntheticSource::pickDest()
+{
+    auto r = static_cast<RegIndex>(
+        1 + std::uniform_int_distribution<int>(0, 28)(rng_));
+    recentDests_.push_back(r);
+    if (recentDests_.size() > 24)
+        recentDests_.erase(recentDests_.begin());
+    return r;
+}
+
+std::optional<func::ExecRecord>
+SyntheticSource::next()
+{
+    if (produced_ >= p_.num_insts)
+        return std::nullopt;
+    ++produced_;
+
+    func::ExecRecord rec;
+    rec.pc = pc_;
+    uint64_t next_pc = pc_ + 4;
+
+    double roll = uniform();
+    if (produced_ == p_.num_insts) {
+        rec.inst = isa::makeSystem(Opcode::HALT);
+    } else if (roll < p_.load_frac) {
+        rec.inst = isa::makeMem(Opcode::LDQ, pickDest(), pickSrc(), 0);
+        rec.effAddr = 0x200000
+            + (rng_() % p_.mem_span & ~7ull);
+    } else if (roll < p_.load_frac + p_.store_frac) {
+        RegIndex data = pickSrc();
+        RegIndex base = pickSrc();
+        rec.inst = isa::makeMem(Opcode::STQ, data, base, 0);
+        rec.effAddr = 0x200000
+            + (rng_() % p_.mem_span & ~7ull);
+    } else if (roll < p_.load_frac + p_.store_frac + p_.branch_frac) {
+        rec.inst = isa::makeBranch(Opcode::BNE, pickSrc(), 0);
+        if (uniform() < p_.taken_frac) {
+            rec.taken = true;
+            // Jump within a bounded synthetic text region.
+            int64_t hop =
+                std::uniform_int_distribution<int64_t>(-64, 64)(rng_);
+            next_pc = 0x1000
+                + (((pc_ - 0x1000) / 4 + 4096 + hop) % 4096) * 4;
+        }
+    } else if (uniform() < p_.two_source_frac) {
+        rec.inst = isa::makeOp(Opcode::ADD, pickSrc(), pickSrc(),
+                               pickDest());
+    } else {
+        rec.inst = isa::makeOpImm(Opcode::ADD, pickSrc(),
+                                  static_cast<uint8_t>(rng_() & 0xFF),
+                                  pickDest());
+    }
+
+    rec.nextPc = next_pc;
+    pc_ = next_pc;
+    return rec;
+}
+
+} // namespace hpa::core

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Committed-path instruction sources feeding the timing core: the
+ * functional emulator (execution-driven) and a synthetic generator
+ * with tunable dataflow statistics for tests and property sweeps.
+ */
+
+#ifndef HPA_CORE_INST_SOURCE_HH
+#define HPA_CORE_INST_SOURCE_HH
+
+#include <optional>
+#include <random>
+
+#include "func/emulator.hh"
+
+namespace hpa::core
+{
+
+/** Pull interface for the committed dynamic instruction stream. */
+class InstSource
+{
+  public:
+    virtual ~InstSource() = default;
+
+    /** Next committed instruction, or nullopt at end of stream. */
+    virtual std::optional<func::ExecRecord> next() = 0;
+};
+
+/** Drives the core from the functional emulator (execution-driven). */
+class EmulatorSource : public InstSource
+{
+  public:
+    /**
+     * @param emu emulator positioned at the program entry
+     * @param max_insts stop after this many instructions (0: no cap)
+     */
+    explicit EmulatorSource(func::Emulator &emu, uint64_t max_insts = 0)
+        : emu_(emu), maxInsts_(max_insts)
+    {}
+
+    std::optional<func::ExecRecord>
+    next() override
+    {
+        if (emu_.halted() || (maxInsts_ && count_ >= maxInsts_))
+            return std::nullopt;
+        ++count_;
+        return emu_.step();
+    }
+
+  private:
+    func::Emulator &emu_;
+    uint64_t maxInsts_;
+    uint64_t count_ = 0;
+};
+
+/** Statistical knobs for the synthetic stream. */
+struct SyntheticParams
+{
+    uint64_t num_insts = 10000;
+    uint64_t seed = 1;
+    /** Probability an ALU op has a 2-register-source format. */
+    double two_source_frac = 0.30;
+    double load_frac = 0.20;
+    double store_frac = 0.10;
+    double branch_frac = 0.12;
+    /** Probability a conditional branch is taken. */
+    double taken_frac = 0.45;
+    /** Geometric parameter for register-dependence distance. */
+    double dep_distance_p = 0.35;
+    /** Probability a source is the zero register. */
+    double zero_reg_frac = 0.05;
+    /** Working-set span of generated load/store addresses (bytes). */
+    uint64_t mem_span = 1 << 16;
+};
+
+/**
+ * Deterministic synthetic committed path. Produces a well-formed
+ * stream (consistent nextPc, real register numbers, plausible
+ * dependence distances) without needing an assembled program.
+ */
+class SyntheticSource : public InstSource
+{
+  public:
+    explicit SyntheticSource(const SyntheticParams &params);
+
+    std::optional<func::ExecRecord> next() override;
+
+  private:
+    SyntheticParams p_;
+    std::mt19937_64 rng_;
+    uint64_t produced_ = 0;
+    uint64_t pc_;
+    /** Rolling recent-destination window for dependence distances. */
+    std::vector<isa::RegIndex> recentDests_;
+
+    isa::RegIndex pickSrc();
+    isa::RegIndex pickDest();
+    double uniform();
+};
+
+} // namespace hpa::core
+
+#endif // HPA_CORE_INST_SOURCE_HH

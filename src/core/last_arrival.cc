@@ -1,0 +1,77 @@
+#include "core/last_arrival.hh"
+
+#include <stdexcept>
+
+namespace hpa::core
+{
+
+LastArrivalPredictor::LastArrivalPredictor(unsigned entries)
+    : table_(entries, 1), mask_(entries - 1)
+{
+    if (entries == 0 || (entries & (entries - 1)))
+        throw std::invalid_argument(
+            "predictor entries must be a power of 2");
+}
+
+bool
+LastArrivalPredictor::predictRightLast(uint64_t pc) const
+{
+    return table_[index(pc)] >= 2;
+}
+
+void
+LastArrivalPredictor::update(uint64_t pc, bool right_last)
+{
+    uint8_t &c = table_[index(pc)];
+    if (right_last && c < 3)
+        ++c;
+    else if (!right_last && c > 0)
+        --c;
+}
+
+const unsigned LastArrivalMonitor::SIZES[NUM_SIZES] = {
+    128, 512, 1024, 4096,
+};
+
+LastArrivalMonitor::LastArrivalMonitor()
+{
+    for (unsigned s : SIZES)
+        shadows_.emplace_back(s);
+}
+
+uint8_t
+LastArrivalMonitor::snapshot(uint64_t pc) const
+{
+    uint8_t bits = 0;
+    for (unsigned i = 0; i < NUM_SIZES; ++i)
+        if (shadows_[i].predictRightLast(pc))
+            bits |= uint8_t(1u << i);
+    return bits;
+}
+
+void
+LastArrivalMonitor::resolve(uint64_t pc, uint8_t pred_bits,
+                            bool simultaneous, bool right_last)
+{
+    ++samples_;
+    if (simultaneous) {
+        ++simultaneous_;
+        return;
+    }
+    for (unsigned i = 0; i < NUM_SIZES; ++i) {
+        bool pred = pred_bits & (1u << i);
+        if (pred == right_last)
+            ++correct_[i];
+        shadows_[i].update(pc, right_last);
+    }
+}
+
+double
+LastArrivalMonitor::accuracy(unsigned size_idx) const
+{
+    uint64_t resolved = samples_ - simultaneous_;
+    return resolved == 0 ? 0.0
+        : static_cast<double>(correct_[size_idx]) / resolved;
+}
+
+} // namespace hpa::core

@@ -1,0 +1,281 @@
+#include "func/emulator.hh"
+
+#include <cmath>
+#include <cstring>
+
+namespace hpa::func
+{
+
+using isa::Opcode;
+using isa::StaticInst;
+
+Emulator::Emulator(const assembler::Program &prog)
+    : pc_(prog.entry), codeBase_(prog.codeBase), codeEnd_(prog.codeEnd())
+{
+    mem_.writeBlock(prog.codeBase, prog.code.data(),
+                    prog.code.size() * sizeof(isa::MachInst));
+    if (!prog.data.empty())
+        mem_.writeBlock(prog.dataBase, prog.data.data(),
+                        prog.data.size());
+    // Conventional stack: grows down from a region above the data
+    // segment's page ceiling.
+    ireg_[isa::STACK_REG] =
+        static_cast<int64_t>(0x7FF0000ull);
+}
+
+void
+Emulator::setIntReg(unsigned i, int64_t v)
+{
+    if (i != isa::INT_ZERO_REG)
+        ireg_[i] = v;
+}
+
+void
+Emulator::setFpReg(unsigned i, double v)
+{
+    if (i != isa::FP_ZERO_REG)
+        freg_[i] = v;
+}
+
+isa::StaticInst
+Emulator::fetchDecode(uint64_t pc) const
+{
+    auto word = static_cast<isa::MachInst>(mem_.read(pc, 4));
+    auto si = isa::decode(word);
+    if (!si)
+        throw EmulationError("illegal instruction at pc 0x"
+                             + std::to_string(pc));
+    return *si;
+}
+
+void
+Emulator::execOperate(const StaticInst &si)
+{
+    auto ival = [this](isa::RegIndex r) -> int64_t {
+        return r == isa::INT_ZERO_REG ? 0 : ireg_[r];
+    };
+    auto fval = [this](isa::RegIndex r) -> double {
+        return r == isa::FP_ZERO_REG ? 0.0 : freg_[r];
+    };
+
+    switch (si.op) {
+      // Integer ALU.
+      case Opcode::ADD: case Opcode::SUB: case Opcode::MUL:
+      case Opcode::DIV: case Opcode::REM: case Opcode::AND:
+      case Opcode::BIS: case Opcode::XOR: case Opcode::BIC:
+      case Opcode::ORNOT: case Opcode::EQV: case Opcode::SLL:
+      case Opcode::SRL: case Opcode::SRA: case Opcode::CMPEQ:
+      case Opcode::CMPLT: case Opcode::CMPLE: case Opcode::CMPULT:
+      case Opcode::CMPULE: case Opcode::S4ADD: case Opcode::S8ADD: {
+        int64_t a = ival(si.ra);
+        int64_t b = si.useLiteral ? si.literal : ival(si.rb);
+        auto ua = static_cast<uint64_t>(a);
+        auto ub = static_cast<uint64_t>(b);
+        int64_t r = 0;
+        switch (si.op) {
+          case Opcode::ADD: r = static_cast<int64_t>(ua + ub); break;
+          case Opcode::SUB: r = static_cast<int64_t>(ua - ub); break;
+          case Opcode::MUL: r = static_cast<int64_t>(ua * ub); break;
+          case Opcode::DIV: r = b == 0 ? 0 : a / b; break;
+          case Opcode::REM: r = b == 0 ? 0 : a % b; break;
+          case Opcode::AND: r = a & b; break;
+          case Opcode::BIS: r = a | b; break;
+          case Opcode::XOR: r = a ^ b; break;
+          case Opcode::BIC: r = a & ~b; break;
+          case Opcode::ORNOT: r = a | ~b; break;
+          case Opcode::EQV: r = a ^ ~b; break;
+          case Opcode::SLL: r = static_cast<int64_t>(ua << (ub & 63));
+            break;
+          case Opcode::SRL: r = static_cast<int64_t>(ua >> (ub & 63));
+            break;
+          case Opcode::SRA: r = a >> (ub & 63); break;
+          case Opcode::CMPEQ: r = a == b; break;
+          case Opcode::CMPLT: r = a < b; break;
+          case Opcode::CMPLE: r = a <= b; break;
+          case Opcode::CMPULT: r = ua < ub; break;
+          case Opcode::CMPULE: r = ua <= ub; break;
+          case Opcode::S4ADD: r = static_cast<int64_t>(ua * 4 + ub);
+            break;
+          case Opcode::S8ADD: r = static_cast<int64_t>(ua * 8 + ub);
+            break;
+          default: break;
+        }
+        setIntReg(si.rc, r);
+        break;
+      }
+      // Floating point.
+      case Opcode::ADDF:
+        setFpReg(si.rc, fval(si.ra) + fval(si.rb));
+        break;
+      case Opcode::SUBF:
+        setFpReg(si.rc, fval(si.ra) - fval(si.rb));
+        break;
+      case Opcode::MULF:
+        setFpReg(si.rc, fval(si.ra) * fval(si.rb));
+        break;
+      case Opcode::DIVF: {
+        double b = fval(si.rb);
+        setFpReg(si.rc, b == 0.0 ? 0.0 : fval(si.ra) / b);
+        break;
+      }
+      case Opcode::CMPFEQ:
+        setFpReg(si.rc, fval(si.ra) == fval(si.rb) ? 1.0 : 0.0);
+        break;
+      case Opcode::CMPFLT:
+        setFpReg(si.rc, fval(si.ra) < fval(si.rb) ? 1.0 : 0.0);
+        break;
+      case Opcode::CMPFLE:
+        setFpReg(si.rc, fval(si.ra) <= fval(si.rb) ? 1.0 : 0.0);
+        break;
+      case Opcode::SQRTF: {
+        double a = fval(si.ra);
+        setFpReg(si.rc, a < 0.0 ? 0.0 : std::sqrt(a));
+        break;
+      }
+      case Opcode::ITOF:
+        setFpReg(si.rc, static_cast<double>(ival(si.ra)));
+        break;
+      case Opcode::FTOI:
+        setIntReg(si.rc, static_cast<int64_t>(fval(si.ra)));
+        break;
+      default:
+        throw EmulationError("execOperate: bad opcode");
+    }
+}
+
+ExecRecord
+Emulator::step()
+{
+    if (halted_)
+        throw EmulationError("step() after halt");
+
+    ExecRecord rec;
+    rec.pc = pc_;
+    StaticInst si = fetchDecode(pc_);
+    rec.inst = si;
+    uint64_t next = pc_ + 4;
+
+    auto ival = [this](isa::RegIndex r) -> int64_t {
+        return r == isa::INT_ZERO_REG ? 0 : ireg_[r];
+    };
+
+    switch (si.format()) {
+      case isa::Format::Operate:
+        execOperate(si);
+        break;
+      case isa::Format::Memory: {
+        int64_t base = ival(si.rb);
+        if (si.op == Opcode::LDA) {
+            setIntReg(si.ra, base + si.disp);
+        } else if (si.op == Opcode::LDAH) {
+            setIntReg(si.ra,
+                      base + (static_cast<int64_t>(si.disp) << 16));
+        } else {
+            uint64_t ea = static_cast<uint64_t>(base + si.disp);
+            rec.effAddr = ea;
+            unsigned size = si.memSize();
+            switch (si.op) {
+              case Opcode::LDBU:
+                setIntReg(si.ra,
+                          static_cast<int64_t>(mem_.read(ea, 1)));
+                break;
+              case Opcode::LDW:
+                setIntReg(si.ra, static_cast<int16_t>(mem_.read(ea, 2)));
+                break;
+              case Opcode::LDL:
+                setIntReg(si.ra, static_cast<int32_t>(mem_.read(ea, 4)));
+                break;
+              case Opcode::LDQ:
+                setIntReg(si.ra,
+                          static_cast<int64_t>(mem_.read(ea, 8)));
+                break;
+              case Opcode::LDF: {
+                uint64_t bits = mem_.read(ea, 8);
+                double d;
+                static_assert(sizeof(d) == sizeof(bits));
+                std::memcpy(&d, &bits, sizeof(d));
+                setFpReg(si.ra, d);
+                break;
+              }
+              case Opcode::STB: case Opcode::STW: case Opcode::STL:
+              case Opcode::STQ:
+                mem_.write(ea, static_cast<uint64_t>(ival(si.ra)),
+                           size);
+                break;
+              case Opcode::STF: {
+                double d = si.ra == isa::FP_ZERO_REG
+                    ? 0.0 : freg_[si.ra];
+                uint64_t bits;
+                std::memcpy(&bits, &d, sizeof(bits));
+                mem_.write(ea, bits, 8);
+                break;
+              }
+              default:
+                throw EmulationError("bad memory opcode");
+            }
+        }
+        break;
+      }
+      case isa::Format::Branch: {
+        uint64_t target =
+            pc_ + 4 + (static_cast<int64_t>(si.disp) << 2);
+        bool taken = false;
+        int64_t a = ival(si.ra);
+        switch (si.op) {
+          case Opcode::BR: case Opcode::BSR:
+            setIntReg(si.ra, static_cast<int64_t>(pc_ + 4));
+            taken = true;
+            break;
+          case Opcode::BEQ: taken = a == 0; break;
+          case Opcode::BNE: taken = a != 0; break;
+          case Opcode::BLT: taken = a < 0; break;
+          case Opcode::BLE: taken = a <= 0; break;
+          case Opcode::BGT: taken = a > 0; break;
+          case Opcode::BGE: taken = a >= 0; break;
+          case Opcode::BLBC: taken = (a & 1) == 0; break;
+          case Opcode::BLBS: taken = (a & 1) == 1; break;
+          default:
+            throw EmulationError("bad branch opcode");
+        }
+        if (taken)
+            next = target;
+        rec.taken = taken;
+        break;
+      }
+      case isa::Format::Jump: {
+        uint64_t target = static_cast<uint64_t>(ival(si.rb)) & ~3ull;
+        setIntReg(si.ra, static_cast<int64_t>(pc_ + 4));
+        next = target;
+        rec.taken = true;
+        break;
+      }
+      case isa::Format::System:
+        if (si.op == Opcode::HALT)
+            halted_ = true;
+        else if (si.op == Opcode::OUT)
+            console_ += static_cast<char>(ival(si.ra) & 0xFF);
+        break;
+    }
+
+    pc_ = next;
+    ++icount_;
+    rec.nextPc = next;
+
+    if (!halted_ && (pc_ < codeBase_ || pc_ >= codeEnd_))
+        throw EmulationError("pc left text section: 0x"
+                             + std::to_string(pc_));
+    return rec;
+}
+
+uint64_t
+Emulator::run(uint64_t max_insts)
+{
+    uint64_t n = 0;
+    while (!halted_ && n < max_insts) {
+        step();
+        ++n;
+    }
+    return n;
+}
+
+} // namespace hpa::func

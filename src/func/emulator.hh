@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Functional emulator for HPA-ISA. Executes an assembled program
+ * architecturally and, per retired instruction, produces the dynamic
+ * record (next PC, branch outcome, effective address) that drives the
+ * timing simulator's committed-path front end.
+ */
+
+#ifndef HPA_FUNC_EMULATOR_HH
+#define HPA_FUNC_EMULATOR_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "asm/assembler.hh"
+#include "func/memory.hh"
+#include "isa/static_inst.hh"
+
+namespace hpa::func
+{
+
+/** Dynamic record of one architecturally executed instruction. */
+struct ExecRecord
+{
+    uint64_t pc = 0;
+    uint64_t nextPc = 0;
+    isa::StaticInst inst;
+    /** Control instruction actually redirected the PC. */
+    bool taken = false;
+    /** Effective address for memory references. */
+    uint64_t effAddr = 0;
+};
+
+/** Raised on illegal instructions or runaway execution. */
+class EmulationError : public std::runtime_error
+{
+  public:
+    explicit EmulationError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/**
+ * Architectural-state interpreter. One instruction per step();
+ * halts on HALT or when the PC leaves the text section.
+ */
+class Emulator
+{
+  public:
+    explicit Emulator(const assembler::Program &prog);
+
+    /** Execute one instruction. Must not be called after halted(). */
+    ExecRecord step();
+
+    /**
+     * Run until HALT or @p max_insts instructions.
+     * @return number of instructions executed.
+     */
+    uint64_t run(uint64_t max_insts);
+
+    bool halted() const { return halted_; }
+    uint64_t pc() const { return pc_; }
+    uint64_t instCount() const { return icount_; }
+
+    /** Bytes emitted by OUT instructions. */
+    const std::string &console() const { return console_; }
+
+    int64_t intReg(unsigned i) const { return ireg_[i]; }
+    double fpReg(unsigned i) const { return freg_[i]; }
+    void setIntReg(unsigned i, int64_t v);
+    void setFpReg(unsigned i, double v);
+
+    Memory &memory() { return mem_; }
+    const Memory &memory() const { return mem_; }
+
+  private:
+    uint64_t pc_;
+    std::array<int64_t, isa::NUM_INT_REGS> ireg_{};
+    std::array<double, isa::NUM_FP_REGS> freg_{};
+    Memory mem_;
+    bool halted_ = false;
+    uint64_t icount_ = 0;
+    std::string console_;
+
+    uint64_t codeBase_;
+    uint64_t codeEnd_;
+
+    isa::StaticInst fetchDecode(uint64_t pc) const;
+    void execOperate(const isa::StaticInst &si);
+};
+
+} // namespace hpa::func
+
+#endif // HPA_FUNC_EMULATOR_HH

@@ -1,0 +1,90 @@
+#include "func/memory.hh"
+
+#include <cstring>
+
+namespace hpa::func
+{
+
+Memory::Page &
+Memory::page(uint64_t addr)
+{
+    uint64_t pn = addr >> PAGE_BITS;
+    if (pn == lastWritePageNum_ && lastWritePage_)
+        return *lastWritePage_;
+    auto [it, inserted] = pages_.try_emplace(pn);
+    if (inserted)
+        it->second.assign(PAGE_SIZE, 0);
+    lastWritePageNum_ = pn;
+    lastWritePage_ = &it->second;
+    // A rehash may have moved other pages; invalidate the read cache.
+    lastReadPageNum_ = ~0ull;
+    lastReadPage_ = nullptr;
+    return it->second;
+}
+
+const Memory::Page *
+Memory::pageIfPresent(uint64_t addr) const
+{
+    uint64_t pn = addr >> PAGE_BITS;
+    if (pn == lastReadPageNum_)
+        return lastReadPage_;
+    auto it = pages_.find(pn);
+    const Page *p = it == pages_.end() ? nullptr : &it->second;
+    lastReadPageNum_ = pn;
+    lastReadPage_ = p;
+    return p;
+}
+
+uint8_t
+Memory::readByte(uint64_t addr) const
+{
+    const Page *p = pageIfPresent(addr);
+    return p ? (*p)[addr & (PAGE_SIZE - 1)] : 0;
+}
+
+void
+Memory::writeByte(uint64_t addr, uint8_t value)
+{
+    page(addr)[addr & (PAGE_SIZE - 1)] = value;
+}
+
+uint64_t
+Memory::read(uint64_t addr, unsigned size) const
+{
+    uint64_t off = addr & (PAGE_SIZE - 1);
+    if (off + size <= PAGE_SIZE) {
+        const Page *p = pageIfPresent(addr);
+        if (!p)
+            return 0;
+        uint64_t v = 0;
+        std::memcpy(&v, p->data() + off, size);
+        return v;
+    }
+    uint64_t v = 0;
+    for (unsigned i = 0; i < size; ++i)
+        v |= static_cast<uint64_t>(readByte(addr + i)) << (8 * i);
+    return v;
+}
+
+void
+Memory::write(uint64_t addr, uint64_t value, unsigned size)
+{
+    uint64_t off = addr & (PAGE_SIZE - 1);
+    if (off + size <= PAGE_SIZE) {
+        Page &p = page(addr);
+        std::memcpy(p.data() + off, &value, size);
+        return;
+    }
+    for (unsigned i = 0; i < size; ++i)
+        writeByte(addr + i, static_cast<uint8_t>(value >> (8 * i)));
+}
+
+void
+Memory::writeBlock(uint64_t addr, const void *src, size_t len)
+{
+    const auto *bytes = static_cast<const uint8_t *>(src);
+    for (size_t i = 0; i < len; ++i)
+        writeByte(addr + i, bytes[i]);
+}
+
+} // namespace hpa::func

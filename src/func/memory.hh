@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Sparse flat byte-addressable little-endian memory used by the
+ * functional emulator (and, for addresses/tags only, by the timing
+ * model's cache hierarchy).
+ */
+
+#ifndef HPA_FUNC_MEMORY_HH
+#define HPA_FUNC_MEMORY_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace hpa::func
+{
+
+/** Sparse memory backed by demand-allocated 4 KiB pages. */
+class Memory
+{
+  public:
+    static constexpr uint64_t PAGE_BITS = 12;
+    static constexpr uint64_t PAGE_SIZE = 1ull << PAGE_BITS;
+
+    uint8_t readByte(uint64_t addr) const;
+    void writeByte(uint64_t addr, uint8_t value);
+
+    /** Read @p size (1/2/4/8) bytes little-endian. */
+    uint64_t read(uint64_t addr, unsigned size) const;
+    /** Write the low @p size bytes of @p value little-endian. */
+    void write(uint64_t addr, uint64_t value, unsigned size);
+
+    /** Bulk copy-in used by the program loader. */
+    void writeBlock(uint64_t addr, const void *src, size_t len);
+
+    /** Number of currently allocated pages. */
+    size_t numPages() const { return pages_.size(); }
+
+  private:
+    using Page = std::vector<uint8_t>;
+
+    Page &page(uint64_t addr);
+    const Page *pageIfPresent(uint64_t addr) const;
+
+    std::unordered_map<uint64_t, Page> pages_;
+    // One-entry lookup caches; hot loops touch one page repeatedly.
+    mutable uint64_t lastReadPageNum_ = ~0ull;
+    mutable const Page *lastReadPage_ = nullptr;
+    uint64_t lastWritePageNum_ = ~0ull;
+    Page *lastWritePage_ = nullptr;
+};
+
+} // namespace hpa::func
+
+#endif // HPA_FUNC_MEMORY_HH

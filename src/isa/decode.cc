@@ -1,0 +1,250 @@
+#include "isa/decode.hh"
+
+#include <array>
+
+namespace hpa::isa
+{
+
+namespace
+{
+
+// Primary opcode assignments.
+constexpr uint32_t GRP_SYS = 0x00;
+constexpr uint32_t GRP_INTOP = 0x10;
+constexpr uint32_t GRP_FLTOP = 0x17;
+constexpr uint32_t GRP_JUMP = 0x1A;
+
+constexpr uint32_t OP_LDA = 0x08;
+constexpr uint32_t OP_LDAH = 0x09;
+constexpr uint32_t OP_LDBU = 0x0A;
+constexpr uint32_t OP_LDW = 0x0B;
+constexpr uint32_t OP_LDL = 0x0C;
+constexpr uint32_t OP_LDQ = 0x0D;
+constexpr uint32_t OP_LDF = 0x0E;
+constexpr uint32_t OP_STB = 0x12;
+constexpr uint32_t OP_STW = 0x13;
+constexpr uint32_t OP_STL = 0x14;
+constexpr uint32_t OP_STQ = 0x15;
+constexpr uint32_t OP_STF = 0x16;
+
+constexpr uint32_t OP_BR = 0x30;
+constexpr uint32_t OP_BSR = 0x34;
+constexpr uint32_t OP_BEQ = 0x38;
+constexpr uint32_t OP_BNE = 0x39;
+constexpr uint32_t OP_BLT = 0x3A;
+constexpr uint32_t OP_BLE = 0x3B;
+constexpr uint32_t OP_BGT = 0x3C;
+constexpr uint32_t OP_BGE = 0x3D;
+constexpr uint32_t OP_BLBC = 0x3E;
+constexpr uint32_t OP_BLBS = 0x3F;
+
+/** Function codes within the integer-operate group. */
+uint32_t
+intFunc(Opcode op)
+{
+    return static_cast<uint32_t>(op) - static_cast<uint32_t>(Opcode::ADD);
+}
+
+std::optional<Opcode>
+intOpFromFunc(uint32_t func)
+{
+    uint32_t v = func + static_cast<uint32_t>(Opcode::ADD);
+    if (v > static_cast<uint32_t>(Opcode::S8ADD))
+        return std::nullopt;
+    return static_cast<Opcode>(v);
+}
+
+uint32_t
+fltFunc(Opcode op)
+{
+    return static_cast<uint32_t>(op) - static_cast<uint32_t>(Opcode::ADDF);
+}
+
+std::optional<Opcode>
+fltOpFromFunc(uint32_t func)
+{
+    uint32_t v = func + static_cast<uint32_t>(Opcode::ADDF);
+    if (v > static_cast<uint32_t>(Opcode::FTOI))
+        return std::nullopt;
+    return static_cast<Opcode>(v);
+}
+
+uint32_t
+memPrimary(Opcode op)
+{
+    switch (op) {
+      case Opcode::LDA: return OP_LDA;
+      case Opcode::LDAH: return OP_LDAH;
+      case Opcode::LDBU: return OP_LDBU;
+      case Opcode::LDW: return OP_LDW;
+      case Opcode::LDL: return OP_LDL;
+      case Opcode::LDQ: return OP_LDQ;
+      case Opcode::LDF: return OP_LDF;
+      case Opcode::STB: return OP_STB;
+      case Opcode::STW: return OP_STW;
+      case Opcode::STL: return OP_STL;
+      case Opcode::STQ: return OP_STQ;
+      case Opcode::STF: return OP_STF;
+      default: return 0;
+    }
+}
+
+uint32_t
+branchPrimary(Opcode op)
+{
+    switch (op) {
+      case Opcode::BR: return OP_BR;
+      case Opcode::BSR: return OP_BSR;
+      case Opcode::BEQ: return OP_BEQ;
+      case Opcode::BNE: return OP_BNE;
+      case Opcode::BLT: return OP_BLT;
+      case Opcode::BLE: return OP_BLE;
+      case Opcode::BGT: return OP_BGT;
+      case Opcode::BGE: return OP_BGE;
+      case Opcode::BLBC: return OP_BLBC;
+      case Opcode::BLBS: return OP_BLBS;
+      default: return 0;
+    }
+}
+
+int32_t
+sext(uint32_t value, unsigned bits)
+{
+    uint32_t m = 1u << (bits - 1);
+    return static_cast<int32_t>((value ^ m) - m);
+}
+
+} // namespace
+
+MachInst
+encode(const StaticInst &si)
+{
+    const OpInfo &inf = si.info();
+    uint32_t w = 0;
+    switch (inf.format) {
+      case Format::Operate: {
+        bool fp = inf.opClass == OpClass::FpAlu
+            || inf.opClass == OpClass::FpMult
+            || inf.opClass == OpClass::FpDiv;
+        uint32_t grp = fp ? GRP_FLTOP : GRP_INTOP;
+        uint32_t func = fp ? fltFunc(si.op) : intFunc(si.op);
+        w = (grp << 26) | (uint32_t(si.ra) << 21) | (func << 5)
+            | uint32_t(si.rc);
+        if (si.useLiteral)
+            w |= (uint32_t(si.literal) << 13) | (1u << 12);
+        else
+            w |= uint32_t(si.rb) << 16;
+        break;
+      }
+      case Format::Memory:
+        w = (memPrimary(si.op) << 26) | (uint32_t(si.ra) << 21)
+            | (uint32_t(si.rb) << 16)
+            | (static_cast<uint32_t>(si.disp) & 0xFFFF);
+        break;
+      case Format::Branch:
+        w = (branchPrimary(si.op) << 26) | (uint32_t(si.ra) << 21)
+            | (static_cast<uint32_t>(si.disp) & 0x1FFFFF);
+        break;
+      case Format::Jump: {
+        uint32_t func = si.op == Opcode::JMP ? 0
+            : si.op == Opcode::JSR ? 1 : 2;
+        w = (GRP_JUMP << 26) | (uint32_t(si.ra) << 21)
+            | (uint32_t(si.rb) << 16) | (func << 14);
+        break;
+      }
+      case Format::System: {
+        uint32_t func = si.op == Opcode::HALT ? 0 : 1;
+        w = (GRP_SYS << 26) | (uint32_t(si.ra) << 21) | func;
+        break;
+      }
+    }
+    return w;
+}
+
+std::optional<StaticInst>
+decode(MachInst word)
+{
+    uint32_t primary = word >> 26;
+    uint32_t ra = (word >> 21) & 0x1F;
+    uint32_t rb = (word >> 16) & 0x1F;
+
+    StaticInst si;
+    si.ra = static_cast<RegIndex>(ra);
+    si.rb = static_cast<RegIndex>(rb);
+
+    switch (primary) {
+      case GRP_SYS: {
+        uint32_t func = word & 0x3F;
+        if (func == 0)
+            si.op = Opcode::HALT;
+        else if (func == 1)
+            si.op = Opcode::OUT;
+        else
+            return std::nullopt;
+        si.rb = 31;   // no rb field in the system format
+        return si;
+      }
+      case GRP_INTOP:
+      case GRP_FLTOP: {
+        uint32_t func = (word >> 5) & 0x7F;
+        auto op = primary == GRP_INTOP ? intOpFromFunc(func)
+                                       : fltOpFromFunc(func);
+        if (!op)
+            return std::nullopt;
+        si.op = *op;
+        si.rc = static_cast<RegIndex>(word & 0x1F);
+        if (word & (1u << 12)) {
+            si.useLiteral = true;
+            si.literal = static_cast<uint8_t>((word >> 13) & 0xFF);
+            si.rb = 31;
+        }
+        return si;
+      }
+      case GRP_JUMP: {
+        uint32_t func = (word >> 14) & 0x3;
+        if (func == 0)
+            si.op = Opcode::JMP;
+        else if (func == 1)
+            si.op = Opcode::JSR;
+        else if (func == 2)
+            si.op = Opcode::RET;
+        else
+            return std::nullopt;
+        return si;
+      }
+      case OP_LDA: si.op = Opcode::LDA; break;
+      case OP_LDAH: si.op = Opcode::LDAH; break;
+      case OP_LDBU: si.op = Opcode::LDBU; break;
+      case OP_LDW: si.op = Opcode::LDW; break;
+      case OP_LDL: si.op = Opcode::LDL; break;
+      case OP_LDQ: si.op = Opcode::LDQ; break;
+      case OP_LDF: si.op = Opcode::LDF; break;
+      case OP_STB: si.op = Opcode::STB; break;
+      case OP_STW: si.op = Opcode::STW; break;
+      case OP_STL: si.op = Opcode::STL; break;
+      case OP_STQ: si.op = Opcode::STQ; break;
+      case OP_STF: si.op = Opcode::STF; break;
+      case OP_BR: si.op = Opcode::BR; break;
+      case OP_BSR: si.op = Opcode::BSR; break;
+      case OP_BEQ: si.op = Opcode::BEQ; break;
+      case OP_BNE: si.op = Opcode::BNE; break;
+      case OP_BLT: si.op = Opcode::BLT; break;
+      case OP_BLE: si.op = Opcode::BLE; break;
+      case OP_BGT: si.op = Opcode::BGT; break;
+      case OP_BGE: si.op = Opcode::BGE; break;
+      case OP_BLBC: si.op = Opcode::BLBC; break;
+      case OP_BLBS: si.op = Opcode::BLBS; break;
+      default:
+        return std::nullopt;
+    }
+
+    if (si.format() == Format::Memory) {
+        si.disp = sext(word & 0xFFFF, 16);
+    } else if (si.format() == Format::Branch) {
+        si.disp = sext(word & 0x1FFFFF, 21);
+        si.rb = 31;   // bits [20:16] belong to the displacement
+    }
+    return si;
+}
+
+} // namespace hpa::isa

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Binary encoding and decoding for HPA-ISA.
+ *
+ * Word layout (32 bits), Alpha-style:
+ *
+ *   Operate: [31:26]=group [25:21]=ra [20:16]=rb|[20:13]=lit8,[12]=1
+ *            [11:5]=func [4:0]=rc
+ *   Memory:  [31:26]=op    [25:21]=ra [20:16]=rb [15:0]=disp16
+ *   Branch:  [31:26]=op    [25:21]=ra [20:0]=disp21 (in words)
+ *   Jump:    [31:26]=0x1A  [25:21]=ra [20:16]=rb [15:14]=func
+ *   System:  [31:26]=0x00  [25:21]=ra [5:0]=func
+ */
+
+#ifndef HPA_ISA_DECODE_HH
+#define HPA_ISA_DECODE_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "isa/static_inst.hh"
+
+namespace hpa::isa
+{
+
+using MachInst = uint32_t;
+
+/** Encode a static instruction into its 32-bit machine form. */
+MachInst encode(const StaticInst &si);
+
+/**
+ * Decode a 32-bit machine word.
+ * @return the decoded instruction, or std::nullopt for an illegal
+ *         encoding.
+ */
+std::optional<StaticInst> decode(MachInst word);
+
+} // namespace hpa::isa
+
+#endif // HPA_ISA_DECODE_HH

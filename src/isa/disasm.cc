@@ -1,0 +1,51 @@
+#include <sstream>
+
+#include "isa/static_inst.hh"
+
+namespace hpa::isa
+{
+
+std::string
+StaticInst::disassemble() const
+{
+    std::ostringstream os;
+    os << info().mnemonic;
+    switch (format()) {
+      case Format::Operate: {
+        bool fp_src = destIsFp() && op != Opcode::ITOF;
+        char s = fp_src ? 'f' : 'r';
+        char s2 = op == Opcode::FTOI ? 'f' : s;
+        char d = destIsFp() ? 'f' : 'r';
+        os << " " << s2 << unsigned(ra);
+        if (info().numSrcFields >= 2) {
+            if (useLiteral)
+                os << ", #" << unsigned(literal);
+            else
+                os << ", " << s << unsigned(rb);
+        }
+        os << ", " << d << unsigned(rc);
+        break;
+      }
+      case Format::Memory: {
+        char c = (op == Opcode::LDF || op == Opcode::STF) ? 'f' : 'r';
+        os << " " << c << unsigned(ra) << ", " << disp << "(r"
+           << unsigned(rb) << ")";
+        break;
+      }
+      case Format::Branch:
+        if (info().numSrcFields >= 1 || info().writesDest)
+            os << " r" << unsigned(ra) << ",";
+        os << " " << disp;
+        break;
+      case Format::Jump:
+        os << " r" << unsigned(ra) << ", (r" << unsigned(rb) << ")";
+        break;
+      case Format::System:
+        if (op == Opcode::OUT)
+            os << " r" << unsigned(ra);
+        break;
+    }
+    return os.str();
+}
+
+} // namespace hpa::isa

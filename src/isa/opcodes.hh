@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Semantic opcode set and operation classes for HPA-ISA.
+ *
+ * The ISA deliberately mirrors the structure the paper relies on for
+ * the Alpha AXP: instruction formats carry 0, 1 or 2 source register
+ * fields plus at most one destination; there is no MEM[reg+reg]
+ * addressing mode; and zero registers allow 2-source *formats* to
+ * encode fewer *unique* sources (including 2-source-format nops).
+ */
+
+#ifndef HPA_ISA_OPCODES_HH
+#define HPA_ISA_OPCODES_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace hpa::isa
+{
+
+/** Instruction encoding formats. */
+enum class Format : uint8_t
+{
+    Operate,    ///< rc <- ra FUNC rb (or 8-bit literal in place of rb)
+    Memory,     ///< ra <-> MEM[rb + sext(disp16)]; also LDA/LDAH
+    Branch,     ///< conditional/unconditional pc-relative, disp21
+    Jump,       ///< ra <- retaddr; pc <- rb
+    System,     ///< HALT / OUT / NOP encodings without register fields
+};
+
+/** Functional-unit class an instruction executes on (Table 1). */
+enum class OpClass : uint8_t
+{
+    IntAlu,
+    IntMult,
+    IntDiv,
+    FpAlu,
+    FpMult,
+    FpDiv,
+    MemRead,    ///< load: address generation + data cache access
+    MemWrite,   ///< store: address generation; data written at commit
+    Branch,     ///< executes on an integer ALU
+    System,     ///< HALT/OUT; single-cycle, serializing at commit
+    NumOpClasses,
+};
+
+/** Semantic opcodes after decode. */
+enum class Opcode : uint8_t
+{
+    // Integer operate (register or 8-bit literal second source).
+    ADD, SUB, MUL, DIV, REM,
+    AND, BIS, XOR, BIC, ORNOT, EQV,
+    SLL, SRL, SRA,
+    CMPEQ, CMPLT, CMPLE, CMPULT, CMPULE,
+    S4ADD, S8ADD,
+    // Floating-point operate (f registers only except ITOF/FTOI).
+    ADDF, SUBF, MULF, DIVF,
+    CMPFEQ, CMPFLT, CMPFLE,
+    SQRTF,
+    ITOF,   ///< fc <- (double)ra   (int source, fp destination)
+    FTOI,   ///< rc <- (int64)trunc(fa)  (fp source, int destination)
+    // Memory.
+    LDA,    ///< ra <- rb + sext(disp16)
+    LDAH,   ///< ra <- rb + (sext(disp16) << 16)
+    LDBU,   ///< ra <- zext(MEM1[rb + disp])
+    LDW,    ///< ra <- sext(MEM2[rb + disp])
+    LDL,    ///< ra <- sext(MEM4[rb + disp])
+    LDQ,    ///< ra <- MEM8[rb + disp]
+    LDF,    ///< fa <- MEM8[rb + disp] (double)
+    STB, STW, STL, STQ,
+    STF,
+    // Control.
+    BR,     ///< unconditional, ra <- retaddr (usually r31)
+    BSR,    ///< call, ra <- retaddr
+    BEQ, BNE, BLT, BLE, BGT, BGE,
+    BLBC,   ///< branch if low bit clear
+    BLBS,   ///< branch if low bit set
+    JMP,    ///< indirect jump, ra <- retaddr, pc <- rb
+    JSR,    ///< indirect call
+    RET,    ///< indirect return (pops predictor RAS)
+    // System.
+    HALT,   ///< stop the program
+    OUT,    ///< append low byte of ra to the emulator console
+    NumOpcodes,
+};
+
+/** Static properties of a semantic opcode. */
+struct OpInfo
+{
+    std::string_view mnemonic;
+    Format format;
+    OpClass opClass;
+    /** Number of source *register fields* in the format (0..2). */
+    uint8_t numSrcFields;
+    bool writesDest;
+};
+
+/** Property table lookup. */
+const OpInfo &opInfo(Opcode op);
+
+/** Execution latency, in cycles, for each op class (Table 1). */
+unsigned opClassLatency(OpClass cls);
+
+/** True when the op class is handled by a non-pipelined divider. */
+bool opClassUnpipelined(OpClass cls);
+
+} // namespace hpa::isa
+
+#endif // HPA_ISA_OPCODES_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Register-file definition for HPA-ISA, an Alpha-like load/store RISC
+ * ISA: 32 integer registers (r31 hardwired to zero) and 32
+ * floating-point registers (f31 hardwired to zero).
+ *
+ * Dependence tracking uses a unified register namespace of 64 ids:
+ * integer registers occupy [0, 31] and floating-point registers
+ * [32, 63].
+ */
+
+#ifndef HPA_ISA_REGISTERS_HH
+#define HPA_ISA_REGISTERS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace hpa::isa
+{
+
+using RegIndex = uint8_t;
+
+constexpr unsigned NUM_INT_REGS = 32;
+constexpr unsigned NUM_FP_REGS = 32;
+constexpr unsigned NUM_UNIFIED_REGS = NUM_INT_REGS + NUM_FP_REGS;
+
+/** Integer zero register (reads as 0, writes discarded). */
+constexpr RegIndex INT_ZERO_REG = 31;
+/** Floating-point zero register. */
+constexpr RegIndex FP_ZERO_REG = 31;
+
+/** Conventional link register written by BSR/JSR. */
+constexpr RegIndex LINK_REG = 26;
+/** Conventional stack pointer. */
+constexpr RegIndex STACK_REG = 30;
+
+/** Unified id of an integer register. */
+constexpr RegIndex
+unifiedInt(RegIndex r)
+{
+    return r;
+}
+
+/** Unified id of a floating-point register. */
+constexpr RegIndex
+unifiedFp(RegIndex f)
+{
+    return NUM_INT_REGS + f;
+}
+
+/** True when the unified register id is one of the hardwired zeros. */
+constexpr bool
+isZeroReg(RegIndex unified)
+{
+    return unified == unifiedInt(INT_ZERO_REG)
+        || unified == unifiedFp(FP_ZERO_REG);
+}
+
+/** True when the unified register id names a floating-point register. */
+constexpr bool
+isFpReg(RegIndex unified)
+{
+    return unified >= NUM_INT_REGS;
+}
+
+/** Printable name of a unified register id ("r5", "f12"). */
+inline std::string
+regName(RegIndex unified)
+{
+    if (isFpReg(unified))
+        return "f" + std::to_string(unified - NUM_INT_REGS);
+    return "r" + std::to_string(unified);
+}
+
+} // namespace hpa::isa
+
+#endif // HPA_ISA_REGISTERS_HH

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Decoded static instruction representation plus the operand
+ * classification the paper's characterization figures are built on
+ * (2-source formats, unique sources, zero-register and nop detection).
+ */
+
+#ifndef HPA_ISA_STATIC_INST_HH
+#define HPA_ISA_STATIC_INST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/opcodes.hh"
+#include "isa/registers.hh"
+
+namespace hpa::isa
+{
+
+/** Sentinel meaning "no register". */
+constexpr RegIndex NO_REG = 255;
+
+/** Fixed-capacity list of source register ids (unified namespace). */
+struct SrcList
+{
+    uint8_t count = 0;
+    RegIndex regs[2] = {NO_REG, NO_REG};
+
+    void
+    push(RegIndex r)
+    {
+        regs[count++] = r;
+    }
+};
+
+/**
+ * A decoded HPA-ISA instruction. Register fields are stored raw
+ * (0..31); accessors translate them into the unified 64-register
+ * dependence namespace.
+ */
+struct StaticInst
+{
+    Opcode op = Opcode::HALT;
+    /** Raw register fields as encoded. */
+    RegIndex ra = 31;
+    RegIndex rb = 31;
+    RegIndex rc = 31;
+    /** True when the operate second source is an 8-bit literal. */
+    bool useLiteral = false;
+    uint8_t literal = 0;
+    /** Sign-extended displacement (memory: 16-bit; branch: 21-bit). */
+    int32_t disp = 0;
+
+    const OpInfo &info() const { return opInfo(op); }
+    OpClass opClass() const { return info().opClass; }
+    Format format() const { return info().format; }
+
+    bool isLoad() const { return opClass() == OpClass::MemRead; }
+    bool isStore() const { return opClass() == OpClass::MemWrite; }
+    bool isMemRef() const { return isLoad() || isStore(); }
+    bool
+    isControl() const
+    {
+        return format() == Format::Branch || format() == Format::Jump;
+    }
+    bool
+    isCondBranch() const
+    {
+        return format() == Format::Branch && op != Opcode::BR
+            && op != Opcode::BSR;
+    }
+    bool
+    isUncondControl() const
+    {
+        return isControl() && !isCondBranch();
+    }
+    bool isCall() const { return op == Opcode::BSR || op == Opcode::JSR; }
+    bool isReturn() const { return op == Opcode::RET; }
+    bool isIndirect() const { return format() == Format::Jump; }
+    bool isHalt() const { return op == Opcode::HALT; }
+
+    /** Access size in bytes for memory references. */
+    unsigned memSize() const;
+
+    /** True when the destination register field is a fp register. */
+    bool destIsFp() const;
+
+    /**
+     * Unified-id destination register, or NO_REG when the format has
+     * none. A zero-register destination is returned as-is (callers
+     * decide whether to treat it as a discarded write).
+     */
+    RegIndex destReg() const;
+
+    /** Unified-id source register fields, in left/right format order. */
+    SrcList srcRegs() const;
+
+    /**
+     * Source registers that create true dependences: zero registers
+     * removed and duplicates collapsed. The paper's "2-source
+     * instructions" are exactly those with uniqueSrcRegs().count == 2.
+     */
+    SrcList uniqueSrcRegs() const;
+
+    /**
+     * Number of source *register fields* present in this encoding
+     * instance (a literal operate has one). Stores report 2; see
+     * isStore() for the paper's separate treatment.
+     */
+    unsigned numSrcFields() const;
+
+    /**
+     * True for the paper's "2-source format" class: two register
+     * source fields and not a store (stores are classified
+     * separately, Figure 2).
+     */
+    bool
+    isTwoSourceFormat() const
+    {
+        return numSrcFields() == 2 && !isStore();
+    }
+
+    /**
+     * True for 2-source-format nops: writes to a zero register (e.g.
+     * bis r31,r31,r31), eliminated by the decoder without execution.
+     */
+    bool isNop() const;
+
+    /** Disassemble to assembly text. */
+    std::string disassemble() const;
+};
+
+// --- Convenience constructors used by the assembler and tests. ---
+
+/** rc <- ra OP rb. */
+StaticInst makeOp(Opcode op, RegIndex ra, RegIndex rb, RegIndex rc);
+/** rc <- ra OP literal. */
+StaticInst makeOpImm(Opcode op, RegIndex ra, uint8_t lit, RegIndex rc);
+/** Memory / LDA format: ra, disp(rb). */
+StaticInst makeMem(Opcode op, RegIndex ra, RegIndex rb, int32_t disp);
+/** Branch format: op ra, disp (disp in instruction words). */
+StaticInst makeBranch(Opcode op, RegIndex ra, int32_t disp);
+/** Jump format: op ra, (rb). */
+StaticInst makeJump(Opcode op, RegIndex ra, RegIndex rb);
+/** System format (HALT, OUT). */
+StaticInst makeSystem(Opcode op, RegIndex ra = 31);
+/** Canonical nop: bis r31, r31, r31. */
+StaticInst makeNop();
+
+} // namespace hpa::isa
+
+#endif // HPA_ISA_STATIC_INST_HH

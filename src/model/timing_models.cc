@@ -1,0 +1,56 @@
+#include "model/timing_models.hh"
+
+#include <cmath>
+
+namespace hpa::model
+{
+
+double
+WakeupDelayModel::delayPs(unsigned entries,
+                          unsigned comparators_per_entry,
+                          unsigned issue_width) const
+{
+    // Each issue slot adds a broadcast bus; buses run the full height
+    // of the window, so the wire run scales with the entry height,
+    // which grows with the number of buses routed past each entry.
+    double width_scale =
+        static_cast<double>(issue_width) / ref_issue_width;
+    double load = comparator_ps * entries * comparators_per_entry;
+    double wire = wire_ps * entries * width_scale;
+    return fixed_ps + load + wire;
+}
+
+double
+WakeupDelayModel::speedup(unsigned entries, unsigned cmp_a,
+                          unsigned cmp_b, unsigned issue_width) const
+{
+    double a = delayPs(entries, cmp_a, issue_width);
+    double b = delayPs(entries, cmp_b, issue_width);
+    return (a - b) / b;
+}
+
+double
+RegfileTimingModel::accessNs(unsigned entries, unsigned ports) const
+{
+    double side = std::sqrt(static_cast<double>(entries))
+        * (static_cast<double>(ports) + pitch_offset);
+    return fixed_ns + rc_ns * side;
+}
+
+double
+RegfileTimingModel::reduction(unsigned entries, unsigned ports_a,
+                              unsigned ports_b) const
+{
+    double a = accessNs(entries, ports_a);
+    double b = accessNs(entries, ports_b);
+    return (a - b) / a;
+}
+
+double
+RegfileTimingModel::area(unsigned entries, unsigned ports) const
+{
+    double pitch = static_cast<double>(ports) + pitch_offset;
+    return static_cast<double>(entries) * pitch * pitch;
+}
+
+} // namespace hpa::model

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Analytical circuit-delay models for the two structures the
+ * half-price architecture narrows, calibrated to the paper's
+ * published 0.18µ data points:
+ *
+ *  - Wakeup-logic delay (Palacharla-style tag drive + match + OR):
+ *    a 4-wide, 64-entry scheduler falls from 466 ps with two bus
+ *    comparators per entry to 374 ps with one (sequential wakeup),
+ *    a 24.6% speedup (Section 3.3).
+ *  - Multiported register-file access time (CACTI 3.0-style): a
+ *    160-entry file falls from 1.71 ns with 24 ports to 1.36 ns with
+ *    16 ports, a 20.5% reduction (Section 4).
+ *
+ * The models reproduce those calibration points exactly and scale
+ * with the structural parameters (entries, comparators, ports) the
+ * way the underlying wire/diffusion capacitances do: wakeup-bus delay
+ * grows with the capacitance hung on the bus (comparators per entry x
+ * entries) plus the bus wire itself; register-file access grows with
+ * the array side length, which is proportional to sqrt(entries) times
+ * the port-dependent cell pitch.
+ */
+
+#ifndef HPA_MODEL_TIMING_MODELS_HH
+#define HPA_MODEL_TIMING_MODELS_HH
+
+namespace hpa::model
+{
+
+/** Parameters of the wakeup-delay model (picoseconds, 0.18µ). */
+struct WakeupDelayModel
+{
+    /** Fixed delay: select handshake, match OR, latch. */
+    double fixed_ps = 200.0;
+    /** Per (entry x comparator) diffusion capacitance on the bus. */
+    double comparator_ps = 1.4375;
+    /** Per-entry wire capacitance of the bus run. */
+    double wire_ps = 1.28125;
+    /** Reference issue width the constants were extracted at. */
+    unsigned ref_issue_width = 4;
+
+    /**
+     * Delay of one wakeup-bus broadcast + match.
+     * @param entries issue-queue entries
+     * @param comparators_per_entry comparators attached to the bus
+     *        (2 = conventional, 1 = sequential wakeup fast bus)
+     * @param issue_width drives the number of parallel buses; wider
+     *        machines lengthen each entry and thus the wire run
+     */
+    double delayPs(unsigned entries, unsigned comparators_per_entry,
+                   unsigned issue_width = 4) const;
+
+    /** Relative speedup of config b over config a: (a-b)/b. */
+    double speedup(unsigned entries, unsigned cmp_a, unsigned cmp_b,
+                   unsigned issue_width = 4) const;
+};
+
+/** Parameters of the register-file access-time model (ns, 0.18µ). */
+struct RegfileTimingModel
+{
+    /** Decoder + sense amp + drive, port independent. */
+    double fixed_ns = 0.30;
+    /** Wordline/bitline RC per unit of (sqrt(entries) x pitch). */
+    double rc_ns = 0.0034594;
+    /** Port-independent component of the cell pitch. */
+    double pitch_offset = 8.23;
+
+    /**
+     * Access time of a register file.
+     * @param entries physical registers
+     * @param ports total read+write ports (each adds a wordline and
+     *        a bitline pair to every cell, growing both dimensions)
+     */
+    double accessNs(unsigned entries, unsigned ports) const;
+
+    /** Relative access-time reduction going from @p ports_a to
+     *  @p ports_b: (a-b)/a. */
+    double reduction(unsigned entries, unsigned ports_a,
+                     unsigned ports_b) const;
+
+    /**
+     * Relative area (arbitrary units): cell area grows quadratically
+     * with ports; total area is entries x cell area.
+     */
+    double area(unsigned entries, unsigned ports) const;
+};
+
+} // namespace hpa::model
+
+#endif // HPA_MODEL_TIMING_MODELS_HH

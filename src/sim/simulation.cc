@@ -1,0 +1,122 @@
+#include "sim/simulation.hh"
+
+namespace hpa::sim
+{
+
+Machine
+baseMachine(unsigned width)
+{
+    Machine m;
+    if (width == 8) {
+        m.name = "8-wide";
+        m.cfg = core::eightWideConfig();
+    } else {
+        m.name = "4-wide";
+        m.cfg = core::fourWideConfig();
+    }
+    return m;
+}
+
+Machine
+withWakeup(Machine m, core::WakeupModel w, unsigned lap_entries)
+{
+    m.cfg.wakeup = w;
+    m.cfg.lap_entries = lap_entries;
+    switch (w) {
+      case core::WakeupModel::Conventional:
+        m.name += "/conv-wakeup";
+        break;
+      case core::WakeupModel::Sequential:
+        m.name += "/seq-wakeup";
+        break;
+      case core::WakeupModel::SequentialNoPred:
+        m.name += "/seq-wakeup-nopred";
+        break;
+      case core::WakeupModel::TagElimination:
+        m.name += "/tag-elim";
+        break;
+    }
+    return m;
+}
+
+Machine
+withRegfile(Machine m, core::RegfileModel r)
+{
+    m.cfg.regfile = r;
+    switch (r) {
+      case core::RegfileModel::TwoPort:
+        m.name += "/2r-port";
+        break;
+      case core::RegfileModel::SequentialAccess:
+        m.name += "/seq-rf";
+        break;
+      case core::RegfileModel::ExtraStage:
+        m.name += "/extra-rf-stage";
+        break;
+      case core::RegfileModel::HalfPortCrossbar:
+        m.name += "/half-ports-xbar";
+        break;
+    }
+    return m;
+}
+
+Machine
+withRecovery(Machine m, core::RecoveryModel r)
+{
+    m.cfg.recovery = r;
+    m.name += r == core::RecoveryModel::Selective
+        ? "/selective" : "/non-selective";
+    return m;
+}
+
+Machine
+withRename(Machine m, core::RenameModel r)
+{
+    m.cfg.rename = r;
+    m.name += r == core::RenameModel::HalfPort
+        ? "/half-rename" : "/2r-rename";
+    return m;
+}
+
+Simulation::Simulation(const assembler::Program &prog,
+                       const core::CoreConfig &cfg, uint64_t max_insts,
+                       uint64_t fast_forward_pc)
+{
+    emu_ = std::make_unique<func::Emulator>(prog);
+    if (fast_forward_pc) {
+        while (!emu_->halted() && emu_->pc() != fast_forward_pc) {
+            emu_->step();
+            ++fastForwarded_;
+        }
+    }
+    source_ = std::make_unique<core::EmulatorSource>(*emu_, max_insts);
+    core_ = std::make_unique<core::Core>(cfg, *source_);
+}
+
+uint64_t
+Simulation::run(uint64_t max_cycles)
+{
+    return core_->run(max_cycles);
+}
+
+void
+Simulation::report(std::ostream &os)
+{
+    stats::Registry reg;
+    core_->regStats(reg);
+    reg.add(stats::Formula("core.ipc", "committed per cycle",
+                           [this] { return core_->ipc(); }));
+    reg.dump(os);
+}
+
+double
+runIpc(const std::string &program_text, const core::CoreConfig &cfg,
+       uint64_t max_insts)
+{
+    auto prog = assembler::assemble(program_text);
+    Simulation s(prog, cfg, max_insts);
+    s.run();
+    return s.ipc();
+}
+
+} // namespace hpa::sim

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Convenience driver tying together an assembled program, the
+ * functional emulator and the timing core, plus the Table 1 machine
+ * configurations.
+ */
+
+#ifndef HPA_SIM_SIMULATION_HH
+#define HPA_SIM_SIMULATION_HH
+
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "asm/assembler.hh"
+#include "core/core.hh"
+#include "func/emulator.hh"
+
+namespace hpa::sim
+{
+
+/** Named machine model variants used across the evaluation. */
+struct Machine
+{
+    std::string name;
+    core::CoreConfig cfg;
+};
+
+/** Base machines from Table 1. */
+Machine baseMachine(unsigned width);
+
+/** Apply a wakeup scheme to a machine (Section 5.1). */
+Machine withWakeup(Machine m, core::WakeupModel w,
+                   unsigned lap_entries = 1024);
+/** Apply a register-file scheme to a machine (Section 5.2). */
+Machine withRegfile(Machine m, core::RegfileModel r);
+/** Apply a recovery scheme (Section 3.1 discussion). */
+Machine withRecovery(Machine m, core::RecoveryModel r);
+/** Apply a rename-port scheme (Section 6 future-work extension). */
+Machine withRename(Machine m, core::RenameModel r);
+
+/**
+ * One execution-driven simulation: owns the emulator, the trace
+ * source and the core.
+ */
+class Simulation
+{
+  public:
+    /**
+     * @param prog assembled program
+     * @param cfg core configuration
+     * @param max_insts cap on simulated committed instructions
+     *        (0 = run to HALT)
+     * @param fast_forward_pc functionally execute (without timing)
+     *        until the PC first reaches this address — SimpleScalar
+     *        style fast-forward past initialization. 0 disables.
+     */
+    Simulation(const assembler::Program &prog,
+               const core::CoreConfig &cfg, uint64_t max_insts = 0,
+               uint64_t fast_forward_pc = 0);
+
+    /** Instructions skipped by fast-forwarding. */
+    uint64_t fastForwarded() const { return fastForwarded_; }
+
+    /** Run to completion; @return committed instructions. */
+    uint64_t run(uint64_t max_cycles = 0);
+
+    core::Core &core() { return *core_; }
+    func::Emulator &emulator() { return *emu_; }
+    double ipc() const { return core_->ipc(); }
+
+    /** Dump a full statistics report. */
+    void report(std::ostream &os);
+
+  private:
+    std::unique_ptr<func::Emulator> emu_;
+    std::unique_ptr<core::EmulatorSource> source_;
+    std::unique_ptr<core::Core> core_;
+    uint64_t fastForwarded_ = 0;
+};
+
+/**
+ * Assemble-and-run helper: run @p program_text on @p cfg for at most
+ * @p max_insts instructions and return the achieved IPC.
+ */
+double runIpc(const std::string &program_text,
+              const core::CoreConfig &cfg, uint64_t max_insts = 0);
+
+} // namespace hpa::sim
+
+#endif // HPA_SIM_SIMULATION_HH

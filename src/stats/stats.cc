@@ -1,0 +1,67 @@
+#include "stats/stats.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace hpa::stats
+{
+
+void
+Registry::dump(std::ostream &os) const
+{
+    auto row = [&os](const std::string &name, const std::string &value,
+                     const std::string &desc) {
+        os << std::left << std::setw(40) << name << " "
+           << std::setw(16) << value << " # " << desc << "\n";
+    };
+
+    for (const Counter *c : counters_)
+        row(c->name, std::to_string(c->value()), c->desc);
+
+    for (const Distribution *d : dists_) {
+        row(d->name + ".total", std::to_string(d->total()), d->desc);
+        for (unsigned i = 0; i < d->numBuckets(); ++i) {
+            std::string bucket_name = d->name + "." + std::to_string(i)
+                + (i + 1 == d->numBuckets() ? "+" : "");
+            std::ostringstream val;
+            val << d->bucket(i) << " (" << std::fixed
+                << std::setprecision(2) << 100.0 * d->fraction(i) << "%)";
+            row(bucket_name, val.str(), d->desc);
+        }
+    }
+
+    for (const Formula &f : formulas_) {
+        std::ostringstream val;
+        val << std::fixed << std::setprecision(4) << f.value();
+        row(f.name, val.str(), f.desc);
+    }
+}
+
+void
+Registry::reset()
+{
+    for (Counter *c : counters_)
+        c->reset();
+    for (Distribution *d : dists_)
+        d->reset();
+}
+
+const Counter *
+Registry::findCounter(const std::string &name) const
+{
+    for (const Counter *c : counters_)
+        if (c->name == name)
+            return c;
+    return nullptr;
+}
+
+const Distribution *
+Registry::findDist(const std::string &name) const
+{
+    for (const Distribution *d : dists_)
+        if (d->name == name)
+            return d;
+    return nullptr;
+}
+
+} // namespace hpa::stats

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Lightweight statistics framework in the spirit of SimpleScalar's
+ * stats package: named scalar counters, averages, distributions
+ * (histograms), and derived formulas, collected in a registry that can
+ * render a human-readable report.
+ */
+
+#ifndef HPA_STATS_STATS_HH
+#define HPA_STATS_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hpa::stats
+{
+
+/** A named 64-bit event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+    Counter(std::string name, std::string desc)
+        : name(std::move(name)), desc(std::move(desc))
+    {}
+
+    void operator++() { ++value_; }
+    void operator++(int) { ++value_; }
+    void operator+=(uint64_t n) { value_ += n; }
+
+    uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+    std::string name;
+    std::string desc;
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/**
+ * A bucketed histogram over small non-negative integers with an
+ * overflow bucket. Used for e.g. wakeup-slack and ready-operand
+ * distributions.
+ */
+class Distribution
+{
+  public:
+    Distribution() = default;
+
+    /**
+     * @param name stat name
+     * @param desc description
+     * @param max_bucket values >= max_bucket land in the overflow
+     *        bucket reported as "max_bucket+"
+     */
+    Distribution(std::string name, std::string desc, unsigned max_bucket)
+        : name(std::move(name)), desc(std::move(desc)),
+          buckets_(max_bucket + 1, 0)
+    {}
+
+    void
+    sample(unsigned v, uint64_t count = 1)
+    {
+        unsigned idx = v >= buckets_.size() - 1
+            ? static_cast<unsigned>(buckets_.size()) - 1 : v;
+        buckets_[idx] += count;
+        total_ += count;
+    }
+
+    uint64_t total() const { return total_; }
+    uint64_t bucket(unsigned i) const { return buckets_.at(i); }
+    size_t numBuckets() const { return buckets_.size(); }
+
+    /** Fraction of samples in bucket i (0 if no samples). */
+    double
+    fraction(unsigned i) const
+    {
+        return total_ == 0 ? 0.0
+            : static_cast<double>(buckets_.at(i)) / total_;
+    }
+
+    void
+    reset()
+    {
+        std::fill(buckets_.begin(), buckets_.end(), 0);
+        total_ = 0;
+    }
+
+    std::string name;
+    std::string desc;
+
+  private:
+    std::vector<uint64_t> buckets_;
+    uint64_t total_ = 0;
+};
+
+/** A derived statistic evaluated lazily at reporting time. */
+class Formula
+{
+  public:
+    Formula() = default;
+    Formula(std::string name, std::string desc,
+            std::function<double()> eval)
+        : name(std::move(name)), desc(std::move(desc)),
+          eval_(std::move(eval))
+    {}
+
+    double value() const { return eval_ ? eval_() : 0.0; }
+
+    std::string name;
+    std::string desc;
+
+  private:
+    std::function<double()> eval_;
+};
+
+/**
+ * A registry of statistics owned elsewhere. The registry stores
+ * non-owning pointers so that hot counters remain plain members of the
+ * structures that update them.
+ */
+class Registry
+{
+  public:
+    void add(Counter *c) { counters_.push_back(c); }
+    void add(Distribution *d) { dists_.push_back(d); }
+    void add(Formula f) { formulas_.push_back(std::move(f)); }
+
+    /** Render all registered statistics as "name value # desc" rows. */
+    void dump(std::ostream &os) const;
+
+    /** Reset every registered counter and distribution. */
+    void reset();
+
+    const std::vector<Counter *> &counters() const { return counters_; }
+    const std::vector<Distribution *> &dists() const { return dists_; }
+    const std::vector<Formula> &formulas() const { return formulas_; }
+
+    /** Find a counter by name; nullptr when absent. */
+    const Counter *findCounter(const std::string &name) const;
+    /** Find a distribution by name; nullptr when absent. */
+    const Distribution *findDist(const std::string &name) const;
+
+  private:
+    std::vector<Counter *> counters_;
+    std::vector<Distribution *> dists_;
+    std::vector<Formula> formulas_;
+};
+
+} // namespace hpa::stats
+
+#endif // HPA_STATS_STATS_HH

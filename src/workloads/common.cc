@@ -1,0 +1,22 @@
+#include "workloads/common.hh"
+
+namespace hpa::workloads::detail
+{
+
+std::string
+substitute(std::string text,
+           const std::map<std::string, int64_t> &params)
+{
+    for (const auto &[key, value] : params) {
+        std::string pat = "{" + key + "}";
+        std::string rep = std::to_string(value);
+        size_t pos = 0;
+        while ((pos = text.find(pat, pos)) != std::string::npos) {
+            text.replace(pos, pat.size(), rep);
+            pos += rep.size();
+        }
+    }
+    return text;
+}
+
+} // namespace hpa::workloads::detail

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared helpers for workload builders: the LCG both the kernels and
+ * their golden models use, checksum emission, and parameter
+ * substitution in assembly templates.
+ */
+
+#ifndef HPA_WORKLOADS_COMMON_HH
+#define HPA_WORKLOADS_COMMON_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace hpa::workloads::detail
+{
+
+/** LCG multiplier shared between asm kernels and golden models. */
+constexpr uint64_t LCG_MUL = 1103515245;
+/** LCG increment. */
+constexpr uint64_t LCG_ADD = 12345;
+
+/** One LCG step (64-bit wraparound, identical to the kernels). */
+inline uint64_t
+lcgStep(uint64_t &x)
+{
+    x = x * LCG_MUL + LCG_ADD;
+    return x;
+}
+
+/** Byte extraction used by the kernels: bits [23:16]. */
+inline uint8_t
+lcgByte(uint64_t &x)
+{
+    return static_cast<uint8_t>(lcgStep(x) >> 16);
+}
+
+/** The 8 bytes OUT'd by the standard checksum epilogue. */
+inline std::string
+checksumBytes(uint64_t checksum)
+{
+    std::string s;
+    for (int i = 0; i < 8; ++i)
+        s += static_cast<char>((checksum >> (8 * i)) & 0xFF);
+    return s;
+}
+
+/**
+ * Standard checksum epilogue: emits the 8 bytes of r20 (low byte
+ * first) and halts. Clobbers r21.
+ */
+inline const char *CHECKSUM_EPILOGUE = R"(
+        li    r21, 8
+emit_:  out   r20
+        srl   r20, #8, r20
+        sub   r21, #1, r21
+        bne   r21, emit_
+        halt
+)";
+
+/** Replace every "{key}" in @p text with the decimal value. */
+std::string substitute(std::string text,
+                       const std::map<std::string, int64_t> &params);
+
+} // namespace hpa::workloads::detail
+
+#endif // HPA_WORKLOADS_COMMON_HH

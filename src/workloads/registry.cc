@@ -1,0 +1,57 @@
+#include <stdexcept>
+
+#include "workloads/workloads.hh"
+
+namespace hpa::workloads
+{
+
+const std::vector<std::string> &
+benchmarkNames()
+{
+    static const std::vector<std::string> names = {
+        "bzip", "crafty", "eon", "gap", "gcc", "gzip",
+        "mcf", "parser", "perl", "twolf", "vortex", "vpr",
+    };
+    return names;
+}
+
+Workload
+make(const std::string &name, Scale scale)
+{
+    if (name == "bzip")
+        return makeBzip(scale);
+    if (name == "crafty")
+        return makeCrafty(scale);
+    if (name == "eon")
+        return makeEon(scale);
+    if (name == "gap")
+        return makeGap(scale);
+    if (name == "gcc")
+        return makeGcc(scale);
+    if (name == "gzip")
+        return makeGzip(scale);
+    if (name == "mcf")
+        return makeMcf(scale);
+    if (name == "parser")
+        return makeParser(scale);
+    if (name == "perl")
+        return makePerl(scale);
+    if (name == "twolf")
+        return makeTwolf(scale);
+    if (name == "vortex")
+        return makeVortex(scale);
+    if (name == "vpr")
+        return makeVpr(scale);
+    throw std::invalid_argument("unknown workload: " + name);
+}
+
+std::vector<Workload>
+makeAll(Scale scale)
+{
+    std::vector<Workload> out;
+    for (const std::string &n : benchmarkNames())
+        out.push_back(make(n, scale));
+    return out;
+}
+
+} // namespace hpa::workloads

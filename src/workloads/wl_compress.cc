@@ -1,0 +1,491 @@
+/**
+ * @file
+ * Compression/text-processing substitutes: bzip (RLE + move-to-front),
+ * gzip (LZ77 hash-chain match search), parser (tokenizer + dictionary).
+ * Each kernel's golden model mirrors the assembly instruction for
+ * instruction so the OUT checksum is predictable.
+ */
+
+#include <vector>
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace hpa::workloads
+{
+
+using detail::checksumBytes;
+using detail::lcgStep;
+using detail::substitute;
+
+// --------------------------------------------------------------------
+// bzip: run-length encoding + move-to-front over a small alphabet.
+// --------------------------------------------------------------------
+
+namespace
+{
+
+const char *BZIP_ASM = R"(
+        li    r11, 1103515245
+        li    r12, 12345
+        li    r10, {SEED}
+        li    r6, {N}
+        la    r1, buf
+        mov   r1, r17
+        clr   r2
+gen:    mul   r10, r11, r10
+        add   r10, r12, r10
+        srl   r10, #16, r8
+        and   r8, #255, r8
+        srl   r8, #5, r8
+        stb   r8, 0(r17)
+        lda   r17, 1(r17)
+        add   r2, #1, r2
+        cmplt r2, r6, r8
+        bne   r8, gen
+        la    r7, mtf
+        clr   r2
+mtfi:   add   r7, r2, r9
+        stb   r2, 0(r9)
+        add   r2, #1, r2
+        cmplt r2, #8, r8
+        bne   r8, mtfi
+steady: clr   r20
+        li    r13, {OUTER}
+outer:  clr   r2
+        mov   r1, r17
+        ldbu  r4, 0(r1)
+        clr   r5
+rle:    ldbu  r3, 0(r17)
+        lda   r17, 1(r17)
+        cmpeq r3, r4, r8
+        beq   r8, flush
+        add   r5, #1, r5
+        br    rlenext
+flush:  add   r4, #1, r8
+        nop                       ; alignment-style 2-source nop
+        mul   r5, r8, r8
+        add   r20, r8, r20
+        clr   r14
+find:   add   r7, r14, r9
+        ldbu  r15, 0(r9)
+        cmpeq r15, r4, r8
+        bne   r8, found
+        add   r14, #1, r14
+        br    find
+found:  add   r20, r14, r20
+shift:  beq   r14, shdone
+        sub   r14, #1, r14
+        add   r7, r14, r9
+        ldbu  r15, 0(r9)
+        add   r9, #1, r9
+        stb   r15, 0(r9)
+        br    shift
+shdone: stb   r4, 0(r7)
+        mov   r3, r4
+        li    r5, 1
+rlenext:
+        add   r2, #1, r2
+        cmplt r2, r6, r8
+        bne   r8, rle
+        add   r4, #1, r8
+        mul   r5, r8, r8
+        add   r20, r8, r20
+        clr   r2
+        mov   r1, r17
+mut:    ldbu  r3, 0(r17)
+        add   r2, #1, r8
+        cmpeq r8, r6, r15
+        beq   r15, nowrap
+        ldbu  r15, 0(r1)
+        br    mixin
+nowrap: ldbu  r15, 1(r17)
+mixin:  add   r3, r15, r3
+        and   r3, #7, r3
+        stb   r3, 0(r17)
+        lda   r17, 1(r17)
+        add   r2, #1, r2
+        cmplt r2, r6, r8
+        bne   r8, mut
+        sub   r13, #1, r13
+        bne   r13, outer
+{EPILOGUE}
+        .data
+buf:    .space {N}
+mtf:    .space 8
+)";
+
+uint64_t
+bzipGolden(uint64_t seed, int64_t n, int64_t outer)
+{
+    uint64_t x = seed;
+    std::vector<uint8_t> buf(n);
+    for (int64_t i = 0; i < n; ++i)
+        buf[i] = static_cast<uint8_t>(((lcgStep(x) >> 16) & 0xFF) >> 5);
+    uint8_t mtf[8];
+    for (int i = 0; i < 8; ++i)
+        mtf[i] = static_cast<uint8_t>(i);
+
+    uint64_t checksum = 0;
+    auto flush = [&](uint8_t v, uint64_t run) {
+        checksum += run * (uint64_t(v) + 1);
+        unsigned idx = 0;
+        while (mtf[idx] != v)
+            ++idx;
+        checksum += idx;
+        for (unsigned j = idx; j > 0; --j)
+            mtf[j] = mtf[j - 1];
+        mtf[0] = v;
+    };
+
+    for (int64_t pass = 0; pass < outer; ++pass) {
+        uint8_t prev = buf[0];
+        uint64_t run = 0;
+        for (int64_t i = 0; i < n; ++i) {
+            uint8_t cur = buf[i];
+            if (cur == prev) {
+                ++run;
+            } else {
+                flush(prev, run);
+                prev = cur;
+                run = 1;
+            }
+        }
+        // The kernel's end-of-buffer flush adds the run term only
+        // (no move-to-front update).
+        checksum += run * (uint64_t(prev) + 1);
+        for (int64_t i = 0; i < n; ++i)
+            buf[i] = static_cast<uint8_t>(
+                (buf[i] + buf[(i + 1) % n]) & 7);
+    }
+    return checksum;
+}
+
+} // namespace
+
+Workload
+makeBzip(Scale scale)
+{
+    int64_t n = scale == Scale::Test ? 1024 : 24576;
+    int64_t outer = scale == Scale::Test ? 2 : 4000;
+    uint64_t seed = 20030609;
+
+    Workload w;
+    w.name = "bzip";
+    w.description = "RLE + move-to-front coding (256.bzip2 substitute)";
+    std::string src = substitute(BZIP_ASM, {
+        {"SEED", int64_t(seed)}, {"N", n}, {"OUTER", outer},
+        });
+    size_t pos = src.find("{EPILOGUE}");
+    src.replace(pos, 10, detail::CHECKSUM_EPILOGUE);
+    w.program = assembler::assemble(src);
+    if (scale == Scale::Test)
+        w.expectedConsole = checksumBytes(bzipGolden(seed, n, outer));
+    return w;
+}
+
+// --------------------------------------------------------------------
+// gzip: LZ77 greedy match search with a hash head table.
+// --------------------------------------------------------------------
+
+namespace
+{
+
+const char *GZIP_ASM = R"(
+        li    r11, 1103515245
+        li    r12, 12345
+        li    r10, {SEED}
+        li    r6, {N}
+        la    r1, buf
+        la    r7, head
+        mov   r1, r17
+        clr   r2
+gen:    mul   r10, r11, r10
+        add   r10, r12, r10
+        srl   r10, #16, r8
+        and   r8, #7, r8
+        stb   r8, 0(r17)
+        lda   r17, 1(r17)
+        add   r2, #1, r2
+        cmplt r2, r6, r8
+        bne   r8, gen
+steady: clr   r20
+        li    r13, {OUTER}
+outer:  clr   r2                  ; p
+        mov   r1, r17             ; walking &b[p]
+        sub   r6, #2, r16         ; limit = N-2
+ploop:  cmplt r2, r16, r8
+        beq   r8, pdone
+        ; h = (b[p]<<6) | (b[p+1]<<3) | b[p+2]
+        ldbu  r3, 0(r17)
+        ldbu  r4, 1(r17)
+        ldbu  r5, 2(r17)
+        sll   r3, #6, r3
+        sll   r4, #3, r4
+        bis   r3, r4, r3
+        bis   r3, r5, r3
+        ; cand = head[h]
+        s8add r3, r7, r9
+        ldq   r4, 0(r9)
+        ; head[h] = p+1
+        add   r2, #1, r5
+        stq   r5, 0(r9)
+        beq   r4, pnext
+        sub   r4, #1, r4          ; c
+        cmpult r4, r2, r8
+        beq   r8, pnext
+        ; match length
+        clr   r5                  ; l
+mloop:  add   r2, r5, r8
+        cmplt r8, r6, r9
+        beq   r9, mdone
+        cmplt r5, #64, r9
+        beq   r9, mdone
+        add   r1, r8, r9
+        ldbu  r14, 0(r9)
+        add   r4, r5, r8
+        add   r1, r8, r9
+        ldbu  r15, 0(r9)
+        cmpeq r14, r15, r9
+        beq   r9, mdone
+        add   r5, #1, r5
+        br    mloop
+mdone:  add   r20, r5, r20
+        nop                       ; alignment-style 2-source nop
+pnext:  add   r2, #1, r2
+        lda   r17, 1(r17)
+        br    ploop
+pdone:  ; mutate buffer
+        clr   r2
+        mov   r1, r17
+mut:    ldbu  r3, 0(r17)
+        and   r2, #3, r8
+        add   r3, r8, r3
+        and   r3, #7, r3
+        stb   r3, 0(r17)
+        lda   r17, 1(r17)
+        add   r2, #1, r2
+        cmplt r2, r6, r8
+        bne   r8, mut
+        sub   r13, #1, r13
+        bne   r13, outer
+{EPILOGUE}
+        .data
+buf:    .space {N}
+        .align 8
+head:   .space 4096
+)";
+
+uint64_t
+gzipGolden(uint64_t seed, int64_t n, int64_t outer)
+{
+    uint64_t x = seed;
+    std::vector<uint8_t> buf(n);
+    for (int64_t i = 0; i < n; ++i)
+        buf[i] = static_cast<uint8_t>((lcgStep(x) >> 16) & 7);
+    std::vector<uint64_t> head(512, 0);
+    uint64_t checksum = 0;
+
+    for (int64_t pass = 0; pass < outer; ++pass) {
+        for (int64_t p = 0; p < n - 2; ++p) {
+            uint64_t h = (uint64_t(buf[p]) << 6)
+                | (uint64_t(buf[p + 1]) << 3) | buf[p + 2];
+            uint64_t cand = head[h];
+            head[h] = uint64_t(p) + 1;
+            if (!cand)
+                continue;
+            uint64_t c = cand - 1;
+            if (c >= uint64_t(p))
+                continue;
+            uint64_t l = 0;
+            while (int64_t(p + l) < n && l < 64
+                   && buf[c + l] == buf[p + l])
+                ++l;
+            checksum += l;
+        }
+        for (int64_t i = 0; i < n; ++i)
+            buf[i] = static_cast<uint8_t>((buf[i] + (i & 3)) & 7);
+    }
+    return checksum;
+}
+
+} // namespace
+
+Workload
+makeGzip(Scale scale)
+{
+    int64_t n = scale == Scale::Test ? 1024 : 32768;
+    int64_t outer = scale == Scale::Test ? 2 : 3000;
+    uint64_t seed = 19770101;
+
+    Workload w;
+    w.name = "gzip";
+    w.description = "LZ77 hash-chain match search (164.gzip substitute)";
+    std::string src = substitute(GZIP_ASM, {
+        {"SEED", int64_t(seed)}, {"N", n}, {"OUTER", outer},
+        });
+    size_t pos = src.find("{EPILOGUE}");
+    src.replace(pos, 10, detail::CHECKSUM_EPILOGUE);
+    w.program = assembler::assemble(src);
+    if (scale == Scale::Test)
+        w.expectedConsole = checksumBytes(gzipGolden(seed, n, outer));
+    return w;
+}
+
+// --------------------------------------------------------------------
+// parser: tokenizer with an open-addressing dictionary.
+// --------------------------------------------------------------------
+
+namespace
+{
+
+const char *PARSER_ASM = R"(
+        li    r11, 1103515245
+        li    r12, 12345
+        li    r10, {SEED}
+        li    r6, {T}
+        li    r16, {HMASK}
+        la    r7, tab
+        la    r17, cnt
+steady: clr   r20
+        li    r13, {OUTER}
+outer:  clr   r2                  ; char index
+        clr   r3                  ; h
+        clr   r4                  ; wordlen
+tloop:  cmplt r2, r6, r8
+        beq   r8, tdone
+        mul   r10, r11, r10
+        add   r10, r12, r10
+        srl   r10, #16, r5
+        and   r5, #7, r5          ; 0 = space, 1..7 = letters
+        beq   r5, space
+        mul   r3, #31, r3
+        add   r3, r5, r3
+        add   r4, #1, r4
+        br    tnext
+space:  beq   r4, tnext           ; empty word
+        sll   r3, #1, r5
+        add   r5, #1, r5          ; key (nonzero)
+        and   r5, r16, r14        ; idx
+        clr   r15                 ; probes
+probe:  s8add r14, r7, r9
+        ldq   r8, 0(r9)
+        beq   r8, insert
+        cmpeq r8, r5, r18
+        bne   r18, hit
+        add   r14, #1, r14
+        and   r14, r16, r14
+        add   r15, #1, r15
+        cmplt r15, #16, r18
+        bne   r18, probe
+        ; gave up
+        add   r20, #16, r20
+        br    flushd
+insert: stq   r5, 0(r9)
+        s8add r14, r17, r9
+        li    r8, 1
+        stq   r8, 0(r9)
+        add   r20, r14, r20
+        br    flushd
+hit:    s8add r14, r17, r9
+        ldq   r8, 0(r9)
+        add   r8, #1, r8
+        stq   r8, 0(r9)
+        add   r20, r14, r20
+        add   r20, r8, r20
+flushd: clr   r3
+        clr   r4
+        add   r20, r15, r20
+tnext:  add   r2, #1, r2
+        br    tloop
+tdone:  sub   r13, #1, r13
+        bne   r13, outer
+{EPILOGUE}
+        .data
+        .align 8
+tab:    .space {TABBYTES}
+cnt:    .space {TABBYTES}
+)";
+
+uint64_t
+parserGolden(uint64_t seed, int64_t t_chars, int64_t outer,
+             uint64_t hsize)
+{
+    uint64_t x = seed;
+    std::vector<uint64_t> tab(hsize, 0), cnt(hsize, 0);
+    uint64_t checksum = 0;
+    uint64_t hmask = hsize - 1;
+
+    for (int64_t pass = 0; pass < outer; ++pass) {
+        uint64_t h = 0, wordlen = 0;
+        for (int64_t i = 0; i < t_chars; ++i) {
+            uint64_t c = (lcgStep(x) >> 16) & 7;
+            if (c != 0) {
+                h = h * 31 + c;
+                ++wordlen;
+                continue;
+            }
+            if (wordlen == 0)
+                continue;
+            uint64_t key = (h << 1) + 1;
+            uint64_t idx = key & hmask;
+            uint64_t probes = 0;
+            while (true) {
+                uint64_t k = tab[idx];
+                if (k == 0) {
+                    tab[idx] = key;
+                    cnt[idx] = 1;
+                    checksum += idx;
+                    break;
+                }
+                if (k == key) {
+                    ++cnt[idx];
+                    checksum += idx + cnt[idx];
+                    break;
+                }
+                idx = (idx + 1) & hmask;
+                ++probes;
+                if (probes >= 16) {
+                    checksum += 16;
+                    break;
+                }
+            }
+            h = 0;
+            wordlen = 0;
+            checksum += probes;
+        }
+    }
+    return checksum;
+}
+
+} // namespace
+
+Workload
+makeParser(Scale scale)
+{
+    int64_t t_chars = scale == Scale::Test ? 4096 : 65536;
+    int64_t outer = scale == Scale::Test ? 2 : 1500;
+    uint64_t hsize = scale == Scale::Test ? 1024 : 4096;
+    uint64_t seed = 19990417;
+
+    Workload w;
+    w.name = "parser";
+    w.description =
+        "tokenizer + open-addressing dictionary (197.parser substitute)";
+    std::string src = substitute(PARSER_ASM, {
+        {"SEED", int64_t(seed)},
+        {"T", t_chars},
+        {"OUTER", outer},
+        {"HMASK", int64_t(hsize - 1)},
+        {"TABBYTES", int64_t(hsize * 8)},
+        });
+    size_t pos = src.find("{EPILOGUE}");
+    src.replace(pos, 10, detail::CHECKSUM_EPILOGUE);
+    w.program = assembler::assemble(src);
+    if (scale == Scale::Test)
+        w.expectedConsole =
+            checksumBytes(parserGolden(seed, t_chars, outer, hsize));
+    return w;
+}
+
+} // namespace hpa::workloads

@@ -1,0 +1,440 @@
+/**
+ * @file
+ * Computation-heavy substitutes: crafty (bitboard fills/popcounts),
+ * gap (bignum Fibonacci with carry propagation), twolf
+ * (annealing-style cell swaps with branchless abs).
+ */
+
+#include <vector>
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace hpa::workloads
+{
+
+using detail::checksumBytes;
+using detail::lcgStep;
+using detail::substitute;
+
+// --------------------------------------------------------------------
+// crafty: bitboard operations.
+// --------------------------------------------------------------------
+
+namespace
+{
+
+const char *CRAFTY_ASM = R"(
+        li    r11, 1103515245
+        li    r12, 12345
+        li    r10, {SEED}
+        li    r13, {ITERS}
+steady: clr   r20
+citer:  mul   r10, r11, r10
+        add   r10, r12, r10
+        mov   r10, r1
+        mul   r10, r11, r10
+        add   r10, r12, r10
+        sll   r1, #32, r1
+        xor   r1, r10, r1         ; 64-bit board
+        clr   r2
+pop:    beq   r1, popd
+        sub   r1, #1, r3
+        and   r1, r3, r1
+        add   r2, #1, r2
+        br    pop
+popd:   add   r20, r2, r20
+        mul   r10, r11, r10
+        add   r10, r12, r10
+        mov   r10, r4
+        sll   r4, #8, r5
+        bis   r4, r5, r4
+        sll   r4, #16, r5
+        bis   r4, r5, r4
+        sll   r4, #32, r5
+        bis   r4, r5, r4          ; north fill
+        and   r10, #63, r6
+        li    r7, 1
+        sll   r7, r6, r7
+        sll   r7, #1, r8
+        srl   r7, #1, r9
+        bis   r8, r9, r8
+        sll   r7, #8, r9
+        bis   r8, r9, r8
+        srl   r7, #8, r9
+        bis   r8, r9, r8          ; king-neighbour mask
+        and   r4, r8, r4
+        srl   r4, #32, r5
+        xor   r4, r5, r4
+        srl   r4, #16, r5
+        xor   r4, r5, r4
+        and   r4, #255, r4
+        add   r20, r4, r20
+        sub   r13, #1, r13
+        bne   r13, citer
+{EPILOGUE}
+)";
+
+uint64_t
+craftyGolden(uint64_t seed, int64_t iters)
+{
+    uint64_t x = seed;
+    uint64_t checksum = 0;
+    for (int64_t it = 0; it < iters; ++it) {
+        uint64_t hi = lcgStep(x);
+        uint64_t lo = lcgStep(x);
+        uint64_t board = (hi << 32) ^ lo;
+        unsigned pop = 0;
+        while (board) {
+            board &= board - 1;
+            ++pop;
+        }
+        checksum += pop;
+        uint64_t fill = lcgStep(x);
+        fill |= fill << 8;
+        fill |= fill << 16;
+        fill |= fill << 32;
+        uint64_t sq = x & 63;
+        uint64_t bit = uint64_t(1) << sq;
+        uint64_t mask = (bit << 1) | (bit >> 1);
+        mask |= bit << 8;
+        mask |= bit >> 8;
+        uint64_t v = fill & mask;
+        v ^= v >> 32;
+        v ^= v >> 16;
+        v &= 0xFF;
+        checksum += v;
+    }
+    return checksum;
+}
+
+} // namespace
+
+Workload
+makeCrafty(Scale scale)
+{
+    int64_t iters = scale == Scale::Test ? 600 : 2000000;
+    uint64_t seed = 18860321;
+
+    Workload w;
+    w.name = "crafty";
+    w.description = "bitboard fills and popcounts (186.crafty substitute)";
+    std::string src = substitute(CRAFTY_ASM, {
+        {"SEED", int64_t(seed)}, {"ITERS", iters},
+        });
+    size_t pos = src.find("{EPILOGUE}");
+    src.replace(pos, 10, detail::CHECKSUM_EPILOGUE);
+    w.program = assembler::assemble(src);
+    if (scale == Scale::Test)
+        w.expectedConsole = checksumBytes(craftyGolden(seed, iters));
+    return w;
+}
+
+// --------------------------------------------------------------------
+// gap: bignum Fibonaccis — 32-bit limbs in 64-bit words, explicit
+// carry chains, plus a sampled limb product per step.
+// --------------------------------------------------------------------
+
+namespace
+{
+
+const char *GAP_ASM = R"(
+        li    r11, 1103515245
+        li    r12, 12345
+        li    r10, {SEED}
+        li    r6, {L}
+        la    r1, biga
+        la    r2, bigb
+        la    r3, bigc
+        li    r16, 1
+        sll   r16, #32, r16
+        sub   r16, #1, r16        ; 0xFFFFFFFF
+        clr   r4
+ginit:  mul   r10, r11, r10
+        add   r10, r12, r10
+        and   r10, r16, r8
+        s8add r4, r1, r9
+        stq   r8, 0(r9)
+        mul   r10, r11, r10
+        add   r10, r12, r10
+        and   r10, r16, r8
+        s8add r4, r2, r9
+        stq   r8, 0(r9)
+        add   r4, #1, r4
+        cmplt r4, r6, r8
+        bne   r8, ginit
+steady: clr   r20
+        li    r13, {ITERS}
+giter:  ; c = a + b with carry (walking limb pointers)
+        clr   r4
+        clr   r5                  ; carry
+        mov   r1, r17
+        mov   r2, r18
+        mov   r3, r19
+gadd:   ldq   r7, 0(r17)
+        ldq   r8, 0(r18)
+        lda   r17, 8(r17)
+        lda   r18, 8(r18)
+        add   r7, r8, r7
+        add   r7, r5, r7
+        srl   r7, #32, r5
+        and   r7, r16, r7
+        stq   r7, 0(r19)
+        lda   r19, 8(r19)
+        add   r4, #1, r4
+        cmplt r4, r6, r8
+        bne   r8, gadd
+        ; checksum ^= c[L-1] + carry; += a[0]*b[0] low
+        sub   r6, #1, r4
+        s8add r4, r3, r9
+        ldq   r7, 0(r9)
+        add   r7, r5, r7
+        xor   r20, r7, r20
+        ldq   r7, 0(r1)
+        ldq   r8, 0(r2)
+        mul   r7, r8, r7
+        and   r7, r16, r7
+        add   r20, r7, r20
+        ; a <- b ; b <- c (walking pointers)
+        clr   r4
+        mov   r1, r17
+        mov   r2, r18
+        mov   r3, r19
+gcopy:  ldq   r7, 0(r18)
+        stq   r7, 0(r17)
+        ldq   r7, 0(r19)
+        stq   r7, 0(r18)
+        lda   r17, 8(r17)
+        lda   r18, 8(r18)
+        lda   r19, 8(r19)
+        add   r4, #1, r4
+        cmplt r4, r6, r8
+        bne   r8, gcopy
+        sub   r13, #1, r13
+        bne   r13, giter
+{EPILOGUE}
+        .data
+        .align 8
+biga:   .space {LBYTES}
+bigb:   .space {LBYTES}
+bigc:   .space {LBYTES}
+)";
+
+uint64_t
+gapGolden(uint64_t seed, int64_t limbs, int64_t iters)
+{
+    uint64_t x = seed;
+    const uint64_t mask = 0xFFFFFFFFull;
+    std::vector<uint64_t> a(limbs), b(limbs), c(limbs);
+    for (int64_t i = 0; i < limbs; ++i) {
+        a[i] = lcgStep(x) & mask;
+        b[i] = lcgStep(x) & mask;
+    }
+    uint64_t checksum = 0;
+    for (int64_t it = 0; it < iters; ++it) {
+        uint64_t carry = 0;
+        for (int64_t i = 0; i < limbs; ++i) {
+            uint64_t t = a[i] + b[i] + carry;
+            carry = t >> 32;
+            c[i] = t & mask;
+        }
+        checksum ^= c[limbs - 1] + carry;
+        checksum += (a[0] * b[0]) & mask;
+        a = b;
+        b = c;
+    }
+    return checksum;
+}
+
+} // namespace
+
+Workload
+makeGap(Scale scale)
+{
+    int64_t limbs = scale == Scale::Test ? 32 : 96;
+    int64_t iters = scale == Scale::Test ? 60 : 50000;
+    uint64_t seed = 25400101;
+
+    Workload w;
+    w.name = "gap";
+    w.description = "bignum add chains (254.gap substitute)";
+    std::string src = substitute(GAP_ASM, {
+        {"SEED", int64_t(seed)},
+        {"L", limbs},
+        {"ITERS", iters},
+        {"LBYTES", limbs * 8},
+        });
+    size_t pos = src.find("{EPILOGUE}");
+    src.replace(pos, 10, detail::CHECKSUM_EPILOGUE);
+    w.program = assembler::assemble(src);
+    if (scale == Scale::Test)
+        w.expectedConsole = checksumBytes(gapGolden(seed, limbs, iters));
+    return w;
+}
+
+// --------------------------------------------------------------------
+// twolf: annealing-style swaps with neighbour wirelength deltas.
+// --------------------------------------------------------------------
+
+namespace
+{
+
+const char *TWOLF_ASM = R"(
+        li    r11, 1103515245
+        li    r12, 12345
+        li    r10, {SEED}
+        li    r6, {C}             ; number of cells (power of 2)
+        li    r16, {CMASK}
+        la    r1, posx
+        la    r2, posy
+        clr   r4
+tinit:  mul   r10, r11, r10
+        add   r10, r12, r10
+        srl   r10, #16, r8
+        and   r8, #255, r8
+        s8add r4, r1, r9
+        stq   r8, 0(r9)
+        mul   r10, r11, r10
+        add   r10, r12, r10
+        srl   r10, #16, r8
+        and   r8, #255, r8
+        s8add r4, r2, r9
+        stq   r8, 0(r9)
+        add   r4, #1, r4
+        cmplt r4, r6, r8
+        bne   r8, tinit
+steady: clr   r20
+        clr   r19                 ; accepted
+        li    r13, {MOVES}
+titer:  mul   r10, r11, r10
+        add   r10, r12, r10
+        srl   r10, #8, r4
+        and   r4, r16, r4         ; i
+        mul   r10, r11, r10
+        add   r10, r12, r10
+        srl   r10, #8, r5
+        and   r5, r16, r5         ; j
+        ; cost of i at pos(i) vs pos(j): dist to neighbour i+1
+        add   r4, #1, r7
+        and   r7, r16, r7         ; ni
+        s8add r4, r1, r9
+        ldq   r14, 0(r9)          ; x[i]
+        s8add r7, r1, r9
+        ldq   r15, 0(r9)          ; x[ni]
+        s8add r4, r2, r9
+        ldq   r17, 0(r9)          ; y[i]
+        s8add r7, r2, r9
+        ldq   r18, 0(r9)          ; y[ni]
+        ; before = |x[i]-x[ni]| + |y[i]-y[ni]| (branchy abs, as
+        ; annealing cost code typically compiles)
+        sub   r14, r15, r3
+        bge   r3, tpos1
+        neg   r3, r3
+tpos1:  sub   r17, r18, r7
+        sra   r7, #63, r8
+        xor   r7, r8, r7
+        sub   r7, r8, r7
+        add   r3, r7, r3          ; before
+        ; after: i takes pos(j)
+        s8add r5, r1, r9
+        ldq   r21, 0(r9)          ; x[j]
+        s8add r5, r2, r9
+        ldq   r22, 0(r9)          ; y[j]
+        sub   r21, r15, r7
+        bge   r7, tpos3
+        neg   r7, r7
+tpos3:  sub   r22, r18, r15
+        sra   r15, #63, r8
+        xor   r15, r8, r15
+        sub   r15, r8, r15
+        add   r7, r15, r7         ; after
+        sub   r7, r3, r3          ; delta
+        blt   r3, accept
+        and   r10, #15, r8
+        beq   r8, accept
+        br    reject
+accept: ; swap pos(i) and pos(j)
+        s8add r4, r1, r9
+        stq   r21, 0(r9)
+        s8add r5, r1, r9
+        stq   r14, 0(r9)
+        s8add r4, r2, r9
+        stq   r22, 0(r9)
+        s8add r5, r2, r9
+        stq   r17, 0(r9)
+        add   r19, #1, r19
+reject: add   r20, r3, r20
+        sub   r13, #1, r13
+        bne   r13, titer
+        sll   r19, #16, r19
+        add   r20, r19, r20
+{EPILOGUE}
+        .data
+        .align 8
+posx:   .space {CBYTES}
+posy:   .space {CBYTES}
+)";
+
+uint64_t
+twolfGolden(uint64_t seed, int64_t cells, int64_t moves)
+{
+    uint64_t x = seed;
+    std::vector<int64_t> px(cells), py(cells);
+    for (int64_t i = 0; i < cells; ++i) {
+        px[i] = int64_t((lcgStep(x) >> 16) & 0xFF);
+        py[i] = int64_t((lcgStep(x) >> 16) & 0xFF);
+    }
+    uint64_t cmask = uint64_t(cells) - 1;
+    uint64_t checksum = 0;
+    uint64_t accepted = 0;
+    auto iabs = [](int64_t v) { return v < 0 ? -v : v; };
+    for (int64_t m = 0; m < moves; ++m) {
+        uint64_t i = (lcgStep(x) >> 8) & cmask;
+        uint64_t j = (lcgStep(x) >> 8) & cmask;
+        uint64_t ni = (i + 1) & cmask;
+        int64_t before =
+            iabs(px[i] - px[ni]) + iabs(py[i] - py[ni]);
+        int64_t after =
+            iabs(px[j] - px[ni]) + iabs(py[j] - py[ni]);
+        int64_t delta = after - before;
+        bool take = delta < 0 || (x & 15) == 0;
+        if (take) {
+            std::swap(px[i], px[j]);
+            std::swap(py[i], py[j]);
+            ++accepted;
+        }
+        checksum += uint64_t(delta);
+    }
+    checksum += accepted << 16;
+    return checksum;
+}
+
+} // namespace
+
+Workload
+makeTwolf(Scale scale)
+{
+    int64_t cells = scale == Scale::Test ? 256 : 2048;
+    int64_t moves = scale == Scale::Test ? 2000 : 2000000;
+    uint64_t seed = 30000101;
+
+    Workload w;
+    w.name = "twolf";
+    w.description = "annealing cell swaps (300.twolf substitute)";
+    std::string src = substitute(TWOLF_ASM, {
+        {"SEED", int64_t(seed)},
+        {"C", cells},
+        {"CMASK", cells - 1},
+        {"MOVES", moves},
+        {"CBYTES", cells * 8},
+        });
+    size_t pos = src.find("{EPILOGUE}");
+    src.replace(pos, 10, detail::CHECKSUM_EPILOGUE);
+    w.program = assembler::assemble(src);
+    if (scale == Scale::Test)
+        w.expectedConsole =
+            checksumBytes(twolfGolden(seed, cells, moves));
+    return w;
+}
+
+} // namespace hpa::workloads

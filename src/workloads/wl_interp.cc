@@ -1,0 +1,430 @@
+/**
+ * @file
+ * perl: a stack-machine bytecode interpreter dispatching through a
+ * jump table (indirect jumps, as in 253.perlbmk's opcode loop).
+ * eon: floating-point ray-sphere intersection (252.eon substitute).
+ */
+
+#include <vector>
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace hpa::workloads
+{
+
+using detail::checksumBytes;
+using detail::lcgStep;
+using detail::substitute;
+
+// --------------------------------------------------------------------
+// perl: bytecode interpreter.
+// --------------------------------------------------------------------
+
+namespace
+{
+
+const char *PERL_ASM = R"(
+        li    r11, 1103515245
+        li    r12, 12345
+        li    r10, {SEED}
+        li    r6, {K}             ; bytecode length
+        la    r1, code
+        la    r4, stack
+        la    r5, consts
+        la    r7, jt
+        li    r16, 256            ; stack capacity
+        clr   r2
+pgen:   mul   r10, r11, r10
+        add   r10, r12, r10
+        srl   r10, #16, r8
+        and   r8, #7, r8
+        cmple r8, #5, r9
+        bne   r9, genok
+        clr   r8
+genok:  add   r1, r2, r9
+        stb   r8, 0(r9)
+        mul   r10, r11, r10
+        add   r10, r12, r10
+        srl   r10, #16, r8
+        and   r8, #255, r8
+        s8add r2, r5, r9
+        stq   r8, 0(r9)
+        add   r2, #1, r2
+        cmplt r2, r6, r8
+        bne   r8, pgen
+steady: clr   r20
+        clr   r3                  ; sp persists across runs
+        li    r13, {INNER}
+prun:   clr   r2                  ; pc
+iloop:  cmplt r2, r6, r8
+        beq   r8, idone
+        add   r1, r2, r9
+        ldbu  r8, 0(r9)
+        s8add r8, r7, r9
+        ldq   r9, 0(r9)
+        jmp   r31, (r9)
+op_push:
+        cmpeq r3, r16, r8
+        beq   r8, push2
+        clr   r3
+push2:  s8add r2, r5, r9
+        ldq   r14, 0(r9)
+        s8add r3, r4, r9
+        stq   r14, 0(r9)
+        add   r3, #1, r3
+        br    inext
+op_add: cmplt r3, #2, r8
+        bne   r8, inext
+        sub   r3, #1, r3
+        s8add r3, r4, r9
+        ldq   r14, 0(r9)
+        sub   r3, #1, r15
+        s8add r15, r4, r9
+        ldq   r15, 0(r9)
+        add   r15, r14, r14
+        stq   r14, 0(r9)
+        br    inext
+op_sub: cmplt r3, #2, r8
+        bne   r8, inext
+        sub   r3, #1, r3
+        s8add r3, r4, r9
+        ldq   r14, 0(r9)
+        sub   r3, #1, r15
+        s8add r15, r4, r9
+        ldq   r15, 0(r9)
+        sub   r15, r14, r14
+        stq   r14, 0(r9)
+        br    inext
+op_xor: cmplt r3, #2, r8
+        bne   r8, inext
+        sub   r3, #1, r3
+        s8add r3, r4, r9
+        ldq   r14, 0(r9)
+        sub   r3, #1, r15
+        s8add r15, r4, r9
+        ldq   r15, 0(r9)
+        xor   r15, r14, r14
+        stq   r14, 0(r9)
+        br    inext
+op_dup: beq   r3, inext
+        cmpeq r3, r16, r8
+        bne   r8, inext
+        sub   r3, #1, r8
+        s8add r8, r4, r9
+        ldq   r14, 0(r9)
+        s8add r3, r4, r9
+        stq   r14, 0(r9)
+        add   r3, #1, r3
+        br    inext
+op_swap:
+        nop                       ; alignment-style 2-source nop
+        cmplt r3, #2, r8
+        bne   r8, inext
+        sub   r3, #1, r8
+        s8add r8, r4, r9
+        ldq   r14, 0(r9)
+        sub   r3, #2, r8
+        s8add r8, r4, r17
+        ldq   r15, 0(r17)
+        stq   r15, 0(r9)
+        stq   r14, 0(r17)
+inext:  add   r2, #1, r2
+        br    iloop
+idone:  add   r20, r3, r20
+        beq   r3, nostk
+        sub   r3, #1, r8
+        s8add r8, r4, r9
+        ldq   r14, 0(r9)
+        add   r20, r14, r20
+nostk:  sub   r13, #1, r13
+        bne   r13, prun
+{EPILOGUE}
+        .data
+code:   .space {K}
+        .align 8
+consts: .space {KBYTES}
+stack:  .space 2048
+jt:     .word op_push, op_add, op_sub, op_xor, op_dup, op_swap
+)";
+
+uint64_t
+perlGolden(uint64_t seed, int64_t k, int64_t inner)
+{
+    uint64_t x = seed;
+    std::vector<uint8_t> code(k);
+    std::vector<uint64_t> consts(k);
+    for (int64_t i = 0; i < k; ++i) {
+        uint64_t op = (lcgStep(x) >> 16) & 7;
+        if (op > 5)
+            op = 0;
+        code[i] = static_cast<uint8_t>(op);
+        consts[i] = (lcgStep(x) >> 16) & 0xFF;
+    }
+    uint64_t stack[256];
+    uint64_t sp = 0;
+    uint64_t checksum = 0;
+    for (int64_t run = 0; run < inner; ++run) {
+        for (int64_t pc = 0; pc < k; ++pc) {
+            switch (code[pc]) {
+              case 0:
+                if (sp == 256)
+                    sp = 0;
+                stack[sp++] = consts[pc];
+                break;
+              case 1:
+                if (sp < 2)
+                    break;
+                --sp;
+                stack[sp - 1] = stack[sp - 1] + stack[sp];
+                break;
+              case 2:
+                if (sp < 2)
+                    break;
+                --sp;
+                stack[sp - 1] = stack[sp - 1] - stack[sp];
+                break;
+              case 3:
+                if (sp < 2)
+                    break;
+                --sp;
+                stack[sp - 1] = stack[sp - 1] ^ stack[sp];
+                break;
+              case 4:
+                if (sp == 0 || sp == 256)
+                    break;
+                stack[sp] = stack[sp - 1];
+                ++sp;
+                break;
+              default:
+                if (sp < 2)
+                    break;
+                std::swap(stack[sp - 1], stack[sp - 2]);
+                break;
+            }
+        }
+        checksum += sp;
+        if (sp > 0)
+            checksum += stack[sp - 1];
+    }
+    return checksum;
+}
+
+} // namespace
+
+Workload
+makePerl(Scale scale)
+{
+    int64_t k = scale == Scale::Test ? 512 : 4096;
+    int64_t inner = scale == Scale::Test ? 8 : 40000;
+    uint64_t seed = 25300101;
+
+    Workload w;
+    w.name = "perl";
+    w.description =
+        "stack-machine bytecode interpreter (253.perlbmk substitute)";
+    std::string src = substitute(PERL_ASM, {
+        {"SEED", int64_t(seed)},
+        {"K", k},
+        {"KBYTES", k * 8},
+        {"INNER", inner},
+        });
+    size_t pos = src.find("{EPILOGUE}");
+    src.replace(pos, 10, detail::CHECKSUM_EPILOGUE);
+    w.program = assembler::assemble(src);
+    if (scale == Scale::Test)
+        w.expectedConsole = checksumBytes(perlGolden(seed, k, inner));
+    return w;
+}
+
+// --------------------------------------------------------------------
+// eon: ray-sphere intersection with IEEE doubles.
+// --------------------------------------------------------------------
+
+namespace
+{
+
+const char *EON_ASM = R"(
+        li    r11, 1103515245
+        li    r12, 12345
+        li    r10, {SEED}
+        li    r6, {NS}            ; spheres
+        la    r1, scx
+        la    r2, scy
+        la    r3, scz
+        la    r4, sr2
+        li    r8, 128
+        itof  r8, f1              ; 128.0
+        clr   r5
+einit:  mul   r10, r11, r10
+        add   r10, r12, r10
+        srl   r10, #16, r8
+        and   r8, #255, r8
+        itof  r8, f2
+        subf  f2, f1, f2
+        s8add r5, r1, r9
+        stf   f2, 0(r9)
+        mul   r10, r11, r10
+        add   r10, r12, r10
+        srl   r10, #16, r8
+        and   r8, #255, r8
+        itof  r8, f2
+        subf  f2, f1, f2
+        s8add r5, r2, r9
+        stf   f2, 0(r9)
+        mul   r10, r11, r10
+        add   r10, r12, r10
+        srl   r10, #16, r8
+        and   r8, #255, r8
+        itof  r8, f2
+        subf  f2, f1, f2
+        s8add r5, r3, r9
+        stf   f2, 0(r9)
+        mul   r10, r11, r10
+        add   r10, r12, r10
+        srl   r10, #16, r8
+        and   r8, #15, r8
+        add   r8, #4, r8
+        itof  r8, f2
+        mulf  f2, f2, f2          ; r^2
+        s8add r5, r4, r9
+        stf   f2, 0(r9)
+        add   r5, #1, r5
+        cmplt r5, r6, r8
+        bne   r8, einit
+steady: clr   r19                 ; hits
+        itof  r31, f20            ; acc = 0.0
+        li    r13, {NR}           ; rays
+eray:   mul   r10, r11, r10
+        add   r10, r12, r10
+        srl   r10, #16, r8
+        and   r8, #15, r8
+        add   r8, #1, r8
+        itof  r8, f6              ; dx
+        mul   r10, r11, r10
+        add   r10, r12, r10
+        srl   r10, #16, r8
+        and   r8, #15, r8
+        add   r8, #1, r8
+        itof  r8, f7              ; dy
+        mul   r10, r11, r10
+        add   r10, r12, r10
+        srl   r10, #16, r8
+        and   r8, #15, r8
+        add   r8, #1, r8
+        itof  r8, f8              ; dz
+        addf  f6, f7, f9
+        addf  f9, f8, f9          ; norm
+        divf  f6, f9, f6
+        divf  f7, f9, f7
+        divf  f8, f9, f8
+        clr   r5
+esph:   s8add r5, r1, r9
+        ldf   f2, 0(r9)           ; cx
+        s8add r5, r2, r9
+        ldf   f3, 0(r9)
+        s8add r5, r3, r9
+        ldf   f4, 0(r9)
+        s8add r5, r4, r9
+        ldf   f5, 0(r9)           ; r^2
+        mulf  f2, f6, f9
+        mulf  f3, f7, f10
+        addf  f9, f10, f9
+        mulf  f4, f8, f10
+        addf  f9, f10, f9         ; b
+        mulf  f2, f2, f10
+        mulf  f3, f3, f11
+        addf  f10, f11, f10
+        mulf  f4, f4, f11
+        addf  f10, f11, f10
+        subf  f10, f5, f10        ; cc = |c|^2 - r^2
+        mulf  f9, f9, f11
+        subf  f11, f10, f11       ; disc
+        cmpflt f31, f11, f12
+        ftoi  f12, r8
+        beq   r8, emiss
+        add   r19, #1, r19
+        sqrtf f11, f11
+        subf  f9, f11, f9         ; t = b - sqrt(disc)
+        addf  f20, f9, f20
+emiss:  add   r5, #1, r5
+        cmplt r5, r6, r8
+        bne   r8, esph
+        sub   r13, #1, r13
+        bne   r13, eray
+        ftoi  f20, r20
+        add   r20, r19, r20
+{EPILOGUE}
+        .data
+        .align 8
+scx:    .space {NSBYTES}
+scy:    .space {NSBYTES}
+scz:    .space {NSBYTES}
+sr2:    .space {NSBYTES}
+)";
+
+uint64_t
+eonGolden(uint64_t seed, int64_t ns, int64_t nr)
+{
+    uint64_t x = seed;
+    std::vector<double> scx(ns), scy(ns), scz(ns), sr2(ns);
+    for (int64_t s = 0; s < ns; ++s) {
+        scx[s] = double((lcgStep(x) >> 16) & 0xFF) - 128.0;
+        scy[s] = double((lcgStep(x) >> 16) & 0xFF) - 128.0;
+        scz[s] = double((lcgStep(x) >> 16) & 0xFF) - 128.0;
+        double r = double(((lcgStep(x) >> 16) & 0xF) + 4);
+        sr2[s] = r * r;
+    }
+    uint64_t hits = 0;
+    double acc = 0.0;
+    for (int64_t i = 0; i < nr; ++i) {
+        double dx = double(((lcgStep(x) >> 16) & 0xF) + 1);
+        double dy = double(((lcgStep(x) >> 16) & 0xF) + 1);
+        double dz = double(((lcgStep(x) >> 16) & 0xF) + 1);
+        double norm = (dx + dy) + dz;
+        dx /= norm;
+        dy /= norm;
+        dz /= norm;
+        for (int64_t s = 0; s < ns; ++s) {
+            double b = (scx[s] * dx + scy[s] * dy) + scz[s] * dz;
+            double cc =
+                ((scx[s] * scx[s] + scy[s] * scy[s])
+                 + scz[s] * scz[s]) - sr2[s];
+            double disc = b * b - cc;
+            if (0.0 < disc) {
+                ++hits;
+                double root = disc < 0.0 ? 0.0 : __builtin_sqrt(disc);
+                acc += b - root;
+            }
+        }
+    }
+    return static_cast<uint64_t>(static_cast<int64_t>(acc) + int64_t(hits));
+}
+
+} // namespace
+
+Workload
+makeEon(Scale scale)
+{
+    int64_t ns = scale == Scale::Test ? 32 : 128;
+    int64_t nr = scale == Scale::Test ? 100 : 100000;
+    uint64_t seed = 25200101;
+
+    Workload w;
+    w.name = "eon";
+    w.description = "ray-sphere intersection (252.eon substitute)";
+    std::string src = substitute(EON_ASM, {
+        {"SEED", int64_t(seed)},
+        {"NS", ns},
+        {"NSBYTES", ns * 8},
+        {"NR", nr},
+        });
+    size_t pos = src.find("{EPILOGUE}");
+    src.replace(pos, 10, detail::CHECKSUM_EPILOGUE);
+    w.program = assembler::assemble(src);
+    if (scale == Scale::Test)
+        w.expectedConsole = checksumBytes(eonGolden(seed, ns, nr));
+    return w;
+}
+
+} // namespace hpa::workloads

@@ -1,0 +1,716 @@
+/**
+ * @file
+ * Pointer/memory-dominated substitutes: gcc (expression-tree constant
+ * folding), mcf (Bellman-Ford edge relaxation over a random graph),
+ * vortex (object-record transactions with link chasing), vpr
+ * (maze-routing BFS wavefront).
+ */
+
+#include <vector>
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace hpa::workloads
+{
+
+using detail::checksumBytes;
+using detail::lcgStep;
+using detail::substitute;
+
+// --------------------------------------------------------------------
+// gcc: iterative bottom-up constant folding of a binary expression
+// tree stored as 32-byte nodes {op, left*, right*, val}.
+// --------------------------------------------------------------------
+
+namespace
+{
+
+const char *GCC_ASM = R"(
+        li    r11, 1103515245
+        li    r12, 12345
+        li    r10, {SEED}
+        li    r6, {N}
+        la    r1, nodes
+        li    r16, 65535
+        ; build
+        clr   r2
+build:  sll   r2, #5, r9
+        add   r1, r9, r9          ; node addr
+        sll   r2, #1, r3
+        add   r3, #1, r3          ; 2i+1
+        cmplt r3, r6, r8
+        beq   r8, leaf
+        and   r2, #3, r8
+        stq   r8, 0(r9)           ; op
+        sll   r3, #5, r8
+        add   r1, r8, r8
+        stq   r8, 8(r9)           ; left ptr
+        add   r3, #1, r3          ; 2i+2
+        cmplt r3, r6, r8
+        beq   r8, onechild
+        sll   r3, #5, r8
+        add   r1, r8, r8
+        stq   r8, 16(r9)
+        br    bnext
+onechild:
+        ldq   r8, 8(r9)
+        stq   r8, 16(r9)
+        br    bnext
+leaf:   mul   r10, r11, r10
+        add   r10, r12, r10
+        and   r10, r16, r8
+        stq   r8, 24(r9)
+bnext:  add   r2, #1, r2
+        cmplt r2, r6, r8
+        bne   r8, build
+steady: clr   r20
+        li    r13, {OUTER}
+        li    r17, {LASTINT}
+gouter: ; re-mutate leaves: val = (val + i) & 0xffff
+        add   r17, #1, r2
+remut:  cmplt r2, r6, r8
+        beq   r8, remutd
+        sll   r2, #5, r9
+        add   r1, r9, r9
+        ldq   r8, 24(r9)
+        add   r8, r2, r8
+        and   r8, r16, r8
+        stq   r8, 24(r9)
+        add   r2, #1, r2
+        br    remut
+remutd: ; fold from LASTINT down to 0
+        mov   r17, r2
+fold:   sll   r2, #5, r9
+        add   r1, r9, r9
+        ldq   r3, 0(r9)           ; op
+        ldq   r4, 8(r9)
+        ldq   r4, 24(r4)          ; left val
+        ldq   r5, 16(r9)
+        ldq   r5, 24(r5)          ; right val
+        cmpeq r3, #0, r8
+        bne   r8, fadd
+        cmpeq r3, #1, r8
+        bne   r8, fsub
+        cmpeq r3, #2, r8
+        bne   r8, fxor
+        and   r4, r5, r4
+        br    fstore
+fadd:   add   r4, r5, r4
+        br    fstore
+fsub:   sub   r4, r5, r4
+        br    fstore
+fxor:   xor   r4, r5, r4
+fstore: and   r4, r16, r4
+        stq   r4, 24(r9)
+        beq   r2, folded
+        sub   r2, #1, r2
+        br    fold
+folded: ldq   r8, 24(r1)          ; root val
+        xor   r20, r8, r20
+        add   r20, #1, r20
+        sub   r13, #1, r13
+        bne   r13, gouter
+{EPILOGUE}
+        .data
+        .align 8
+nodes:  .space {NODEBYTES}
+)";
+
+uint64_t
+gccGolden(uint64_t seed, int64_t n, int64_t outer)
+{
+    uint64_t x = seed;
+    struct Node
+    {
+        uint64_t op = 0;
+        int64_t left = 0;
+        int64_t right = 0;
+        uint64_t val = 0;
+    };
+    std::vector<Node> nodes(n);
+    for (int64_t i = 0; i < n; ++i) {
+        int64_t l = 2 * i + 1;
+        if (l < n) {
+            nodes[i].op = uint64_t(i) & 3;
+            nodes[i].left = l;
+            nodes[i].right = l + 1 < n ? l + 1 : l;
+        } else {
+            nodes[i].val = lcgStep(x) & 0xFFFF;
+        }
+    }
+    int64_t lastint = (n - 2) / 2;
+    uint64_t checksum = 0;
+    for (int64_t pass = 0; pass < outer; ++pass) {
+        for (int64_t i = lastint + 1; i < n; ++i)
+            nodes[i].val = (nodes[i].val + uint64_t(i)) & 0xFFFF;
+        for (int64_t i = lastint; i >= 0; --i) {
+            uint64_t a = nodes[nodes[i].left].val;
+            uint64_t b = nodes[nodes[i].right].val;
+            uint64_t v;
+            switch (nodes[i].op) {
+              case 0: v = a + b; break;
+              case 1: v = a - b; break;
+              case 2: v = a ^ b; break;
+              default: v = a & b; break;
+            }
+            nodes[i].val = v & 0xFFFF;
+        }
+        checksum ^= nodes[0].val;
+        checksum += 1;
+    }
+    return checksum;
+}
+
+} // namespace
+
+Workload
+makeGcc(Scale scale)
+{
+    int64_t n = scale == Scale::Test ? 511 : 8191;
+    int64_t outer = scale == Scale::Test ? 3 : 20000;
+    uint64_t seed = 17600115;
+
+    Workload w;
+    w.name = "gcc";
+    w.description =
+        "expression-tree constant folding (176.gcc substitute)";
+    std::string src = substitute(GCC_ASM, {
+        {"SEED", int64_t(seed)},
+        {"N", n},
+        {"OUTER", outer},
+        {"LASTINT", (n - 2) / 2},
+        {"NODEBYTES", n * 32},
+        });
+    size_t pos = src.find("{EPILOGUE}");
+    src.replace(pos, 10, detail::CHECKSUM_EPILOGUE);
+    w.program = assembler::assemble(src);
+    if (scale == Scale::Test)
+        w.expectedConsole = checksumBytes(gccGolden(seed, n, outer));
+    return w;
+}
+
+// --------------------------------------------------------------------
+// mcf: Bellman-Ford relaxation rounds over a random sparse graph.
+// --------------------------------------------------------------------
+
+namespace
+{
+
+const char *MCF_ASM = R"(
+        li    r11, 1103515245
+        li    r12, 12345
+        li    r10, {SEED}
+        li    r6, {M}             ; edge records
+        li    r16, {NMASK}
+        li    r18, {STRIDE}
+        la    r1, recs
+        la    r4, dist
+        ; generate 32-byte edge records {src, dst, w, next}
+        mov   r1, r5
+        clr   r2
+minit:  mul   r10, r11, r10
+        add   r10, r12, r10
+        and   r10, r16, r8
+        stq   r8, 0(r5)           ; src
+        mul   r10, r11, r10
+        add   r10, r12, r10
+        and   r10, r16, r8
+        stq   r8, 8(r5)           ; dst
+        mul   r10, r11, r10
+        add   r10, r12, r10
+        srl   r10, #16, r8
+        and   r8, #255, r8
+        add   r8, #1, r8
+        stq   r8, 16(r5)          ; w
+        add   r2, r18, r8         ; (e + STRIDE) mod M
+        cmplt r8, r6, r9
+        bne   r9, nmod
+        sub   r8, r6, r8
+nmod:   sll   r8, #5, r8
+        add   r1, r8, r8
+        stq   r8, 24(r5)          ; next record pointer
+        lda   r5, 32(r5)
+        add   r2, #1, r2
+        cmplt r2, r6, r8
+        bne   r8, minit
+        ; dist init
+        li    r7, {NN}
+        li    r14, 16384
+        sll   r14, #16, r14       ; BIG = 1<<30
+        mov   r4, r5
+        clr   r2
+dinit:  stq   r14, 0(r5)
+        lda   r5, 8(r5)
+        add   r2, #1, r2
+        cmplt r2, r7, r8
+        bne   r8, dinit
+        stq   r31, 0(r4)          ; dist[0] = 0
+steady: clr   r20
+        li    r13, {ROUNDS}
+round:  mov   r1, r5
+        clr   r2
+relax:  ldq   r8, 0(r5)           ; src
+        s8add r8, r4, r9
+        ldq   r14, 0(r9)          ; dist[src]
+        ldq   r15, 16(r5)         ; w
+        add   r14, r15, r14       ; nd
+        ldq   r8, 8(r5)           ; dst
+        s8add r8, r4, r9
+        ldq   r15, 0(r9)          ; dist[dst]
+        cmplt r14, r15, r8
+        beq   r8, norelax
+        stq   r14, 0(r9)
+        add   r20, #1, r20        ; relaxations
+norelax:
+        ldq   r5, 24(r5)          ; serial walk: next record
+        add   r2, #1, r2
+        cmplt r2, r6, r8
+        bne   r8, relax
+        sub   r13, #1, r13
+        bne   r13, round
+        ; checksum += sum(dist)
+        mov   r4, r5
+        clr   r2
+dsum:   ldq   r8, 0(r5)
+        lda   r5, 8(r5)
+        add   r20, r8, r20
+        add   r2, #1, r2
+        cmplt r2, r7, r8
+        bne   r8, dsum
+{EPILOGUE}
+        .data
+        .align 8
+recs:   .space {RECBYTES}
+dist:   .space {NBYTES}
+)";
+
+uint64_t
+mcfGolden(uint64_t seed, int64_t nn, int64_t m, int64_t stride,
+          int64_t rounds)
+{
+    uint64_t x = seed;
+    uint64_t nmask = uint64_t(nn) - 1;
+    std::vector<uint64_t> esrc(m), edst(m), ew(m);
+    for (int64_t e = 0; e < m; ++e) {
+        esrc[e] = lcgStep(x) & nmask;
+        edst[e] = lcgStep(x) & nmask;
+        ew[e] = ((lcgStep(x) >> 16) & 0xFF) + 1;
+    }
+    std::vector<uint64_t> dist(nn, uint64_t(1) << 30);
+    dist[0] = 0;
+    uint64_t checksum = 0;
+    for (int64_t r = 0; r < rounds; ++r) {
+        int64_t e = 0;
+        for (int64_t cnt = 0; cnt < m; ++cnt) {
+            uint64_t nd = dist[esrc[e]] + ew[e];
+            if (nd < dist[edst[e]]) {
+                dist[edst[e]] = nd;
+                ++checksum;
+            }
+            e += stride;
+            if (e >= m)
+                e -= m;
+        }
+    }
+    for (int64_t i = 0; i < nn; ++i)
+        checksum += dist[i];
+    return checksum;
+}
+
+} // namespace
+
+Workload
+makeMcf(Scale scale)
+{
+    int64_t nn = scale == Scale::Test ? 256 : 32768;
+    int64_t m = 4 * nn;
+    int64_t stride = scale == Scale::Test ? 409 : 26881;
+    int64_t rounds = scale == Scale::Test ? 4 : 400;
+    uint64_t seed = 18100101;
+
+    Workload w;
+    w.name = "mcf";
+    w.description =
+        "linked-edge Bellman-Ford relaxation (181.mcf substitute)";
+    std::string src = substitute(MCF_ASM, {
+        {"SEED", int64_t(seed)},
+        {"NN", nn},
+        {"NMASK", nn - 1},
+        {"M", m},
+        {"STRIDE", stride},
+        {"ROUNDS", rounds},
+        {"RECBYTES", m * 32},
+        {"NBYTES", nn * 8},
+        });
+    size_t pos = src.find("{EPILOGUE}");
+    src.replace(pos, 10, detail::CHECKSUM_EPILOGUE);
+    w.program = assembler::assemble(src);
+    if (scale == Scale::Test)
+        w.expectedConsole =
+            checksumBytes(mcfGolden(seed, nn, m, stride, rounds));
+    return w;
+}
+
+// --------------------------------------------------------------------
+// vortex: object-record transactions with a link-chasing update.
+// --------------------------------------------------------------------
+
+namespace
+{
+
+const char *VORTEX_ASM = R"(
+        li    r11, 1103515245
+        li    r12, 12345
+        li    r10, {SEED}
+        li    r6, {R}
+        li    r16, {RMASK}
+        la    r1, recs
+        li    r17, 65535
+        clr   r2
+vinit:  sll   r2, #6, r9
+        add   r1, r9, r9
+        stq   r2, 0(r9)           ; id
+        mul   r10, r11, r10
+        add   r10, r12, r10
+        and   r10, r17, r8
+        stq   r8, 8(r9)           ; a
+        mul   r10, r11, r10
+        add   r10, r12, r10
+        and   r10, r17, r8
+        stq   r8, 16(r9)          ; b
+        mul   r10, r11, r10
+        add   r10, r12, r10
+        and   r10, r17, r8
+        stq   r8, 24(r9)          ; c
+        mul   r10, r11, r10
+        add   r10, r12, r10
+        and   r10, r16, r8
+        sll   r8, #6, r8
+        add   r1, r8, r8
+        stq   r8, 32(r9)          ; link
+        add   r2, #1, r2
+        cmplt r2, r6, r8
+        bne   r8, vinit
+steady: clr   r20
+        mov   r1, r2              ; scan cursor A: first record
+        li    r19, {HALFBYTES}
+        add   r1, r19, r19        ; scan cursor B: middle record
+        li    r21, {RECBYTES}
+        add   r1, r21, r21        ; end of record array
+        li    r13, {K}            ; iterations; 2 transactions each
+vtx:    ; --- transaction at cursor A ---
+        ldq   r3, 8(r2)           ; a
+        ldq   r5, 24(r2)          ; c
+        mul   r3, #3, r4
+        add   r4, r5, r4          ; b' = a*3 + c
+        srl   r4, #2, r7
+        add   r5, r7, r5          ; c' = c + (b' >> 2)
+        stq   r4, 16(r2)
+        stq   r5, 24(r2)
+        ldq   r7, 32(r2)          ; link
+        ldq   r8, 8(r7)           ; linked a
+        and   r4, #255, r14
+        add   r8, r14, r8
+        stq   r8, 8(r7)
+        and   r4, r17, r14
+        add   r20, r14, r20
+        lda   r2, 64(r2)
+        cmpult r2, r21, r8
+        bne   r8, oka
+        mov   r1, r2
+oka:    ; --- independent transaction at cursor B ---
+        ldq   r3, 8(r19)
+        ldq   r5, 24(r19)
+        mul   r3, #3, r4
+        add   r4, r5, r4
+        srl   r4, #2, r7
+        add   r5, r7, r5
+        stq   r4, 16(r19)
+        stq   r5, 24(r19)
+        ldq   r7, 32(r19)
+        ldq   r8, 8(r7)
+        and   r4, #255, r14
+        add   r8, r14, r8
+        stq   r8, 8(r7)
+        and   r4, r17, r14
+        add   r20, r14, r20
+        lda   r19, 64(r19)
+        cmpult r19, r21, r8
+        bne   r8, okb
+        mov   r1, r19
+okb:    sub   r13, #1, r13
+        bne   r13, vtx
+{EPILOGUE}
+        .data
+        .align 8
+recs:   .space {RECBYTES}
+)";
+
+uint64_t
+vortexGolden(uint64_t seed, int64_t r, int64_t k)
+{
+    uint64_t x = seed;
+    struct Rec
+    {
+        uint64_t a, b, c;
+        int64_t link;
+    };
+    std::vector<Rec> recs(r);
+    uint64_t rmask = uint64_t(r) - 1;
+    for (int64_t i = 0; i < r; ++i) {
+        recs[i].a = lcgStep(x) & 0xFFFF;
+        recs[i].b = lcgStep(x) & 0xFFFF;
+        recs[i].c = lcgStep(x) & 0xFFFF;
+        recs[i].link = int64_t(lcgStep(x) & rmask);
+    }
+    uint64_t checksum = 0;
+    auto txn = [&](int64_t i) {
+        Rec &rec = recs[i];
+        uint64_t b2 = rec.a * 3 + rec.c;
+        rec.c = rec.c + (b2 >> 2);
+        rec.b = b2;
+        recs[rec.link].a += b2 & 255;
+        checksum += b2 & 0xFFFF;
+    };
+    int64_t ia = 0, ib = r / 2;
+    for (int64_t t = 0; t < k; ++t) {
+        txn(ia);
+        ia = ia + 1 == r ? 0 : ia + 1;
+        txn(ib);
+        ib = ib + 1 == r ? 0 : ib + 1;
+    }
+    return checksum;
+}
+
+} // namespace
+
+Workload
+makeVortex(Scale scale)
+{
+    int64_t r = scale == Scale::Test ? 512 : 512;
+    int64_t k = scale == Scale::Test ? 2000 : 1500000;
+    uint64_t seed = 25500101;
+
+    Workload w;
+    w.name = "vortex";
+    w.description =
+        "object-record transactions (255.vortex substitute)";
+    std::string src = substitute(VORTEX_ASM, {
+        {"SEED", int64_t(seed)},
+        {"R", r},
+        {"RMASK", r - 1},
+        {"K", k},
+        {"HALFBYTES", (r / 2) * 64},
+        {"RECBYTES", r * 64},
+        });
+    size_t pos = src.find("{EPILOGUE}");
+    src.replace(pos, 10, detail::CHECKSUM_EPILOGUE);
+    w.program = assembler::assemble(src);
+    if (scale == Scale::Test)
+        w.expectedConsole = checksumBytes(vortexGolden(seed, r, k));
+    return w;
+}
+
+// --------------------------------------------------------------------
+// vpr: repeated maze-routing BFS over a random-obstacle grid.
+// --------------------------------------------------------------------
+
+namespace
+{
+
+const char *VPR_ASM = R"(
+        li    r11, 1103515245
+        li    r12, 12345
+        li    r10, {SEED}
+        li    r6, {NCELLS}
+        li    r16, {GMASK}
+        la    r1, obst
+        la    r2, dist
+        la    r3, queue
+        clr   r20
+        li    r13, {OUTER}
+vouter: ; clear dist, generate obstacles
+        clr   r4
+vgen:   s8add r4, r2, r9
+        stq   r31, 0(r9)
+        mul   r10, r11, r10
+        add   r10, r12, r10
+        srl   r10, #16, r8
+        and   r8, #3, r8
+        cmpeq r8, #0, r8
+        add   r1, r4, r9
+        stb   r8, 0(r9)
+        add   r4, #1, r4
+        cmplt r4, r6, r8
+        bne   r8, vgen
+        stb   r31, 0(r1)          ; start clear
+        stb   r31, 1(r1)          ; keep the source pins open
+        li    r8, {G}
+        add   r1, r8, r9
+        stb   r31, 0(r9)
+        sub   r6, #1, r4
+        add   r1, r4, r9
+        stb   r31, 0(r9)          ; goal clear
+steady: ; BFS
+        li    r4, 1
+        stq   r4, 0(r2)           ; dist[0] = 1
+        stq   r31, 0(r3)          ; queue[0] = 0
+        clr   r4                  ; qh
+        li    r5, 1               ; qt
+bfs:    cmplt r4, r5, r8
+        beq   r8, bfsd
+        s8add r4, r3, r9
+        ldq   r7, 0(r9)           ; cur
+        add   r4, #1, r4
+        s8add r7, r2, r9
+        ldq   r14, 0(r9)          ; d
+        add   r14, #1, r14        ; nd
+        and   r7, r16, r15        ; x
+        ; west
+        beq   r15, noW
+        sub   r7, #1, r17
+        add   r1, r17, r9
+        ldbu  r8, 0(r9)
+        bne   r8, noW
+        s8add r17, r2, r9
+        ldq   r8, 0(r9)
+        bne   r8, noW
+        stq   r14, 0(r9)
+        s8add r5, r3, r9
+        stq   r17, 0(r9)
+        add   r5, #1, r5
+noW:    ; east
+        cmpeq r15, r16, r8
+        bne   r8, noE
+        add   r7, #1, r17
+        add   r1, r17, r9
+        ldbu  r8, 0(r9)
+        bne   r8, noE
+        s8add r17, r2, r9
+        ldq   r8, 0(r9)
+        bne   r8, noE
+        stq   r14, 0(r9)
+        s8add r5, r3, r9
+        stq   r17, 0(r9)
+        add   r5, #1, r5
+noE:    ; north (cur - G)
+        li    r18, {G}
+        sub   r7, r18, r17
+        blt   r17, noN
+        add   r1, r17, r9
+        ldbu  r8, 0(r9)
+        bne   r8, noN
+        s8add r17, r2, r9
+        ldq   r8, 0(r9)
+        bne   r8, noN
+        stq   r14, 0(r9)
+        s8add r5, r3, r9
+        stq   r17, 0(r9)
+        add   r5, #1, r5
+noN:    ; south (cur + G)
+        add   r7, r18, r17
+        cmplt r17, r6, r8
+        beq   r8, noS
+        add   r1, r17, r9
+        ldbu  r8, 0(r9)
+        bne   r8, noS
+        s8add r17, r2, r9
+        ldq   r8, 0(r9)
+        bne   r8, noS
+        stq   r14, 0(r9)
+        s8add r5, r3, r9
+        stq   r17, 0(r9)
+        add   r5, #1, r5
+noS:    br    bfs
+bfsd:   sub   r6, #1, r8
+        s8add r8, r2, r9
+        ldq   r8, 0(r9)
+        add   r20, r8, r20        ; dist to goal
+        add   r20, r5, r20        ; + visited count
+        sub   r13, #1, r13
+        bne   r13, vouter
+{EPILOGUE}
+        .data
+obst:   .space {NCELLS}
+        .align 8
+dist:   .space {NBYTES}
+queue:  .space {NBYTES}
+)";
+
+uint64_t
+vprGolden(uint64_t seed, int64_t g, int64_t outer)
+{
+    uint64_t x = seed;
+    int64_t n = g * g;
+    std::vector<uint8_t> obst(n);
+    std::vector<uint64_t> dist(n);
+    std::vector<int64_t> queue(n);
+    uint64_t checksum = 0;
+
+    for (int64_t pass = 0; pass < outer; ++pass) {
+        for (int64_t i = 0; i < n; ++i) {
+            dist[i] = 0;
+            obst[i] = ((lcgStep(x) >> 16) & 3) == 0 ? 1 : 0;
+        }
+        obst[0] = 0;
+        obst[1] = 0;
+        obst[g] = 0;
+        obst[n - 1] = 0;
+        dist[0] = 1;
+        queue[0] = 0;
+        int64_t qh = 0, qt = 1;
+        while (qh < qt) {
+            int64_t cur = queue[qh++];
+            uint64_t nd = dist[cur] + 1;
+            int64_t cx = cur & (g - 1);
+            auto visit = [&](int64_t nb) {
+                if (!obst[nb] && dist[nb] == 0) {
+                    dist[nb] = nd;
+                    queue[qt++] = nb;
+                }
+            };
+            if (cx != 0)
+                visit(cur - 1);
+            if (cx != g - 1)
+                visit(cur + 1);
+            if (cur - g >= 0)
+                visit(cur - g);
+            if (cur + g < n)
+                visit(cur + g);
+        }
+        checksum += dist[n - 1];
+        checksum += uint64_t(qt);
+    }
+    return checksum;
+}
+
+} // namespace
+
+Workload
+makeVpr(Scale scale)
+{
+    int64_t g = scale == Scale::Test ? 32 : 256;
+    int64_t outer = scale == Scale::Test ? 3 : 500;
+    uint64_t seed = 17500101;
+
+    Workload w;
+    w.name = "vpr";
+    w.description = "maze-routing BFS wavefront (175.vpr substitute)";
+    std::string src = substitute(VPR_ASM, {
+        {"SEED", int64_t(seed)},
+        {"G", g},
+        {"GMASK", g - 1},
+        {"NCELLS", g * g},
+        {"NBYTES", g * g * 8},
+        {"OUTER", outer},
+        });
+    size_t pos = src.find("{EPILOGUE}");
+    src.replace(pos, 10, detail::CHECKSUM_EPILOGUE);
+    w.program = assembler::assemble(src);
+    if (scale == Scale::Test)
+        w.expectedConsole = checksumBytes(vprGolden(seed, g, outer));
+    return w;
+}
+
+} // namespace hpa::workloads

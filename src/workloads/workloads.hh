@@ -1,0 +1,80 @@
+/**
+ * @file
+ * SPEC CINT2000 substitute workloads (Table 2). Each benchmark is an
+ * HPA-ISA assembly kernel chosen to mimic the dominant behaviour of
+ * its SPEC counterpart, paired with a C++ golden model that predicts
+ * the bytes the kernel emits via OUT — used by the test suite to
+ * validate the assembler, emulator and kernels end-to-end.
+ *
+ * | name   | SPEC benchmark | kernel                                 |
+ * |--------|----------------|----------------------------------------|
+ * | bzip   | 256.bzip2      | RLE + move-to-front coding             |
+ * | crafty | 186.crafty     | bitboard fills and popcounts           |
+ * | eon    | 252.eon        | ray-sphere intersection (FP)           |
+ * | gap    | 254.gap        | bignum add/multiply                    |
+ * | gcc    | 176.gcc        | expression-tree constant folding       |
+ * | gzip   | 164.gzip       | LZ77 hash-chain match search           |
+ * | mcf    | 181.mcf        | Bellman-Ford edge relaxation           |
+ * | parser | 197.parser     | tokenizer + open-addressing dictionary |
+ * | perl   | 253.perlbmk    | stack-machine bytecode interpreter     |
+ * | twolf  | 300.twolf      | annealing-style cell swaps             |
+ * | vortex | 255.vortex     | object-record transactions             |
+ * | vpr    | 175.vpr        | maze-routing BFS wavefront             |
+ */
+
+#ifndef HPA_WORKLOADS_WORKLOADS_HH
+#define HPA_WORKLOADS_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "asm/assembler.hh"
+
+namespace hpa::workloads
+{
+
+/** Workload size. Test scale finishes quickly and is verified against
+ *  the golden model; Full scale provides enough dynamic instructions
+ *  for timing measurements. */
+enum class Scale
+{
+    Test,
+    Full,
+};
+
+/** A built benchmark substitute. */
+struct Workload
+{
+    std::string name;
+    std::string description;
+    assembler::Program program;
+    /** Bytes the program emits via OUT (golden-model prediction). */
+    std::string expectedConsole;
+};
+
+/** The twelve benchmark names, in Table 2 order. */
+const std::vector<std::string> &benchmarkNames();
+
+/** Build one benchmark substitute by name; throws on unknown name. */
+Workload make(const std::string &name, Scale scale = Scale::Full);
+
+/** Build all twelve. */
+std::vector<Workload> makeAll(Scale scale = Scale::Full);
+
+// Individual builders.
+Workload makeBzip(Scale scale);
+Workload makeCrafty(Scale scale);
+Workload makeEon(Scale scale);
+Workload makeGap(Scale scale);
+Workload makeGcc(Scale scale);
+Workload makeGzip(Scale scale);
+Workload makeMcf(Scale scale);
+Workload makeParser(Scale scale);
+Workload makePerl(Scale scale);
+Workload makeTwolf(Scale scale);
+Workload makeVortex(Scale scale);
+Workload makeVpr(Scale scale);
+
+} // namespace hpa::workloads
+
+#endif // HPA_WORKLOADS_WORKLOADS_HH

@@ -1,0 +1,421 @@
+/** @file Unit tests for the two-pass assembler. */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "isa/decode.hh"
+
+namespace
+{
+
+using namespace hpa;
+using assembler::AsmError;
+using assembler::assemble;
+using isa::Opcode;
+
+isa::StaticInst
+first(const assembler::Program &p, size_t i = 0)
+{
+    return *isa::decode(p.code.at(i));
+}
+
+TEST(Assembler, EmptyProgram)
+{
+    auto p = assemble("");
+    EXPECT_TRUE(p.code.empty());
+    EXPECT_TRUE(p.data.empty());
+}
+
+TEST(Assembler, SingleOperate)
+{
+    auto p = assemble("add r1, r2, r3");
+    ASSERT_EQ(p.code.size(), 1u);
+    auto si = first(p);
+    EXPECT_EQ(si.op, Opcode::ADD);
+    EXPECT_EQ(si.ra, 1);
+    EXPECT_EQ(si.rb, 2);
+    EXPECT_EQ(si.rc, 3);
+}
+
+TEST(Assembler, LiteralOperand)
+{
+    auto si = first(assemble("xor r1, #255, r3"));
+    EXPECT_TRUE(si.useLiteral);
+    EXPECT_EQ(si.literal, 255);
+}
+
+TEST(Assembler, LiteralOutOfRangeRejected)
+{
+    EXPECT_THROW(assemble("add r1, #256, r3"), AsmError);
+    EXPECT_THROW(assemble("add r1, #-1, r3"), AsmError);
+}
+
+TEST(Assembler, MemoryOperandForms)
+{
+    auto p = assemble("ldq r1, 16(r2)\nstq r3, -8(sp)\nldl r4, (r5)");
+    EXPECT_EQ(first(p, 0).disp, 16);
+    EXPECT_EQ(first(p, 1).disp, -8);
+    EXPECT_EQ(first(p, 1).rb, 30);
+    EXPECT_EQ(first(p, 2).disp, 0);
+}
+
+TEST(Assembler, DisplacementRangeChecked)
+{
+    EXPECT_THROW(assemble("ldq r1, 40000(r2)"), AsmError);
+    EXPECT_NO_THROW(assemble("ldq r1, 32767(r2)"));
+    EXPECT_NO_THROW(assemble("ldq r1, -32768(r2)"));
+}
+
+TEST(Assembler, BackwardBranchDisplacement)
+{
+    auto p = assemble("top: nop\nbne r1, top");
+    // bne at 0x1004, target 0x1000: disp = (0x1000-0x1008)/4 = -2.
+    EXPECT_EQ(first(p, 1).disp, -2);
+}
+
+TEST(Assembler, ForwardBranchDisplacement)
+{
+    auto p = assemble("beq r1, done\nnop\ndone: halt");
+    EXPECT_EQ(first(p, 0).disp, 1);
+}
+
+TEST(Assembler, NumericBranchOperandIsRawDisp)
+{
+    auto p = assemble("br 5\nbeq r2, -3");
+    EXPECT_EQ(first(p, 0).disp, 5);
+    EXPECT_EQ(first(p, 1).disp, -3);
+}
+
+TEST(Assembler, BsrDefaultsToLinkRegister)
+{
+    auto p = assemble("bsr f\nf: halt");
+    EXPECT_EQ(first(p, 0).op, Opcode::BSR);
+    EXPECT_EQ(first(p, 0).ra, isa::LINK_REG);
+}
+
+TEST(Assembler, BsrExplicitLink)
+{
+    auto p = assemble("bsr r5, f\nf: halt");
+    EXPECT_EQ(first(p, 0).ra, 5);
+}
+
+TEST(Assembler, JumpForms)
+{
+    auto p = assemble("jmp (r4)\njsr (r5)\njsr r7, (r5)\nret\nret (r9)");
+    EXPECT_EQ(first(p, 0).op, Opcode::JMP);
+    EXPECT_EQ(first(p, 0).ra, 31);
+    EXPECT_EQ(first(p, 0).rb, 4);
+    EXPECT_EQ(first(p, 1).ra, isa::LINK_REG);
+    EXPECT_EQ(first(p, 2).ra, 7);
+    EXPECT_EQ(first(p, 3).op, Opcode::RET);
+    EXPECT_EQ(first(p, 3).rb, isa::LINK_REG);
+    EXPECT_EQ(first(p, 4).rb, 9);
+}
+
+// --- Pseudo-instructions. ---
+
+TEST(Assembler, NopExpandsToBisZero)
+{
+    auto si = first(assemble("nop"));
+    EXPECT_EQ(si.op, Opcode::BIS);
+    EXPECT_TRUE(si.isNop());
+}
+
+TEST(Assembler, MovClrNegNot)
+{
+    auto p = assemble("mov r1, r2\nclr r3\nneg r4, r5\nnot r6, r7");
+    EXPECT_EQ(first(p, 0).op, Opcode::BIS);
+    EXPECT_EQ(first(p, 0).ra, 1);
+    EXPECT_EQ(first(p, 0).rb, 31);
+    EXPECT_EQ(first(p, 1).rc, 3);
+    EXPECT_EQ(first(p, 2).op, Opcode::SUB);
+    EXPECT_EQ(first(p, 2).ra, 31);
+    EXPECT_EQ(first(p, 3).op, Opcode::ORNOT);
+}
+
+TEST(Assembler, LiSmallIsOneInstruction)
+{
+    auto p = assemble("li r1, 1000\nli r2, -5");
+    EXPECT_EQ(p.code.size(), 2u);
+    EXPECT_EQ(first(p, 0).op, Opcode::LDA);
+    EXPECT_EQ(first(p, 0).disp, 1000);
+    EXPECT_EQ(first(p, 1).disp, -5);
+}
+
+TEST(Assembler, LiLargeIsLdahPlusLda)
+{
+    auto p = assemble("li r1, 1103515245");
+    ASSERT_EQ(p.code.size(), 2u);
+    EXPECT_EQ(first(p, 0).op, Opcode::LDAH);
+    EXPECT_EQ(first(p, 1).op, Opcode::LDA);
+    // Value reconstructs: (hi<<16) + lo.
+    int64_t v = (int64_t(first(p, 0).disp) << 16) + first(p, 1).disp;
+    EXPECT_EQ(v, 1103515245);
+}
+
+TEST(Assembler, LaResolvesDataSymbol)
+{
+    auto p = assemble("la r1, x\n.data\nx: .word 7");
+    ASSERT_EQ(p.code.size(), 2u);
+    int64_t v = (int64_t(first(p, 0).disp) << 16) + first(p, 1).disp;
+    EXPECT_EQ(uint64_t(v), p.symbol("x"));
+}
+
+TEST(Assembler, LabelSizeAccountingForPseudos)
+{
+    // "la" is always two instructions; a label after it must land
+    // two words later.
+    auto p = assemble("la r1, d\nafter: halt\n.data\nd: .byte 1");
+    EXPECT_EQ(p.symbol("after"), p.codeBase + 8);
+}
+
+// --- Directives. ---
+
+TEST(Assembler, WordLongByteSizes)
+{
+    auto p = assemble(".data\na: .word 1, 2\nb: .long 3\nc: .byte 4, 5");
+    EXPECT_EQ(p.data.size(), 16u + 4u + 2u);
+    EXPECT_EQ(p.symbol("b"), p.symbol("a") + 16);
+    EXPECT_EQ(p.symbol("c"), p.symbol("b") + 4);
+}
+
+TEST(Assembler, WordLittleEndianEncoding)
+{
+    auto p = assemble(".data\nv: .word 0x0102030405060708");
+    ASSERT_EQ(p.data.size(), 8u);
+    EXPECT_EQ(p.data[0], 0x08);
+    EXPECT_EQ(p.data[7], 0x01);
+}
+
+TEST(Assembler, WordAcceptsLabels)
+{
+    auto p = assemble("f: halt\n.data\nt: .word f");
+    uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | p.data[i];
+    EXPECT_EQ(v, p.symbol("f"));
+}
+
+TEST(Assembler, SpaceReservesZeros)
+{
+    auto p = assemble(".data\n.space 12");
+    EXPECT_EQ(p.data.size(), 12u);
+}
+
+TEST(Assembler, AlignInData)
+{
+    auto p = assemble(".data\n.byte 1\n.align 8\nx: .word 2");
+    EXPECT_EQ(p.symbol("x") % 8, 0u);
+    EXPECT_EQ(p.data.size(), 16u);
+}
+
+TEST(Assembler, AlignInTextPadsWithNops)
+{
+    auto p = assemble("nop\n.align 16\nx: halt");
+    EXPECT_EQ(p.symbol("x") % 16, 0u);
+    // Padding instructions are 2-source-format nops (Figure 3).
+    for (size_t i = 1; i + 1 < p.code.size(); ++i)
+        EXPECT_TRUE(first(p, i).isNop());
+}
+
+TEST(Assembler, AlignMustBePowerOfTwo)
+{
+    EXPECT_THROW(assemble(".data\n.align 3"), AsmError);
+}
+
+// --- Symbols and expressions. ---
+
+TEST(Assembler, SymbolArithmetic)
+{
+    auto p = assemble("la r1, x+8\n.data\nx: .space 16");
+    int64_t v = (int64_t(first(p, 0).disp) << 16) + first(p, 1).disp;
+    EXPECT_EQ(uint64_t(v), p.symbol("x") + 8);
+}
+
+TEST(Assembler, CharLiterals)
+{
+    auto p = assemble("li r1, 'A'");
+    EXPECT_EQ(first(p, 0).disp, 65);
+}
+
+TEST(Assembler, HexLiterals)
+{
+    auto p = assemble("li r1, 0x7f");
+    EXPECT_EQ(first(p, 0).disp, 0x7f);
+}
+
+TEST(Assembler, CommentStyles)
+{
+    auto p = assemble("nop ; semicolon\nnop // slashes\n; full line");
+    EXPECT_EQ(p.code.size(), 2u);
+}
+
+TEST(Assembler, RegisterAliases)
+{
+    auto p = assemble("mov sp, r1\nmov lr, r2\nmov zero, r3");
+    EXPECT_EQ(first(p, 0).ra, 30);
+    EXPECT_EQ(first(p, 1).ra, 26);
+    EXPECT_EQ(first(p, 2).ra, 31);
+}
+
+TEST(Assembler, EntryDefaultsToCodeBaseOrStartLabel)
+{
+    EXPECT_EQ(assemble("nop").entry, assemble("nop").codeBase);
+    auto p = assemble("nop\nstart: halt");
+    EXPECT_EQ(p.entry, p.codeBase + 4);
+}
+
+TEST(Assembler, CustomBases)
+{
+    assembler::AsmOptions opt;
+    opt.code_base = 0x4000;
+    opt.data_base = 0x200000;
+    auto p = assemble("x: nop\n.data\ny: .byte 1", opt);
+    EXPECT_EQ(p.symbol("x"), 0x4000u);
+    EXPECT_EQ(p.symbol("y"), 0x200000u);
+}
+
+// --- Errors. ---
+
+TEST(AssemblerErrors, DuplicateLabel)
+{
+    EXPECT_THROW(assemble("x: nop\nx: nop"), AsmError);
+}
+
+TEST(AssemblerErrors, UnknownMnemonic)
+{
+    EXPECT_THROW(assemble("frobnicate r1, r2, r3"), AsmError);
+}
+
+TEST(AssemblerErrors, UndefinedSymbol)
+{
+    EXPECT_THROW(assemble("br nowhere"), AsmError);
+}
+
+TEST(AssemblerErrors, InstructionInDataSection)
+{
+    EXPECT_THROW(assemble(".data\nadd r1, r2, r3"), AsmError);
+}
+
+TEST(AssemblerErrors, WrongRegisterFile)
+{
+    EXPECT_THROW(assemble("add f1, f2, f3"), AsmError);
+    EXPECT_THROW(assemble("addf r1, r2, r3"), AsmError);
+}
+
+TEST(AssemblerErrors, ErrorCarriesLineNumber)
+{
+    try {
+        assemble("nop\nnop\nbogus r1");
+        FAIL() << "expected AsmError";
+    } catch (const AsmError &e) {
+        EXPECT_EQ(e.line, 3u);
+        EXPECT_NE(std::string(e.what()).find("line 3"),
+                  std::string::npos);
+    }
+}
+
+TEST(AssemblerErrors, UnknownDirective)
+{
+    EXPECT_THROW(assemble(".bogus 1"), AsmError);
+}
+
+TEST(AssemblerErrors, LabelOnSectionDirective)
+{
+    EXPECT_THROW(assemble("x: .data"), AsmError);
+}
+
+TEST(AssemblerErrors, BranchOutOfRange)
+{
+    std::string s = "beq r1, 2000000";
+    EXPECT_THROW(assemble(s), AsmError);
+}
+
+
+TEST(Assembler, LiBoundaryValues)
+{
+    // 16-bit edge: one instruction at the limits, two just outside.
+    EXPECT_EQ(assemble("li r1, 32767").code.size(), 1u);
+    EXPECT_EQ(assemble("li r1, -32768").code.size(), 1u);
+    EXPECT_EQ(assemble("li r1, 32768").code.size(), 2u);
+    EXPECT_EQ(assemble("li r1, -32769").code.size(), 2u);
+}
+
+TEST(Assembler, LiNegative32BitRoundTrips)
+{
+    auto p = assemble("li r1, -1000000");
+    int64_t v = (int64_t(first(p, 0).disp) << 16) + first(p, 1).disp;
+    EXPECT_EQ(v, -1000000);
+}
+
+TEST(Assembler, LiRejectsSymbols)
+{
+    EXPECT_THROW(assemble("li r1, x\nx: halt"), AsmError);
+}
+
+TEST(Assembler, FpMemoryOperands)
+{
+    auto p = assemble("ldf f3, 8(r2)\nstf f4, -8(sp)");
+    EXPECT_EQ(first(p, 0).op, Opcode::LDF);
+    EXPECT_EQ(first(p, 0).ra, 3);
+    EXPECT_EQ(first(p, 1).op, Opcode::STF);
+    EXPECT_EQ(first(p, 1).rb, 30);
+}
+
+TEST(Assembler, SingleSourceFpForms)
+{
+    auto p = assemble("sqrtf f1, f2\nitof r3, f4\nftoi f5, r6");
+    EXPECT_EQ(first(p, 0).op, Opcode::SQRTF);
+    EXPECT_EQ(first(p, 0).ra, 1);
+    EXPECT_EQ(first(p, 0).rc, 2);
+    EXPECT_EQ(first(p, 1).op, Opcode::ITOF);
+    EXPECT_EQ(first(p, 2).op, Opcode::FTOI);
+    EXPECT_EQ(first(p, 2).rc, 6);
+}
+
+TEST(Assembler, LabelOnOwnLine)
+{
+    auto p = assemble("top:\n  nop\n  br top");
+    EXPECT_EQ(p.symbol("top"), p.codeBase);
+    // br sits at word 1: disp = (0x1000 - 0x1008) / 4.
+    EXPECT_EQ(first(p, 1).disp, -2);
+}
+
+TEST(Assembler, SymbolMinusOffset)
+{
+    auto p = assemble("la r1, e-8\n.data\n.space 16\ne: .byte 0");
+    int64_t v = (int64_t(first(p, 0).disp) << 16) + first(p, 1).disp;
+    EXPECT_EQ(uint64_t(v), p.symbol("e") - 8);
+}
+
+TEST(Assembler, CodeEndAndDataEnd)
+{
+    auto p = assemble("nop\nnop\n.data\n.space 5");
+    EXPECT_EQ(p.codeEnd(), p.codeBase + 8);
+    EXPECT_EQ(p.dataEnd(), p.dataBase + 5);
+}
+
+TEST(AssemblerErrors, MissingOperandCount)
+{
+    EXPECT_THROW(assemble("add r1, r2"), AsmError);
+    EXPECT_THROW(assemble("ldq r1"), AsmError);
+    EXPECT_THROW(assemble("beq r1"), AsmError);
+}
+
+TEST(AssemblerErrors, MemOperandWithoutParens)
+{
+    EXPECT_THROW(assemble("ldq r1, r2"), AsmError);
+}
+
+TEST(AssemblerErrors, MalformedMemOperand)
+{
+    EXPECT_THROW(assemble("ldq r1, 8(r2"), AsmError);
+    EXPECT_THROW(assemble("ldq r1, 8(x9)"), AsmError);
+}
+
+TEST(AssemblerErrors, BadNumber)
+{
+    EXPECT_THROW(assemble("li r1, 12abc"), AsmError);
+}
+
+} // namespace

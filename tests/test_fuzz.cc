@@ -1,0 +1,230 @@
+/** @file Differential and fuzz tests: decoder robustness on random
+ *  words, disassemble->assemble round trips, sparse memory vs a
+ *  reference map, cache vs a reference LRU model, and emulator
+ *  determinism on random straight-line programs. */
+
+#include <map>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "func/emulator.hh"
+#include "mem/cache.hh"
+
+namespace
+{
+
+using namespace hpa;
+using isa::Opcode;
+
+TEST(DecoderFuzz, RandomWordsNeverCrashAndReencodeStably)
+{
+    std::mt19937_64 rng(42);
+    unsigned decoded = 0;
+    for (int i = 0; i < 200000; ++i) {
+        auto w = static_cast<isa::MachInst>(rng());
+        auto si = isa::decode(w);
+        if (!si)
+            continue;
+        ++decoded;
+        // Decode must be stable across an encode round trip.
+        auto si2 = isa::decode(isa::encode(*si));
+        ASSERT_TRUE(si2.has_value());
+        EXPECT_EQ(si2->op, si->op);
+        EXPECT_EQ(si2->ra, si->ra);
+        EXPECT_EQ(si2->rb, si->rb);
+        EXPECT_EQ(si2->rc, si->rc);
+        EXPECT_EQ(si2->useLiteral, si->useLiteral);
+        EXPECT_EQ(si2->literal, si->literal);
+        EXPECT_EQ(si2->disp, si->disp);
+        // Disassembly of any legal instruction is printable.
+        EXPECT_FALSE(si->disassemble().empty());
+    }
+    // A healthy fraction of random words decode.
+    EXPECT_GT(decoded, 10000u);
+}
+
+TEST(DisasmFuzz, DisassembleAssembleRoundTrip)
+{
+    std::mt19937_64 rng(7);
+    auto reg = [&] { return isa::RegIndex(rng() & 31); };
+
+    for (int i = 0; i < 4000; ++i) {
+        isa::StaticInst si;
+        switch (rng() % 6) {
+          case 0: {
+            auto op = Opcode(rng() % (unsigned(Opcode::S8ADD) + 1));
+            si = rng() & 1
+                ? isa::makeOpImm(op, reg(), uint8_t(rng()), reg())
+                : isa::makeOp(op, reg(), reg(), reg());
+            break;
+          }
+          case 1: {
+            unsigned base = unsigned(Opcode::ADDF);
+            auto op = Opcode(base + rng() % 7);   // 2-source fp ops
+            si = isa::makeOp(op, reg(), reg(), reg());
+            break;
+          }
+          case 2: {
+            const Opcode mem[] = {Opcode::LDA, Opcode::LDAH,
+                                  Opcode::LDBU, Opcode::LDW,
+                                  Opcode::LDL, Opcode::LDQ,
+                                  Opcode::STB, Opcode::STW,
+                                  Opcode::STL, Opcode::STQ};
+            si = isa::makeMem(mem[rng() % 10], reg(), reg(),
+                              int32_t(rng() % 65536) - 32768);
+            break;
+          }
+          case 3: {
+            const Opcode br[] = {Opcode::BR, Opcode::BSR, Opcode::BEQ,
+                                 Opcode::BNE, Opcode::BLT, Opcode::BLE,
+                                 Opcode::BGT, Opcode::BGE,
+                                 Opcode::BLBC, Opcode::BLBS};
+            si = isa::makeBranch(br[rng() % 10], reg(),
+                                 int32_t(rng() % 1024) - 512);
+            break;
+          }
+          case 4: {
+            const Opcode j[] = {Opcode::JMP, Opcode::JSR, Opcode::RET};
+            si = isa::makeJump(j[rng() % 3], reg(), reg());
+            break;
+          }
+          default:
+            si = rng() & 1 ? isa::makeSystem(Opcode::HALT)
+                           : isa::makeSystem(Opcode::OUT, reg());
+        }
+
+        std::string text = si.disassemble();
+        assembler::Program p;
+        ASSERT_NO_THROW(p = assembler::assemble(text)) << text;
+        ASSERT_EQ(p.code.size(), 1u) << text;
+        auto back = isa::decode(p.code[0]);
+        ASSERT_TRUE(back.has_value()) << text;
+        EXPECT_EQ(back->op, si.op) << text;
+        EXPECT_EQ(back->disp, si.disp) << text;
+        EXPECT_EQ(isa::encode(*back), isa::encode(si)) << text;
+    }
+}
+
+TEST(MemoryFuzz, MatchesReferenceMap)
+{
+    std::mt19937_64 rng(99);
+    func::Memory mem;
+    std::map<uint64_t, uint8_t> ref;
+
+    for (int i = 0; i < 50000; ++i) {
+        // Cluster addresses to hit page boundaries often.
+        uint64_t addr = (rng() % 8) * func::Memory::PAGE_SIZE
+            + (rng() % 32) + func::Memory::PAGE_SIZE - 16;
+        unsigned size = 1u << (rng() % 4);
+        if (rng() & 1) {
+            uint64_t v = rng();
+            mem.write(addr, v, size);
+            for (unsigned b = 0; b < size; ++b)
+                ref[addr + b] = uint8_t(v >> (8 * b));
+        } else {
+            uint64_t got = mem.read(addr, size);
+            uint64_t want = 0;
+            for (unsigned b = 0; b < size; ++b) {
+                auto it = ref.find(addr + b);
+                uint64_t byte = it == ref.end() ? 0 : it->second;
+                want |= byte << (8 * b);
+            }
+            ASSERT_EQ(got, want) << "addr " << addr << " size " << size;
+        }
+    }
+}
+
+/** Reference set-associative LRU cache. */
+class RefCache
+{
+  public:
+    RefCache(unsigned sets, unsigned assoc, unsigned line)
+        : sets_(sets), assoc_(assoc), line_(line), data_(sets)
+    {}
+
+    bool
+    access(uint64_t addr)
+    {
+        uint64_t tag = addr / line_;
+        auto &set = data_[(addr / line_) % sets_];
+        for (auto it = set.begin(); it != set.end(); ++it) {
+            if (*it == tag) {
+                set.erase(it);
+                set.insert(set.begin(), tag);
+                return true;
+            }
+        }
+        set.insert(set.begin(), tag);
+        if (set.size() > assoc_)
+            set.pop_back();
+        return false;
+    }
+
+  private:
+    unsigned sets_, assoc_, line_;
+    std::vector<std::vector<uint64_t>> data_;
+};
+
+class CacheFuzz
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{};
+
+TEST_P(CacheFuzz, MatchesReferenceLru)
+{
+    auto [assoc, line] = GetParam();
+    unsigned sets = 16;
+    mem::Cache cache(mem::CacheConfig{
+        "fuzz", uint64_t(sets) * assoc * line, assoc, line, 1});
+    RefCache ref(sets, assoc, line);
+
+    std::mt19937_64 rng(assoc * 1000 + line);
+    for (int i = 0; i < 30000; ++i) {
+        uint64_t addr = rng() % (sets * assoc * line * 4);
+        bool hit = cache.access(addr, rng() & 1).hit;
+        bool ref_hit = ref.access(addr);
+        ASSERT_EQ(hit, ref_hit) << "i=" << i << " addr=" << addr;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheFuzz,
+    ::testing::Values(std::tuple{1u, 16u}, std::tuple{2u, 16u},
+                      std::tuple{4u, 32u}, std::tuple{8u, 64u}));
+
+TEST(EmulatorFuzz, RandomStraightLineProgramsAreDeterministic)
+{
+    std::mt19937_64 rng(31337);
+    for (int trial = 0; trial < 40; ++trial) {
+        // Random operate-only program (no control, no memory).
+        std::vector<isa::MachInst> code;
+        for (int i = 0; i < 200; ++i) {
+            auto op = Opcode(rng() % (unsigned(Opcode::S8ADD) + 1));
+            isa::StaticInst si = rng() & 1
+                ? isa::makeOpImm(op, isa::RegIndex(rng() & 31),
+                                 uint8_t(rng()),
+                                 isa::RegIndex(rng() & 31))
+                : isa::makeOp(op, isa::RegIndex(rng() & 31),
+                              isa::RegIndex(rng() & 31),
+                              isa::RegIndex(rng() & 31));
+            code.push_back(isa::encode(si));
+        }
+        code.push_back(isa::encode(isa::makeSystem(Opcode::HALT)));
+
+        assembler::Program prog;
+        prog.codeBase = 0x1000;
+        prog.entry = 0x1000;
+        prog.code = code;
+
+        func::Emulator a(prog), b(prog);
+        a.run(1000);
+        b.run(1000);
+        ASSERT_TRUE(a.halted());
+        for (unsigned r = 0; r < isa::NUM_INT_REGS; ++r)
+            ASSERT_EQ(a.intReg(r), b.intReg(r)) << "reg " << r;
+        ASSERT_EQ(a.intReg(31), 0);
+    }
+}
+
+} // namespace

@@ -1,0 +1,324 @@
+/** @file Unit and property tests for HPA-ISA: opcode properties,
+ *  encode/decode round-trips, and the operand classification that
+ *  Figures 2-3 are built on. */
+
+#include <gtest/gtest.h>
+
+#include "isa/decode.hh"
+#include "isa/static_inst.hh"
+
+namespace
+{
+
+using namespace hpa::isa;
+
+TEST(OpInfo, EveryOpcodeHasMnemonicAndFormat)
+{
+    for (unsigned i = 0; i < unsigned(Opcode::NumOpcodes); ++i) {
+        const OpInfo &inf = opInfo(Opcode(i));
+        EXPECT_FALSE(inf.mnemonic.empty()) << i;
+        EXPECT_LE(inf.numSrcFields, 2u) << inf.mnemonic;
+    }
+}
+
+TEST(OpInfo, LatenciesMatchTable1)
+{
+    EXPECT_EQ(opClassLatency(OpClass::IntAlu), 1u);
+    EXPECT_EQ(opClassLatency(OpClass::FpAlu), 2u);
+    EXPECT_EQ(opClassLatency(OpClass::IntMult), 3u);
+    EXPECT_EQ(opClassLatency(OpClass::IntDiv), 20u);
+    EXPECT_EQ(opClassLatency(OpClass::FpMult), 4u);
+    EXPECT_EQ(opClassLatency(OpClass::FpDiv), 12u);
+}
+
+TEST(OpInfo, OnlyDividesAreUnpipelined)
+{
+    EXPECT_TRUE(opClassUnpipelined(OpClass::IntDiv));
+    EXPECT_TRUE(opClassUnpipelined(OpClass::FpDiv));
+    EXPECT_FALSE(opClassUnpipelined(OpClass::IntMult));
+    EXPECT_FALSE(opClassUnpipelined(OpClass::IntAlu));
+    EXPECT_FALSE(opClassUnpipelined(OpClass::MemRead));
+}
+
+TEST(Registers, ZeroRegisterIdentification)
+{
+    EXPECT_TRUE(isZeroReg(unifiedInt(31)));
+    EXPECT_TRUE(isZeroReg(unifiedFp(31)));
+    EXPECT_FALSE(isZeroReg(unifiedInt(0)));
+    EXPECT_FALSE(isZeroReg(unifiedFp(30)));
+}
+
+TEST(Registers, UnifiedNamespaceSplit)
+{
+    EXPECT_FALSE(isFpReg(unifiedInt(31)));
+    EXPECT_TRUE(isFpReg(unifiedFp(0)));
+    EXPECT_EQ(regName(unifiedInt(5)), "r5");
+    EXPECT_EQ(regName(unifiedFp(12)), "f12");
+}
+
+// --- Encode/decode round-trips. ---
+
+void
+expectRoundTrip(const StaticInst &si)
+{
+    auto decoded = decode(encode(si));
+    ASSERT_TRUE(decoded.has_value()) << si.disassemble();
+    EXPECT_EQ(decoded->op, si.op);
+    EXPECT_EQ(decoded->ra, si.ra) << si.disassemble();
+    if (si.format() == Format::Operate) {
+        EXPECT_EQ(decoded->useLiteral, si.useLiteral);
+        if (si.useLiteral) {
+            EXPECT_EQ(decoded->literal, si.literal);
+        } else {
+            EXPECT_EQ(decoded->rb, si.rb);
+        }
+        EXPECT_EQ(decoded->rc, si.rc);
+    }
+    if (si.format() == Format::Memory
+        || si.format() == Format::Branch) {
+        EXPECT_EQ(decoded->disp, si.disp) << si.disassemble();
+    }
+    if (si.format() == Format::Jump) {
+        EXPECT_EQ(decoded->rb, si.rb);
+    }
+}
+
+TEST(Encoding, OperateRoundTrip)
+{
+    expectRoundTrip(makeOp(Opcode::ADD, 1, 2, 3));
+    expectRoundTrip(makeOp(Opcode::S8ADD, 31, 31, 31));
+    expectRoundTrip(makeOpImm(Opcode::XOR, 7, 255, 9));
+    expectRoundTrip(makeOpImm(Opcode::SLL, 0, 0, 30));
+}
+
+TEST(Encoding, FpOperateRoundTrip)
+{
+    expectRoundTrip(makeOp(Opcode::ADDF, 1, 2, 3));
+    expectRoundTrip(makeOp(Opcode::DIVF, 30, 29, 28));
+    expectRoundTrip(makeOp(Opcode::ITOF, 4, 31, 5));
+    expectRoundTrip(makeOp(Opcode::FTOI, 6, 31, 7));
+}
+
+TEST(Encoding, MemoryRoundTripWithNegativeDisp)
+{
+    expectRoundTrip(makeMem(Opcode::LDQ, 1, 2, -32768));
+    expectRoundTrip(makeMem(Opcode::STB, 3, 4, 32767));
+    expectRoundTrip(makeMem(Opcode::LDA, 5, 31, -1));
+    expectRoundTrip(makeMem(Opcode::LDAH, 6, 31, 16));
+}
+
+TEST(Encoding, BranchRoundTripWithNegativeDisp)
+{
+    expectRoundTrip(makeBranch(Opcode::BEQ, 9, -1048576));
+    expectRoundTrip(makeBranch(Opcode::BNE, 9, 1048575));
+    expectRoundTrip(makeBranch(Opcode::BR, 31, -4));
+    expectRoundTrip(makeBranch(Opcode::BSR, 26, 100));
+}
+
+TEST(Encoding, JumpAndSystemRoundTrip)
+{
+    expectRoundTrip(makeJump(Opcode::JMP, 31, 4));
+    expectRoundTrip(makeJump(Opcode::JSR, 26, 9));
+    expectRoundTrip(makeJump(Opcode::RET, 31, 26));
+    expectRoundTrip(makeSystem(Opcode::HALT));
+    expectRoundTrip(makeSystem(Opcode::OUT, 3));
+}
+
+TEST(Encoding, IllegalWordsRejected)
+{
+    // Unknown primary opcode.
+    bool unknown_primary = decode(0x07u << 26).has_value();
+    EXPECT_FALSE(unknown_primary);
+    // Bad integer-operate function code.
+    bool bad_int_func =
+        decode((0x10u << 26) | (0x7Fu << 5)).has_value();
+    EXPECT_FALSE(bad_int_func);
+    // Bad floating-operate function code.
+    bool bad_flt_func =
+        decode((0x17u << 26) | (0x7Fu << 5)).has_value();
+    EXPECT_FALSE(bad_flt_func);
+    // Bad system function.
+    bool bad_sys = decode((0x00u << 26) | 0x3F).has_value();
+    EXPECT_FALSE(bad_sys);
+    // Bad jump function (3).
+    bool bad_jump = decode((0x1Au << 26) | (3u << 14)).has_value();
+    EXPECT_FALSE(bad_jump);
+}
+
+/** Property sweep: every opcode round-trips with varied fields. */
+class OpcodeRoundTrip : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(OpcodeRoundTrip, AllFieldPatterns)
+{
+    auto op = Opcode(GetParam());
+    const OpInfo &inf = opInfo(op);
+    for (unsigned pattern = 0; pattern < 8; ++pattern) {
+        StaticInst si;
+        si.op = op;
+        si.ra = RegIndex((pattern * 7 + 3) & 31);
+        si.rb = RegIndex((pattern * 5 + 1) & 31);
+        si.rc = RegIndex((pattern * 11 + 6) & 31);
+        if (inf.format == Format::Memory)
+            si.disp = int32_t(pattern) * 1000 - 4000;
+        if (inf.format == Format::Branch)
+            si.disp = int32_t(pattern) * 100000 - 400000;
+        expectRoundTrip(si);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, OpcodeRoundTrip,
+    ::testing::Range(0u, unsigned(Opcode::NumOpcodes)));
+
+// --- Operand classification (Figures 2-3). ---
+
+TEST(Classification, TwoSourceFormatExcludesStoresAndLiterals)
+{
+    EXPECT_TRUE(makeOp(Opcode::ADD, 1, 2, 3).isTwoSourceFormat());
+    EXPECT_FALSE(makeOpImm(Opcode::ADD, 1, 8, 3).isTwoSourceFormat());
+    EXPECT_FALSE(makeMem(Opcode::STQ, 1, 2, 0).isTwoSourceFormat());
+    EXPECT_FALSE(makeMem(Opcode::LDQ, 1, 2, 0).isTwoSourceFormat());
+    EXPECT_FALSE(makeBranch(Opcode::BEQ, 1, 0).isTwoSourceFormat());
+}
+
+TEST(Classification, NumSrcFieldsWithLiteral)
+{
+    EXPECT_EQ(makeOp(Opcode::ADD, 1, 2, 3).numSrcFields(), 2u);
+    EXPECT_EQ(makeOpImm(Opcode::ADD, 1, 2, 3).numSrcFields(), 1u);
+    EXPECT_EQ(makeMem(Opcode::LDQ, 1, 2, 0).numSrcFields(), 1u);
+    EXPECT_EQ(makeMem(Opcode::STQ, 1, 2, 0).numSrcFields(), 2u);
+}
+
+TEST(Classification, UniqueSourcesDropZeroRegs)
+{
+    // add r1 <- r2, r31: one unique source.
+    auto si = makeOp(Opcode::ADD, 2, 31, 1);
+    EXPECT_EQ(si.uniqueSrcRegs().count, 1u);
+    EXPECT_EQ(si.uniqueSrcRegs().regs[0], unifiedInt(2));
+}
+
+TEST(Classification, UniqueSourcesCollapseDuplicates)
+{
+    // add r1 <- r2, r2: one unique source.
+    auto si = makeOp(Opcode::ADD, 2, 2, 1);
+    EXPECT_EQ(si.uniqueSrcRegs().count, 1u);
+}
+
+TEST(Classification, TwoUniqueSources)
+{
+    auto si = makeOp(Opcode::ADD, 2, 3, 1);
+    EXPECT_EQ(si.uniqueSrcRegs().count, 2u);
+}
+
+TEST(Classification, ZeroUniqueSources)
+{
+    auto si = makeOp(Opcode::ADD, 31, 31, 1);
+    EXPECT_EQ(si.uniqueSrcRegs().count, 0u);
+}
+
+TEST(Classification, NopDetection)
+{
+    EXPECT_TRUE(makeNop().isNop());
+    EXPECT_TRUE(makeOp(Opcode::ADD, 1, 2, 31).isNop());
+    EXPECT_FALSE(makeOp(Opcode::ADD, 1, 2, 3).isNop());
+    EXPECT_FALSE(makeMem(Opcode::LDQ, 31, 2, 0).isNop());
+}
+
+TEST(Classification, NopIsStillTwoSourceFormat)
+{
+    // bis r31,r31,r31 occupies a 2-source format slot (Figure 3's
+    // nop category).
+    EXPECT_TRUE(makeNop().isTwoSourceFormat());
+    EXPECT_EQ(makeNop().uniqueSrcRegs().count, 0u);
+}
+
+TEST(Classification, StoreSourcesAreDataThenBase)
+{
+    auto si = makeMem(Opcode::STQ, 5, 6, 8);
+    SrcList s = si.srcRegs();
+    ASSERT_EQ(s.count, 2u);
+    EXPECT_EQ(s.regs[0], unifiedInt(5));
+    EXPECT_EQ(s.regs[1], unifiedInt(6));
+}
+
+TEST(Classification, FpStoreDataIsFpRegister)
+{
+    auto si = makeMem(Opcode::STF, 5, 6, 8);
+    SrcList s = si.srcRegs();
+    ASSERT_EQ(s.count, 2u);
+    EXPECT_EQ(s.regs[0], unifiedFp(5));
+    EXPECT_EQ(s.regs[1], unifiedInt(6));
+}
+
+TEST(Classification, LoadReadsOnlyBase)
+{
+    auto si = makeMem(Opcode::LDQ, 5, 6, 8);
+    SrcList s = si.srcRegs();
+    ASSERT_EQ(s.count, 1u);
+    EXPECT_EQ(s.regs[0], unifiedInt(6));
+}
+
+TEST(Classification, DestRegisterPerFormat)
+{
+    EXPECT_EQ(makeOp(Opcode::ADD, 1, 2, 3).destReg(), unifiedInt(3));
+    EXPECT_EQ(makeOp(Opcode::ADDF, 1, 2, 3).destReg(), unifiedFp(3));
+    EXPECT_EQ(makeMem(Opcode::LDQ, 4, 5, 0).destReg(), unifiedInt(4));
+    EXPECT_EQ(makeMem(Opcode::LDF, 4, 5, 0).destReg(), unifiedFp(4));
+    EXPECT_EQ(makeMem(Opcode::STQ, 4, 5, 0).destReg(), NO_REG);
+    EXPECT_EQ(makeBranch(Opcode::BEQ, 4, 0).destReg(), NO_REG);
+    EXPECT_EQ(makeBranch(Opcode::BSR, 26, 0).destReg(),
+              unifiedInt(26));
+    EXPECT_EQ(makeJump(Opcode::RET, 31, 26).destReg(),
+              unifiedInt(31));
+}
+
+TEST(Classification, CrossFileConversions)
+{
+    auto itof = makeOp(Opcode::ITOF, 4, 31, 5);
+    ASSERT_EQ(itof.srcRegs().count, 1u);
+    EXPECT_EQ(itof.srcRegs().regs[0], unifiedInt(4));
+    EXPECT_EQ(itof.destReg(), unifiedFp(5));
+
+    auto ftoi = makeOp(Opcode::FTOI, 4, 31, 5);
+    ASSERT_EQ(ftoi.srcRegs().count, 1u);
+    EXPECT_EQ(ftoi.srcRegs().regs[0], unifiedFp(4));
+    EXPECT_EQ(ftoi.destReg(), unifiedInt(5));
+}
+
+TEST(Classification, MemSizes)
+{
+    EXPECT_EQ(makeMem(Opcode::LDBU, 1, 2, 0).memSize(), 1u);
+    EXPECT_EQ(makeMem(Opcode::LDW, 1, 2, 0).memSize(), 2u);
+    EXPECT_EQ(makeMem(Opcode::LDL, 1, 2, 0).memSize(), 4u);
+    EXPECT_EQ(makeMem(Opcode::LDQ, 1, 2, 0).memSize(), 8u);
+    EXPECT_EQ(makeMem(Opcode::STF, 1, 2, 0).memSize(), 8u);
+    EXPECT_EQ(makeOp(Opcode::ADD, 1, 2, 3).memSize(), 0u);
+}
+
+TEST(Classification, ControlPredicates)
+{
+    EXPECT_TRUE(makeBranch(Opcode::BEQ, 1, 0).isCondBranch());
+    EXPECT_FALSE(makeBranch(Opcode::BR, 31, 0).isCondBranch());
+    EXPECT_TRUE(makeBranch(Opcode::BR, 31, 0).isUncondControl());
+    EXPECT_TRUE(makeBranch(Opcode::BSR, 26, 0).isCall());
+    EXPECT_TRUE(makeJump(Opcode::JSR, 26, 1).isCall());
+    EXPECT_TRUE(makeJump(Opcode::RET, 31, 26).isReturn());
+    EXPECT_TRUE(makeJump(Opcode::JMP, 31, 1).isIndirect());
+    EXPECT_FALSE(makeBranch(Opcode::BEQ, 1, 0).isIndirect());
+}
+
+TEST(Disasm, RepresentativeInstructions)
+{
+    EXPECT_EQ(makeOp(Opcode::ADD, 1, 2, 3).disassemble(),
+              "add r1, r2, r3");
+    EXPECT_EQ(makeOpImm(Opcode::SLL, 4, 8, 5).disassemble(),
+              "sll r4, #8, r5");
+    EXPECT_EQ(makeMem(Opcode::LDQ, 1, 2, -8).disassemble(),
+              "ldq r1, -8(r2)");
+    EXPECT_EQ(makeOp(Opcode::MULF, 1, 2, 3).disassemble(),
+              "mulf f1, f2, f3");
+    EXPECT_EQ(makeSystem(Opcode::HALT).disassemble(), "halt");
+}
+
+} // namespace

@@ -1,0 +1,97 @@
+/** @file Unit tests for the last-arriving operand predictor. */
+
+#include <gtest/gtest.h>
+
+#include "core/last_arrival.hh"
+
+namespace
+{
+
+using namespace hpa::core;
+
+TEST(LastArrival, PowerOfTwoEnforced)
+{
+    EXPECT_THROW(LastArrivalPredictor(0), std::invalid_argument);
+    EXPECT_THROW(LastArrivalPredictor(100), std::invalid_argument);
+    EXPECT_NO_THROW(LastArrivalPredictor(128));
+}
+
+TEST(LastArrival, ColdPredictsLeftLast)
+{
+    LastArrivalPredictor p(128);
+    EXPECT_FALSE(p.predictRightLast(0x1000));
+}
+
+TEST(LastArrival, LearnsRightLast)
+{
+    LastArrivalPredictor p(128);
+    p.update(0x1000, true);
+    EXPECT_TRUE(p.predictRightLast(0x1000));
+}
+
+TEST(LastArrival, HysteresisBeforeFlip)
+{
+    LastArrivalPredictor p(128);
+    p.update(0x1000, true);
+    p.update(0x1000, true);            // saturate at 3
+    p.update(0x1000, false);           // 2: still right
+    EXPECT_TRUE(p.predictRightLast(0x1000));
+    p.update(0x1000, false);
+    EXPECT_FALSE(p.predictRightLast(0x1000));
+}
+
+TEST(LastArrival, Aliasing)
+{
+    LastArrivalPredictor p(128);
+    // PCs 128 entries apart share a counter (pc>>2 index).
+    p.update(0x1000, true);
+    EXPECT_TRUE(p.predictRightLast(0x1000 + 128 * 4));
+}
+
+TEST(LastArrival, DistinctEntriesIndependent)
+{
+    LastArrivalPredictor p(128);
+    p.update(0x1000, true);
+    EXPECT_FALSE(p.predictRightLast(0x1004));
+}
+
+TEST(Monitor, SizesMatchFigure7Sweep)
+{
+    EXPECT_EQ(LastArrivalMonitor::SIZES[0], 128u);
+    EXPECT_EQ(LastArrivalMonitor::SIZES[LastArrivalMonitor::NUM_SIZES - 1],
+              4096u);
+}
+
+TEST(Monitor, CountsCorrectPredictions)
+{
+    LastArrivalMonitor m;
+    // Train every shadow toward right-last at one PC.
+    for (int i = 0; i < 4; ++i) {
+        uint8_t bits = m.snapshot(0x1000);
+        m.resolve(0x1000, bits, false, true);
+    }
+    // After warmup the snapshot predicts right for every size.
+    uint8_t bits = m.snapshot(0x1000);
+    m.resolve(0x1000, bits, false, true);
+    EXPECT_EQ(m.samples(), 5u);
+    for (unsigned s = 0; s < LastArrivalMonitor::NUM_SIZES; ++s)
+        EXPECT_GE(m.correct(s), 3u);
+}
+
+TEST(Monitor, SimultaneousExcludedFromAccuracy)
+{
+    LastArrivalMonitor m;
+    m.resolve(0x1000, 0, true, false);
+    m.resolve(0x1000, 0, false, false);   // left-last, predicted left
+    EXPECT_EQ(m.samples(), 2u);
+    EXPECT_EQ(m.simultaneous(), 1u);
+    EXPECT_DOUBLE_EQ(m.accuracy(0), 1.0);
+}
+
+TEST(Monitor, AccuracyWithNoSamplesIsZero)
+{
+    LastArrivalMonitor m;
+    EXPECT_DOUBLE_EQ(m.accuracy(0), 0.0);
+}
+
+} // namespace

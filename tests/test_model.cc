@@ -1,0 +1,92 @@
+/** @file Tests for the analytical circuit-timing models against the
+ *  paper's published calibration points. */
+
+#include <gtest/gtest.h>
+
+#include "model/timing_models.hh"
+
+namespace
+{
+
+using namespace hpa::model;
+
+TEST(WakeupDelay, PaperCalibrationPoints)
+{
+    WakeupDelayModel m;
+    // Section 3.3: 4-wide, 64-entry scheduler.
+    EXPECT_NEAR(m.delayPs(64, 2, 4), 466.0, 0.5);
+    EXPECT_NEAR(m.delayPs(64, 1, 4), 374.0, 0.5);
+}
+
+TEST(WakeupDelay, PaperSpeedupClaim)
+{
+    WakeupDelayModel m;
+    // "24.6% speedup over a conventional scheduler".
+    EXPECT_NEAR(m.speedup(64, 2, 1, 4), 0.246, 0.001);
+}
+
+TEST(WakeupDelay, MonotonicInEntries)
+{
+    WakeupDelayModel m;
+    EXPECT_LT(m.delayPs(32, 2), m.delayPs(64, 2));
+    EXPECT_LT(m.delayPs(64, 2), m.delayPs(128, 2));
+}
+
+TEST(WakeupDelay, MonotonicInComparators)
+{
+    WakeupDelayModel m;
+    EXPECT_LT(m.delayPs(64, 1), m.delayPs(64, 2));
+}
+
+TEST(WakeupDelay, WiderMachineIsSlower)
+{
+    WakeupDelayModel m;
+    EXPECT_LT(m.delayPs(64, 2, 4), m.delayPs(64, 2, 8));
+}
+
+TEST(WakeupDelay, SequentialGainGrowsWithWindow)
+{
+    WakeupDelayModel m;
+    EXPECT_GT(m.speedup(128, 2, 1), m.speedup(64, 2, 1));
+}
+
+TEST(RegfileTiming, PaperCalibrationPoints)
+{
+    RegfileTimingModel m;
+    // Section 4: 160-entry register file at 0.18u.
+    EXPECT_NEAR(m.accessNs(160, 24), 1.71, 0.005);
+    EXPECT_NEAR(m.accessNs(160, 16), 1.36, 0.005);
+}
+
+TEST(RegfileTiming, PaperReductionClaim)
+{
+    RegfileTimingModel m;
+    // "a 20.5% drop when the number of ports decreases from 24 to 16".
+    EXPECT_NEAR(m.reduction(160, 24, 16), 0.205, 0.002);
+}
+
+TEST(RegfileTiming, MonotonicInEntriesAndPorts)
+{
+    RegfileTimingModel m;
+    EXPECT_LT(m.accessNs(80, 24), m.accessNs(160, 24));
+    EXPECT_LT(m.accessNs(160, 8), m.accessNs(160, 16));
+}
+
+TEST(RegfileTiming, AreaQuadraticInPorts)
+{
+    RegfileTimingModel m;
+    double a16 = m.area(160, 16);
+    double a32 = m.area(160, 32);
+    // Doubling ports should more than double area (quadratic cell
+    // growth) but the fixed pitch offset keeps it below 4x.
+    EXPECT_GT(a32, 2.0 * a16);
+    EXPECT_LT(a32, 4.0 * a16);
+}
+
+TEST(RegfileTiming, AreaLinearInEntries)
+{
+    RegfileTimingModel m;
+    EXPECT_DOUBLE_EQ(m.area(320, 16), 2.0 * m.area(160, 16));
+}
+
+} // namespace

@@ -1,0 +1,175 @@
+/** @file Tests for the simulation driver and Table 1 machine
+ *  factories. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hh"
+
+namespace
+{
+
+using namespace hpa;
+using namespace hpa::sim;
+
+TEST(Machines, FourWideMatchesTable1)
+{
+    auto m = baseMachine(4);
+    EXPECT_EQ(m.name, "4-wide");
+    EXPECT_EQ(m.cfg.width, 4u);
+    EXPECT_EQ(m.cfg.ruu_size, 64u);
+    EXPECT_EQ(m.cfg.lsq_size, 32u);
+    EXPECT_EQ(m.cfg.num_int_alu, 4u);
+    EXPECT_EQ(m.cfg.num_fp_alu, 2u);
+    EXPECT_EQ(m.cfg.num_int_muldiv, 2u);
+    EXPECT_EQ(m.cfg.num_mem_ports, 2u);
+}
+
+TEST(Machines, EightWideMatchesTable1)
+{
+    auto m = baseMachine(8);
+    EXPECT_EQ(m.cfg.width, 8u);
+    EXPECT_EQ(m.cfg.ruu_size, 128u);
+    EXPECT_EQ(m.cfg.lsq_size, 64u);
+    EXPECT_EQ(m.cfg.num_int_alu, 8u);
+    EXPECT_EQ(m.cfg.num_mem_ports, 4u);
+}
+
+TEST(Machines, Table1MemoryAndBpredDefaults)
+{
+    auto m = baseMachine(4);
+    EXPECT_EQ(m.cfg.mem.il1.size_bytes, 64u * 1024);
+    EXPECT_EQ(m.cfg.mem.il1.assoc, 2u);
+    EXPECT_EQ(m.cfg.mem.il1.line_bytes, 32u);
+    EXPECT_EQ(m.cfg.mem.dl1.assoc, 4u);
+    EXPECT_EQ(m.cfg.mem.dl1.line_bytes, 16u);
+    EXPECT_EQ(m.cfg.mem.l2.size_bytes, 512u * 1024);
+    EXPECT_EQ(m.cfg.mem.l2.latency, 8u);
+    EXPECT_EQ(m.cfg.mem.mem_latency, 50u);
+    EXPECT_EQ(m.cfg.bpred.bimodal_entries, 4096u);
+    EXPECT_EQ(m.cfg.bpred.btb_entries, 1024u);
+    EXPECT_EQ(m.cfg.bpred.ras_entries, 16u);
+    EXPECT_EQ(m.cfg.min_branch_penalty, 11u);
+}
+
+TEST(Machines, SchemeModifiersComposeNames)
+{
+    auto m = withRegfile(
+        withWakeup(baseMachine(4), core::WakeupModel::Sequential),
+        core::RegfileModel::SequentialAccess);
+    EXPECT_EQ(m.name, "4-wide/seq-wakeup/seq-rf");
+    EXPECT_EQ(m.cfg.wakeup, core::WakeupModel::Sequential);
+    EXPECT_EQ(m.cfg.regfile, core::RegfileModel::SequentialAccess);
+}
+
+TEST(Machines, LapEntriesConfigurable)
+{
+    auto m = withWakeup(baseMachine(4), core::WakeupModel::Sequential,
+                        128);
+    EXPECT_EQ(m.cfg.lap_entries, 128u);
+}
+
+TEST(Machines, ExtraStageAffectsSchedToExec)
+{
+    auto m = withRegfile(baseMachine(4),
+                         core::RegfileModel::ExtraStage);
+    EXPECT_EQ(m.cfg.schedToExec(), baseMachine(4).cfg.schedToExec() + 1);
+}
+
+TEST(Machines, RenameModifier)
+{
+    auto m = withRename(baseMachine(4), core::RenameModel::HalfPort);
+    EXPECT_EQ(m.cfg.rename, core::RenameModel::HalfPort);
+    EXPECT_EQ(m.name, "4-wide/half-rename");
+}
+
+TEST(Machines, BypassWindowDefaultsToOneCycle)
+{
+    EXPECT_EQ(baseMachine(4).cfg.bypass_window, 1u);
+}
+
+TEST(Simulation, FastForwardSkipsInstructions)
+{
+    auto p = assembler::assemble(R"(
+        li r1, 100
+warm:   sub r1, #1, r1
+        bne r1, warm
+steady: li r2, 50
+meas:   sub r2, #1, r2
+        bne r2, meas
+        halt)");
+    Simulation s(p, core::fourWideConfig(), 0, p.symbol("steady"));
+    s.run();
+    EXPECT_GT(s.fastForwarded(), 190u);
+    // Only the measured region is timed.
+    EXPECT_LT(s.core().stats().committed.value(), 120u);
+    EXPECT_TRUE(s.emulator().halted());
+}
+
+TEST(Simulation, FastForwardToUnreachedPcRunsToHalt)
+{
+    auto p = assembler::assemble("li r1, 5\nhalt");
+    Simulation s(p, core::fourWideConfig(), 0, 0xDEAD000);
+    s.run();
+    // The emulator halts during fast-forward; nothing is timed.
+    EXPECT_EQ(s.core().stats().committed.value(), 0u);
+}
+
+TEST(Simulation, RunIpcHelper)
+{
+    double ipc = runIpc(R"(
+        li r1, 100
+loop:   sub r1, #1, r1
+        bne r1, loop
+        halt)", core::fourWideConfig());
+    EXPECT_GT(ipc, 0.5);
+    EXPECT_LE(ipc, 4.0);
+}
+
+TEST(Simulation, MaxInstsCapsRun)
+{
+    auto p = assembler::assemble("loop: add r1, #1, r1\nbr loop");
+    Simulation s(p, core::fourWideConfig(), 500);
+    s.run();
+    EXPECT_EQ(s.core().stats().committed.value(), 500u);
+    EXPECT_FALSE(s.emulator().halted());
+}
+
+TEST(Simulation, ReportContainsKeySections)
+{
+    auto p = assembler::assemble("li r1, 5\nhalt");
+    Simulation s(p, core::fourWideConfig());
+    s.run();
+    std::ostringstream os;
+    s.report(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("core.committed"), std::string::npos);
+    EXPECT_NE(out.find("core.ipc"), std::string::npos);
+    EXPECT_NE(out.find("dl1.hits"), std::string::npos);
+    EXPECT_NE(out.find("bpred.lookups"), std::string::npos);
+    EXPECT_NE(out.find("sched.wakeup_slack"), std::string::npos);
+}
+
+TEST(Simulation, WiderMachineIsNotSlower)
+{
+    const char *src = R"(
+        li r1, 300
+loop:   add r2, #1, r2
+        add r3, #1, r3
+        add r4, #1, r4
+        add r5, #1, r5
+        add r6, #1, r6
+        add r7, #1, r7
+        sub r1, #1, r1
+        bne r1, loop
+        halt)";
+    auto p = assembler::assemble(src);
+    Simulation s4(p, baseMachine(4).cfg);
+    Simulation s8(p, baseMachine(8).cfg);
+    s4.run();
+    s8.run();
+    EXPECT_GE(s8.ipc(), s4.ipc());
+}
+
+} // namespace

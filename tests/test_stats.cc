@@ -1,0 +1,174 @@
+/** @file Unit tests for the statistics framework. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "stats/stats.hh"
+
+namespace
+{
+
+using namespace hpa::stats;
+
+TEST(Counter, StartsAtZero)
+{
+    Counter c("c", "d");
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, IncrementForms)
+{
+    Counter c("c", "d");
+    ++c;
+    c++;
+    c += 5;
+    EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(Counter, Reset)
+{
+    Counter c("c", "d");
+    c += 3;
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Distribution, SamplesLandInBuckets)
+{
+    Distribution d("d", "desc", 4);
+    d.sample(0);
+    d.sample(1);
+    d.sample(1);
+    EXPECT_EQ(d.bucket(0), 1u);
+    EXPECT_EQ(d.bucket(1), 2u);
+    EXPECT_EQ(d.total(), 3u);
+}
+
+TEST(Distribution, OverflowBucketCollectsLargeValues)
+{
+    Distribution d("d", "desc", 4);
+    d.sample(4);
+    d.sample(100);
+    d.sample(7, 3);
+    EXPECT_EQ(d.bucket(4), 5u);
+    EXPECT_EQ(d.total(), 5u);
+}
+
+TEST(Distribution, NumBucketsIncludesOverflow)
+{
+    Distribution d("d", "desc", 2);
+    EXPECT_EQ(d.numBuckets(), 3u);
+}
+
+TEST(Distribution, FractionOfEmptyIsZero)
+{
+    Distribution d("d", "desc", 2);
+    EXPECT_DOUBLE_EQ(d.fraction(0), 0.0);
+}
+
+TEST(Distribution, FractionSumsToOne)
+{
+    Distribution d("d", "desc", 3);
+    d.sample(0, 2);
+    d.sample(1, 2);
+    d.sample(9, 4);
+    double sum = 0;
+    for (unsigned i = 0; i < d.numBuckets(); ++i)
+        sum += d.fraction(i);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    EXPECT_NEAR(d.fraction(3), 0.5, 1e-12);
+}
+
+TEST(Distribution, WeightedSample)
+{
+    Distribution d("d", "desc", 2);
+    d.sample(1, 10);
+    EXPECT_EQ(d.bucket(1), 10u);
+    EXPECT_EQ(d.total(), 10u);
+}
+
+TEST(Distribution, Reset)
+{
+    Distribution d("d", "desc", 2);
+    d.sample(1, 5);
+    d.reset();
+    EXPECT_EQ(d.total(), 0u);
+    EXPECT_EQ(d.bucket(1), 0u);
+}
+
+TEST(Formula, EvaluatesLazily)
+{
+    int x = 1;
+    Formula f("f", "d", [&x] { return x * 2.0; });
+    x = 21;
+    EXPECT_DOUBLE_EQ(f.value(), 42.0);
+}
+
+TEST(Registry, DumpContainsNamesValuesDescriptions)
+{
+    Registry reg;
+    Counter c("hits", "number of hits");
+    c += 42;
+    reg.add(&c);
+    std::ostringstream os;
+    reg.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("hits"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+    EXPECT_NE(out.find("number of hits"), std::string::npos);
+}
+
+TEST(Registry, DumpRendersDistributionPercentages)
+{
+    Registry reg;
+    Distribution d("slack", "wakeup slack", 2);
+    d.sample(0);
+    d.sample(0);
+    d.sample(5);
+    reg.add(&d);
+    std::ostringstream os;
+    reg.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("slack.0"), std::string::npos);
+    EXPECT_NE(out.find("slack.2+"), std::string::npos);
+    EXPECT_NE(out.find("66.67%"), std::string::npos);
+}
+
+TEST(Registry, ResetClearsAll)
+{
+    Registry reg;
+    Counter c("c", "d");
+    Distribution d("d", "d", 2);
+    c += 3;
+    d.sample(0);
+    reg.add(&c);
+    reg.add(&d);
+    reg.reset();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(d.total(), 0u);
+}
+
+TEST(Registry, FindByName)
+{
+    Registry reg;
+    Counter c("alpha", "d");
+    Distribution d("beta", "d", 2);
+    reg.add(&c);
+    reg.add(&d);
+    EXPECT_EQ(reg.findCounter("alpha"), &c);
+    EXPECT_EQ(reg.findCounter("missing"), nullptr);
+    EXPECT_EQ(reg.findDist("beta"), &d);
+    EXPECT_EQ(reg.findDist("alpha"), nullptr);
+}
+
+TEST(Registry, FormulaAppearsInDump)
+{
+    Registry reg;
+    reg.add(Formula("ipc", "ipc", [] { return 1.5; }));
+    std::ostringstream os;
+    reg.dump(os);
+    EXPECT_NE(os.str().find("1.5000"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,125 @@
+/** @file Validation of the SPEC substitute workloads against their
+ *  golden models, plus characterization sanity. */
+
+#include <gtest/gtest.h>
+
+#include "func/emulator.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace hpa;
+
+class WorkloadGolden : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(WorkloadGolden, EmulatorMatchesGoldenModel)
+{
+    auto w = workloads::make(GetParam(), workloads::Scale::Test);
+    func::Emulator emu(w.program);
+    emu.run(50000000);
+    ASSERT_TRUE(emu.halted()) << w.name << " did not halt";
+    EXPECT_EQ(emu.console(), w.expectedConsole) << w.name;
+    EXPECT_EQ(w.expectedConsole.size(), 8u);
+}
+
+TEST_P(WorkloadGolden, BuilderIsDeterministic)
+{
+    auto a = workloads::make(GetParam(), workloads::Scale::Test);
+    auto b = workloads::make(GetParam(), workloads::Scale::Test);
+    EXPECT_EQ(a.program.code, b.program.code);
+    EXPECT_EQ(a.expectedConsole, b.expectedConsole);
+}
+
+TEST_P(WorkloadGolden, FullScaleIsLarger)
+{
+    auto t = workloads::make(GetParam(), workloads::Scale::Test);
+    auto f = workloads::make(GetParam(), workloads::Scale::Full);
+    // Full scale must provide much more dynamic work; statically the
+    // program text is the same order of size, so check data/params
+    // via a bounded functional run that must NOT halt quickly.
+    func::Emulator emu(f.program);
+    emu.run(2 * 1000 * 1000);
+    EXPECT_FALSE(emu.halted())
+        << f.name << " exhausted at full scale in 2M insts";
+    (void)t;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, WorkloadGolden,
+    ::testing::ValuesIn(workloads::benchmarkNames()));
+
+TEST(Workloads, TwelveBenchmarksInTable2Order)
+{
+    const auto &names = workloads::benchmarkNames();
+    ASSERT_EQ(names.size(), 12u);
+    EXPECT_EQ(names.front(), "bzip");
+    EXPECT_EQ(names.back(), "vpr");
+}
+
+TEST(Workloads, UnknownNameThrows)
+{
+    EXPECT_THROW(workloads::make("specfp", workloads::Scale::Test),
+                 std::invalid_argument);
+}
+
+TEST(Workloads, MakeAllBuildsTwelve)
+{
+    auto all = workloads::makeAll(workloads::Scale::Test);
+    EXPECT_EQ(all.size(), 12u);
+    for (const auto &w : all) {
+        EXPECT_FALSE(w.program.code.empty()) << w.name;
+        EXPECT_FALSE(w.description.empty()) << w.name;
+    }
+}
+
+TEST(Workloads, EonExercisesFloatingPoint)
+{
+    auto w = workloads::make("eon", workloads::Scale::Test);
+    func::Emulator emu(w.program);
+    bool fp_seen = false;
+    while (!emu.halted()) {
+        auto rec = emu.step();
+        auto cls = rec.inst.opClass();
+        if (cls == isa::OpClass::FpMult || cls == isa::OpClass::FpDiv)
+            fp_seen = true;
+    }
+    EXPECT_TRUE(fp_seen);
+}
+
+TEST(Workloads, PerlExercisesIndirectJumps)
+{
+    auto w = workloads::make("perl", workloads::Scale::Test);
+    func::Emulator emu(w.program);
+    uint64_t indirect = 0;
+    while (!emu.halted()) {
+        auto rec = emu.step();
+        if (rec.inst.isIndirect())
+            ++indirect;
+    }
+    EXPECT_GT(indirect, 1000u);
+}
+
+TEST(Workloads, TwoSourceFractionInPaperRange)
+{
+    // Figure 2 reports 18-36% 2-source-format instructions across
+    // SPEC CINT2000; the substitutes should land in a comparable
+    // band in aggregate.
+    uint64_t two_src = 0, total = 0;
+    for (const auto &name : workloads::benchmarkNames()) {
+        auto w = workloads::make(name, workloads::Scale::Test);
+        func::Emulator emu(w.program);
+        while (!emu.halted() && emu.instCount() < 60000) {
+            auto rec = emu.step();
+            if (rec.inst.isTwoSourceFormat())
+                ++two_src;
+            ++total;
+        }
+    }
+    double frac = double(two_src) / double(total);
+    EXPECT_GT(frac, 0.10);
+    EXPECT_LT(frac, 0.45);
+}
+
+} // namespace

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Pipeline viewer (in the spirit of SimpleScalar's pipetrace): run a
+ * small HPA-ISA program or the first instructions of a benchmark and
+ * print, per committed instruction, its fetch / dispatch / issue /
+ * complete / commit cycles plus an ASCII occupancy strip. Handy for
+ * seeing the half-price penalties land: a slow-bus wakeup shifts
+ * issue right by one; a sequential register access stretches
+ * issue-to-complete; a replay reissues.
+ *
+ *   hpa_pipeview --asm kernel.s
+ *   hpa_pipeview --bench bzip --insts 40 --wakeup seq --regfile seq
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "sim/simulation.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace hpa;
+
+struct Row
+{
+    uint64_t seq;
+    uint64_t pc;
+    std::string disasm;
+    uint64_t fetch, dispatch, issue, complete, commit;
+    uint32_t issues;
+    bool seq_ra;
+    bool replay;
+};
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: hpa_pipeview (--asm FILE | --bench NAME) "
+          "[--insts N] [--width N]\n"
+          "       [--wakeup conv|seq|seq-nopred|tag-elim] "
+          "[--regfile 2port|seq|extra-stage|half-xbar]\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string bench, asm_file;
+    uint64_t insts = 32;
+    unsigned width = 4;
+    core::CoreConfig cfg = core::fourWideConfig();
+
+    auto need = [&](int &i) -> std::string {
+        if (i + 1 >= argc) {
+            std::cerr << argv[i] << " needs a value\n";
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--help") {
+            usage(std::cout);
+            return 0;
+        } else if (a == "--bench") {
+            bench = need(i);
+        } else if (a == "--asm") {
+            asm_file = need(i);
+        } else if (a == "--insts") {
+            insts = std::stoull(need(i));
+        } else if (a == "--width") {
+            width = unsigned(std::stoul(need(i)));
+        } else if (a == "--wakeup") {
+            std::string v = need(i);
+            cfg.wakeup = v == "seq" ? core::WakeupModel::Sequential
+                : v == "seq-nopred" ? core::WakeupModel::SequentialNoPred
+                : v == "tag-elim" ? core::WakeupModel::TagElimination
+                : core::WakeupModel::Conventional;
+        } else if (a == "--regfile") {
+            std::string v = need(i);
+            cfg.regfile = v == "seq"
+                ? core::RegfileModel::SequentialAccess
+                : v == "extra-stage" ? core::RegfileModel::ExtraStage
+                : v == "half-xbar"
+                    ? core::RegfileModel::HalfPortCrossbar
+                    : core::RegfileModel::TwoPort;
+        } else {
+            std::cerr << "unknown option: " << a << "\n";
+            usage(std::cerr);
+            return 2;
+        }
+    }
+
+    if (bench.empty() == asm_file.empty()) {
+        usage(std::cerr);
+        return 2;
+    }
+
+    if (width == 8) {
+        auto w8 = core::eightWideConfig();
+        w8.wakeup = cfg.wakeup;
+        w8.regfile = cfg.regfile;
+        cfg = w8;
+    }
+
+    try {
+        assembler::Program image;
+        if (!bench.empty()) {
+            image = workloads::make(bench,
+                                    workloads::Scale::Test).program;
+        } else {
+            std::ifstream in(asm_file);
+            if (!in) {
+                std::cerr << "cannot open " << asm_file << "\n";
+                return 1;
+            }
+            std::ostringstream text;
+            text << in.rdbuf();
+            image = assembler::assemble(text.str());
+        }
+
+        sim::Simulation s(image, cfg, insts);
+        std::vector<Row> rows;
+        s.core().setCommitListener(
+            [&rows](const core::DynInst &di, uint64_t commit) {
+                rows.push_back(Row{di.seq, di.rec.pc,
+                                   di.rec.inst.disassemble(),
+                                   di.fetchCycle, di.dispatchCycle,
+                                   di.issueCycle, di.completeCycle,
+                                   commit, di.issueToken,
+                                   di.seqRegAccess,
+                                   di.loadMissReplay});
+            });
+        s.run(1000000);
+
+        std::printf("%4s %-28s %6s %6s %6s %6s %6s  %s\n", "seq",
+                    "instruction", "fetch", "disp", "issue", "compl",
+                    "commit", "notes");
+        uint64_t base = rows.empty() ? 0 : rows.front().fetch;
+        for (const Row &r : rows) {
+            std::string notes;
+            if (r.issues > 1)
+                notes += "replayed x" + std::to_string(r.issues - 1)
+                    + " ";
+            if (r.seq_ra)
+                notes += "seq-RF ";
+            if (r.replay)
+                notes += "load-miss ";
+            std::printf("%4llu %-28s %6llu %6llu %6llu %6llu %6llu  %s\n",
+                        (unsigned long long)r.seq, r.disasm.c_str(),
+                        (unsigned long long)(r.fetch - base),
+                        (unsigned long long)(r.dispatch - base),
+                        (unsigned long long)(r.issue - base),
+                        (unsigned long long)(r.complete - base),
+                        (unsigned long long)(r.commit - base),
+                        notes.c_str());
+        }
+        std::printf("\nIPC %.3f over %llu cycles\n", s.ipc(),
+                    (unsigned long long)s.core().cycle());
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Command-line driver for the half-price architecture simulator:
+ * run any SPEC substitute benchmark or a user-supplied HPA-ISA
+ * assembly file on any machine configuration and print IPC and,
+ * optionally, the full statistics report.
+ *
+ *   hpa_sim --bench gzip --width 4 --wakeup seq --regfile seq
+ *   hpa_sim --asm kernel.s --insts 1000000 --report
+ *   hpa_sim --list
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "sim/simulation.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace hpa;
+
+void
+usage(std::ostream &os)
+{
+    os << R"(usage: hpa_sim [options]
+
+workload (choose one):
+  --bench NAME        SPEC CINT2000 substitute (see --list)
+  --asm FILE          assemble and run an HPA-ISA source file
+  --list              list available benchmarks and exit
+
+machine:
+  --width N           4 (default) or 8: Table 1 base machines
+  --wakeup MODEL      conv (default) | seq | seq-nopred | tag-elim
+  --regfile MODEL     2port (default) | seq | extra-stage | half-xbar
+  --recovery MODEL    nonsel (default) | sel
+  --rename MODEL      2port (default) | half
+  --lap N             last-arrival predictor entries (default 1024)
+  --bypass N          bypass window in cycles (default 1)
+
+run control:
+  --insts N           committed-instruction budget (default: to HALT)
+  --cycles N          cycle budget (default: unbounded)
+  --no-fastforward    do not skip to the workload's steady: label
+  --report            dump the full statistics report
+  --help              this text
+)";
+}
+
+bool
+parseWakeup(const std::string &v, core::WakeupModel &out)
+{
+    if (v == "conv")
+        out = core::WakeupModel::Conventional;
+    else if (v == "seq")
+        out = core::WakeupModel::Sequential;
+    else if (v == "seq-nopred")
+        out = core::WakeupModel::SequentialNoPred;
+    else if (v == "tag-elim")
+        out = core::WakeupModel::TagElimination;
+    else
+        return false;
+    return true;
+}
+
+bool
+parseRegfile(const std::string &v, core::RegfileModel &out)
+{
+    if (v == "2port")
+        out = core::RegfileModel::TwoPort;
+    else if (v == "seq")
+        out = core::RegfileModel::SequentialAccess;
+    else if (v == "extra-stage")
+        out = core::RegfileModel::ExtraStage;
+    else if (v == "half-xbar")
+        out = core::RegfileModel::HalfPortCrossbar;
+    else
+        return false;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string bench;
+    std::string asm_file;
+    unsigned width = 4;
+    core::WakeupModel wakeup = core::WakeupModel::Conventional;
+    core::RegfileModel regfile = core::RegfileModel::TwoPort;
+    core::RecoveryModel recovery = core::RecoveryModel::NonSelective;
+    core::RenameModel rename = core::RenameModel::TwoPort;
+    unsigned lap = 1024;
+    unsigned bypass = 1;
+    uint64_t insts = 0;
+    uint64_t cycles = 0;
+    bool fastforward = true;
+    bool report = false;
+
+    auto need = [&](int &i) -> std::string {
+        if (i + 1 >= argc) {
+            std::cerr << argv[i] << " needs a value\n";
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--help" || a == "-h") {
+            usage(std::cout);
+            return 0;
+        } else if (a == "--list") {
+            for (const auto &n : workloads::benchmarkNames()) {
+                auto w = workloads::make(n, workloads::Scale::Test);
+                std::cout << n << " — " << w.description << "\n";
+            }
+            return 0;
+        } else if (a == "--bench") {
+            bench = need(i);
+        } else if (a == "--asm") {
+            asm_file = need(i);
+        } else if (a == "--width") {
+            width = unsigned(std::stoul(need(i)));
+        } else if (a == "--wakeup") {
+            if (!parseWakeup(need(i), wakeup)) {
+                std::cerr << "bad --wakeup value\n";
+                return 2;
+            }
+        } else if (a == "--regfile") {
+            if (!parseRegfile(need(i), regfile)) {
+                std::cerr << "bad --regfile value\n";
+                return 2;
+            }
+        } else if (a == "--recovery") {
+            std::string v = need(i);
+            recovery = v == "sel" ? core::RecoveryModel::Selective
+                                  : core::RecoveryModel::NonSelective;
+        } else if (a == "--rename") {
+            rename = need(i) == std::string("half")
+                ? core::RenameModel::HalfPort
+                : core::RenameModel::TwoPort;
+        } else if (a == "--lap") {
+            lap = unsigned(std::stoul(need(i)));
+        } else if (a == "--bypass") {
+            bypass = unsigned(std::stoul(need(i)));
+        } else if (a == "--insts") {
+            insts = std::stoull(need(i));
+        } else if (a == "--cycles") {
+            cycles = std::stoull(need(i));
+        } else if (a == "--no-fastforward") {
+            fastforward = false;
+        } else if (a == "--report") {
+            report = true;
+        } else {
+            std::cerr << "unknown option: " << a << "\n";
+            usage(std::cerr);
+            return 2;
+        }
+    }
+
+    if (bench.empty() == asm_file.empty()) {
+        std::cerr << "exactly one of --bench or --asm is required\n";
+        usage(std::cerr);
+        return 2;
+    }
+
+    try {
+        assembler::Program image;
+        std::string name;
+        if (!bench.empty()) {
+            auto w = workloads::make(bench, workloads::Scale::Full);
+            image = std::move(w.program);
+            name = w.name + " — " + w.description;
+        } else {
+            std::ifstream in(asm_file);
+            if (!in) {
+                std::cerr << "cannot open " << asm_file << "\n";
+                return 1;
+            }
+            std::ostringstream text;
+            text << in.rdbuf();
+            image = assembler::assemble(text.str());
+            name = asm_file;
+        }
+
+        sim::Machine m = sim::baseMachine(width);
+        m = sim::withWakeup(m, wakeup, lap);
+        m = sim::withRegfile(m, regfile);
+        m = sim::withRecovery(m, recovery);
+        m = sim::withRename(m, rename);
+        m.cfg.bypass_window = bypass;
+
+        uint64_t ff = 0;
+        if (fastforward && image.symbols.count("steady"))
+            ff = image.symbols.at("steady");
+
+        sim::Simulation s(image, m.cfg, insts, ff);
+        s.run(cycles);
+
+        std::cout << "workload: " << name << "\n"
+                  << "machine:  " << m.name << "\n";
+        if (ff)
+            std::cout << "fast-forwarded " << s.fastForwarded()
+                      << " instructions\n";
+        std::cout << "committed " << s.core().stats().committed.value()
+                  << " instructions in " << s.core().cycle()
+                  << " cycles: IPC " << s.ipc() << "\n";
+        if (!s.emulator().console().empty()) {
+            std::cout << "console: ";
+            for (unsigned char c : s.emulator().console())
+                std::cout << (std::isprint(c) ? char(c) : '.');
+            std::cout << "\n";
+        }
+        if (report) {
+            std::cout << "\n";
+            s.report(std::cout);
+        }
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_detect_delay.dir/ablation_detect_delay.cc.o"
+  "CMakeFiles/ablation_detect_delay.dir/ablation_detect_delay.cc.o.d"
+  "ablation_detect_delay"
+  "ablation_detect_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_detect_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_predictor_size.dir/ablation_predictor_size.cc.o"
+  "CMakeFiles/ablation_predictor_size.dir/ablation_predictor_size.cc.o.d"
+  "ablation_predictor_size"
+  "ablation_predictor_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_predictor_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rename.dir/ablation_rename.cc.o"
+  "CMakeFiles/ablation_rename.dir/ablation_rename.cc.o.d"
+  "ablation_rename"
+  "ablation_rename.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rename.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

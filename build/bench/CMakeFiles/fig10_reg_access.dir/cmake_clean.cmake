@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_reg_access.dir/fig10_reg_access.cc.o"
+  "CMakeFiles/fig10_reg_access.dir/fig10_reg_access.cc.o.d"
+  "fig10_reg_access"
+  "fig10_reg_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_reg_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_sequential_wakeup.dir/fig14_sequential_wakeup.cc.o"
+  "CMakeFiles/fig14_sequential_wakeup.dir/fig14_sequential_wakeup.cc.o.d"
+  "fig14_sequential_wakeup"
+  "fig14_sequential_wakeup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_sequential_wakeup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

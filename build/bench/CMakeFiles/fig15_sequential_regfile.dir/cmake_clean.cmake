@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_sequential_regfile.dir/fig15_sequential_regfile.cc.o"
+  "CMakeFiles/fig15_sequential_regfile.dir/fig15_sequential_regfile.cc.o.d"
+  "fig15_sequential_regfile"
+  "fig15_sequential_regfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_sequential_regfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

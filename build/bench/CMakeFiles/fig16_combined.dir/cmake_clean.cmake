@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_combined.dir/fig16_combined.cc.o"
+  "CMakeFiles/fig16_combined.dir/fig16_combined.cc.o.d"
+  "fig16_combined"
+  "fig16_combined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_two_source_format.dir/fig2_two_source_format.cc.o"
+  "CMakeFiles/fig2_two_source_format.dir/fig2_two_source_format.cc.o.d"
+  "fig2_two_source_format"
+  "fig2_two_source_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_two_source_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

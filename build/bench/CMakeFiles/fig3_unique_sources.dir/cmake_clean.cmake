@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_unique_sources.dir/fig3_unique_sources.cc.o"
+  "CMakeFiles/fig3_unique_sources.dir/fig3_unique_sources.cc.o.d"
+  "fig3_unique_sources"
+  "fig3_unique_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_unique_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_ready_at_insert.dir/fig4_ready_at_insert.cc.o"
+  "CMakeFiles/fig4_ready_at_insert.dir/fig4_ready_at_insert.cc.o.d"
+  "fig4_ready_at_insert"
+  "fig4_ready_at_insert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_ready_at_insert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_wakeup_slack.dir/fig6_wakeup_slack.cc.o"
+  "CMakeFiles/fig6_wakeup_slack.dir/fig6_wakeup_slack.cc.o.d"
+  "fig6_wakeup_slack"
+  "fig6_wakeup_slack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_wakeup_slack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_wakeup_order.dir/table3_wakeup_order.cc.o"
+  "CMakeFiles/table3_wakeup_order.dir/table3_wakeup_order.cc.o.d"
+  "table3_wakeup_order"
+  "table3_wakeup_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_wakeup_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/timing_models.cc" "bench/CMakeFiles/timing_models.dir/timing_models.cc.o" "gcc" "bench/CMakeFiles/timing_models.dir/timing_models.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/hpa_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hpa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/func/CMakeFiles/hpa_func.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hpa_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpred/CMakeFiles/hpa_bpred.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/hpa_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/hpa_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/hpa_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hpa_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_models.dir/timing_models.cc.o"
+  "CMakeFiles/timing_models.dir/timing_models.cc.o.d"
+  "timing_models"
+  "timing_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

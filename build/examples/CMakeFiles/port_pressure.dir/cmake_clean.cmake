@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/port_pressure.dir/port_pressure.cpp.o"
+  "CMakeFiles/port_pressure.dir/port_pressure.cpp.o.d"
+  "port_pressure"
+  "port_pressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/port_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_shootout.dir/scheduler_shootout.cpp.o"
+  "CMakeFiles/scheduler_shootout.dir/scheduler_shootout.cpp.o.d"
+  "scheduler_shootout"
+  "scheduler_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpa_asm.dir/assembler.cc.o"
+  "CMakeFiles/hpa_asm.dir/assembler.cc.o.d"
+  "libhpa_asm.a"
+  "libhpa_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpa_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

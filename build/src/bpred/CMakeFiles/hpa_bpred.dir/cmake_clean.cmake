@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpa_bpred.dir/bpred.cc.o"
+  "CMakeFiles/hpa_bpred.dir/bpred.cc.o.d"
+  "libhpa_bpred.a"
+  "libhpa_bpred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpa_bpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/core.cc" "src/core/CMakeFiles/hpa_core.dir/core.cc.o" "gcc" "src/core/CMakeFiles/hpa_core.dir/core.cc.o.d"
+  "/root/repo/src/core/fu_pool.cc" "src/core/CMakeFiles/hpa_core.dir/fu_pool.cc.o" "gcc" "src/core/CMakeFiles/hpa_core.dir/fu_pool.cc.o.d"
+  "/root/repo/src/core/inst_source.cc" "src/core/CMakeFiles/hpa_core.dir/inst_source.cc.o" "gcc" "src/core/CMakeFiles/hpa_core.dir/inst_source.cc.o.d"
+  "/root/repo/src/core/last_arrival.cc" "src/core/CMakeFiles/hpa_core.dir/last_arrival.cc.o" "gcc" "src/core/CMakeFiles/hpa_core.dir/last_arrival.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/hpa_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/func/CMakeFiles/hpa_func.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hpa_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpred/CMakeFiles/hpa_bpred.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hpa_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/hpa_asm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpa_core.dir/core.cc.o"
+  "CMakeFiles/hpa_core.dir/core.cc.o.d"
+  "CMakeFiles/hpa_core.dir/fu_pool.cc.o"
+  "CMakeFiles/hpa_core.dir/fu_pool.cc.o.d"
+  "CMakeFiles/hpa_core.dir/inst_source.cc.o"
+  "CMakeFiles/hpa_core.dir/inst_source.cc.o.d"
+  "CMakeFiles/hpa_core.dir/last_arrival.cc.o"
+  "CMakeFiles/hpa_core.dir/last_arrival.cc.o.d"
+  "libhpa_core.a"
+  "libhpa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

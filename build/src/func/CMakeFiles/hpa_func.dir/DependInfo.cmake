@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/func/emulator.cc" "src/func/CMakeFiles/hpa_func.dir/emulator.cc.o" "gcc" "src/func/CMakeFiles/hpa_func.dir/emulator.cc.o.d"
+  "/root/repo/src/func/memory.cc" "src/func/CMakeFiles/hpa_func.dir/memory.cc.o" "gcc" "src/func/CMakeFiles/hpa_func.dir/memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/hpa_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/hpa_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hpa_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

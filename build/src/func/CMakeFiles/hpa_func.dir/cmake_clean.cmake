@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpa_func.dir/emulator.cc.o"
+  "CMakeFiles/hpa_func.dir/emulator.cc.o.d"
+  "CMakeFiles/hpa_func.dir/memory.cc.o"
+  "CMakeFiles/hpa_func.dir/memory.cc.o.d"
+  "libhpa_func.a"
+  "libhpa_func.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpa_func.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

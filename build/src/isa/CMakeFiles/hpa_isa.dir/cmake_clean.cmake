@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpa_isa.dir/decode.cc.o"
+  "CMakeFiles/hpa_isa.dir/decode.cc.o.d"
+  "CMakeFiles/hpa_isa.dir/disasm.cc.o"
+  "CMakeFiles/hpa_isa.dir/disasm.cc.o.d"
+  "CMakeFiles/hpa_isa.dir/opcodes.cc.o"
+  "CMakeFiles/hpa_isa.dir/opcodes.cc.o.d"
+  "CMakeFiles/hpa_isa.dir/static_inst.cc.o"
+  "CMakeFiles/hpa_isa.dir/static_inst.cc.o.d"
+  "libhpa_isa.a"
+  "libhpa_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpa_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

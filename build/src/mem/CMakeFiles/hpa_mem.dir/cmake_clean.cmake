@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpa_mem.dir/cache.cc.o"
+  "CMakeFiles/hpa_mem.dir/cache.cc.o.d"
+  "CMakeFiles/hpa_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/hpa_mem.dir/hierarchy.cc.o.d"
+  "libhpa_mem.a"
+  "libhpa_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpa_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

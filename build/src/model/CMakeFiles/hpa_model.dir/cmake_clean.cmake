@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpa_model.dir/timing_models.cc.o"
+  "CMakeFiles/hpa_model.dir/timing_models.cc.o.d"
+  "libhpa_model.a"
+  "libhpa_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpa_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpa_sim.dir/simulation.cc.o"
+  "CMakeFiles/hpa_sim.dir/simulation.cc.o.d"
+  "libhpa_sim.a"
+  "libhpa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

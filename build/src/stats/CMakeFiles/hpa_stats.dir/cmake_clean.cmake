@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpa_stats.dir/stats.cc.o"
+  "CMakeFiles/hpa_stats.dir/stats.cc.o.d"
+  "libhpa_stats.a"
+  "libhpa_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpa_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/common.cc" "src/workloads/CMakeFiles/hpa_workloads.dir/common.cc.o" "gcc" "src/workloads/CMakeFiles/hpa_workloads.dir/common.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/hpa_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/hpa_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/wl_compress.cc" "src/workloads/CMakeFiles/hpa_workloads.dir/wl_compress.cc.o" "gcc" "src/workloads/CMakeFiles/hpa_workloads.dir/wl_compress.cc.o.d"
+  "/root/repo/src/workloads/wl_compute.cc" "src/workloads/CMakeFiles/hpa_workloads.dir/wl_compute.cc.o" "gcc" "src/workloads/CMakeFiles/hpa_workloads.dir/wl_compute.cc.o.d"
+  "/root/repo/src/workloads/wl_interp.cc" "src/workloads/CMakeFiles/hpa_workloads.dir/wl_interp.cc.o" "gcc" "src/workloads/CMakeFiles/hpa_workloads.dir/wl_interp.cc.o.d"
+  "/root/repo/src/workloads/wl_pointer.cc" "src/workloads/CMakeFiles/hpa_workloads.dir/wl_pointer.cc.o" "gcc" "src/workloads/CMakeFiles/hpa_workloads.dir/wl_pointer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asm/CMakeFiles/hpa_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/hpa_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hpa_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpa_workloads.dir/common.cc.o"
+  "CMakeFiles/hpa_workloads.dir/common.cc.o.d"
+  "CMakeFiles/hpa_workloads.dir/registry.cc.o"
+  "CMakeFiles/hpa_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/hpa_workloads.dir/wl_compress.cc.o"
+  "CMakeFiles/hpa_workloads.dir/wl_compress.cc.o.d"
+  "CMakeFiles/hpa_workloads.dir/wl_compute.cc.o"
+  "CMakeFiles/hpa_workloads.dir/wl_compute.cc.o.d"
+  "CMakeFiles/hpa_workloads.dir/wl_interp.cc.o"
+  "CMakeFiles/hpa_workloads.dir/wl_interp.cc.o.d"
+  "CMakeFiles/hpa_workloads.dir/wl_pointer.cc.o"
+  "CMakeFiles/hpa_workloads.dir/wl_pointer.cc.o.d"
+  "libhpa_workloads.a"
+  "libhpa_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpa_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fu_pool.dir/test_fu_pool.cc.o"
+  "CMakeFiles/test_fu_pool.dir/test_fu_pool.cc.o.d"
+  "test_fu_pool"
+  "test_fu_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fu_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_func.dir/test_func.cc.o"
+  "CMakeFiles/test_func.dir/test_func.cc.o.d"
+  "test_func"
+  "test_func.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_func.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

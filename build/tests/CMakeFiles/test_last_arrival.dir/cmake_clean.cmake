@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_last_arrival.dir/test_last_arrival.cc.o"
+  "CMakeFiles/test_last_arrival.dir/test_last_arrival.cc.o.d"
+  "test_last_arrival"
+  "test_last_arrival.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_last_arrival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

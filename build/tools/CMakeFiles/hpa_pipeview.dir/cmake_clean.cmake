@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpa_pipeview.dir/hpa_pipeview.cc.o"
+  "CMakeFiles/hpa_pipeview.dir/hpa_pipeview.cc.o.d"
+  "hpa_pipeview"
+  "hpa_pipeview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpa_pipeview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

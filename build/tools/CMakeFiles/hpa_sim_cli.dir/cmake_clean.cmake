@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpa_sim_cli.dir/hpa_sim.cc.o"
+  "CMakeFiles/hpa_sim_cli.dir/hpa_sim.cc.o.d"
+  "hpa_sim"
+  "hpa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpa_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

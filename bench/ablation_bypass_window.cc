@@ -16,32 +16,44 @@ using namespace hpa::benchutil;
 int
 main()
 {
+    uint64_t budget = instBudget();
     banner("Ablation: bypass window vs. sequential register access",
            "Kim & Lipasti, ISCA 2003, Section 4.2 (1-cycle bypass "
-           "window assumption)");
-    uint64_t budget = instBudget();
+           "window assumption)",
+           budget);
 
-    WorkloadCache cache;
-    row("bench",
-        {"w=1 IPC", "w=2 IPC", "w=3 IPC", "seqRA w=1", "seqRA w=3"},
-        10, 12);
-    for (const auto &name : workloads::benchmarkNames()) {
-        const auto &w = cache.get(name);
-        auto base = runSim(w, sim::baseMachine(4).cfg, budget);
-        double b = base->ipc();
-        std::vector<std::string> cells;
-        uint64_t seq_ra_w1 = 0, seq_ra_w3 = 0;
-        for (unsigned window : {1u, 2u, 3u}) {
+    const auto names = workloads::benchmarkNames();
+    const std::vector<unsigned> windows = {1, 2, 3};
+    std::vector<sim::SweepJob> jobs;
+    for (const auto &name : names) {
+        jobs.push_back(job(name, sim::baseMachine(4), budget));
+        for (unsigned window : windows) {
             auto m = sim::withRegfile(
                 sim::baseMachine(4),
                 core::RegfileModel::SequentialAccess);
             m.cfg.bypass_window = window;
-            auto s = runSim(w, m.cfg, budget);
-            cells.push_back(fmt(s->ipc() / b, 4));
+            jobs.push_back(job(name, m, budget));
+        }
+    }
+    auto res = runSweep(std::move(jobs));
+
+    size_t k = 0;
+    row("bench",
+        {"w=1 IPC", "w=2 IPC", "w=3 IPC", "seqRA w=1", "seqRA w=3"},
+        10, 12);
+    for (const auto &name : names) {
+        double b = res[k++].ipc;
+        std::vector<std::string> cells;
+        uint64_t seq_ra_w1 = 0, seq_ra_w3 = 0;
+        for (unsigned window : windows) {
+            const auto &r = res[k++];
+            cells.push_back(fmt(r.ipc / b, 4));
+            uint64_t seq_ra =
+                r.sim->core().stats().seqRegAccesses.value();
             if (window == 1)
-                seq_ra_w1 = s->core().stats().seqRegAccesses.value();
+                seq_ra_w1 = seq_ra;
             if (window == 3)
-                seq_ra_w3 = s->core().stats().seqRegAccesses.value();
+                seq_ra_w3 = seq_ra;
         }
         cells.push_back(std::to_string(seq_ra_w1));
         cells.push_back(std::to_string(seq_ra_w3));

@@ -14,40 +14,47 @@ using namespace hpa::benchutil;
 int
 main()
 {
-    banner("Ablation: tag-elimination detection delay",
-           "Kim & Lipasti, ISCA 2003, Section 5.1 (penalty scaling)");
     uint64_t budget = instBudget();
+    banner("Ablation: tag-elimination detection delay",
+           "Kim & Lipasti, ISCA 2003, Section 5.1 (penalty scaling)",
+           budget);
 
-    WorkloadCache cache;
+    const auto names = workloads::benchmarkNames();
+    std::vector<sim::SweepJob> jobs;
+    for (unsigned width : {4u, 8u}) {
+        for (const auto &name : names) {
+            jobs.push_back(job(name, sim::baseMachine(width), budget));
+            for (unsigned d = 1; d <= 4; ++d) {
+                auto m = sim::withWakeup(
+                    sim::baseMachine(width),
+                    core::WakeupModel::TagElimination, 1024);
+                m.cfg.tagelim_detect_delay = d;
+                jobs.push_back(job(name, m, budget));
+            }
+            jobs.push_back(job(
+                name,
+                sim::withWakeup(sim::baseMachine(width),
+                                core::WakeupModel::Sequential, 1024),
+                budget));
+        }
+    }
+    auto res = runSweep(std::move(jobs));
+
+    size_t k = 0;
     for (unsigned width : {4u, 8u}) {
         std::printf("\n--- %u-wide (normalized IPC) ---\n", width);
         row("bench",
             {"te d=1", "te d=2", "te d=3", "te d=4", "seq-wkup"},
             10, 11);
         std::vector<std::vector<double>> cols(5);
-        for (const auto &name : workloads::benchmarkNames()) {
-            const auto &w = cache.get(name);
-            auto base = runSim(w, sim::baseMachine(width).cfg, budget);
-            double b = base->ipc();
+        for (const auto &name : names) {
+            double b = res[k++].ipc;
             std::vector<std::string> cells;
-            unsigned col = 0;
-            for (unsigned d = 1; d <= 4; ++d, ++col) {
-                auto m = sim::withWakeup(
-                    sim::baseMachine(width),
-                    core::WakeupModel::TagElimination, 1024);
-                m.cfg.tagelim_detect_delay = d;
-                auto s = runSim(w, m.cfg, budget);
-                cells.push_back(fmt(s->ipc() / b, 4));
-                cols[col].push_back(s->ipc() / b);
+            for (unsigned col = 0; col < 5; ++col) {
+                double n = res[k++].ipc / b;
+                cells.push_back(fmt(n, 4));
+                cols[col].push_back(n);
             }
-            auto sw = runSim(
-                w,
-                sim::withWakeup(sim::baseMachine(width),
-                                core::WakeupModel::Sequential, 1024)
-                    .cfg,
-                budget);
-            cells.push_back(fmt(sw->ipc() / b, 4));
-            cols[4].push_back(sw->ipc() / b);
             row(name, cells, 10, 11);
         }
         std::vector<std::string> means;

@@ -14,36 +14,39 @@ using namespace hpa::benchutil;
 int
 main()
 {
+    uint64_t budget = instBudget();
     banner("Ablation: predictor size vs. sequential wakeup IPC",
            "Kim & Lipasti, ISCA 2003, Sections 3.2 and 5.1 "
-           "(insensitivity to predictor accuracy)");
-    uint64_t budget = instBudget();
+           "(insensitivity to predictor accuracy)",
+           budget);
 
-    WorkloadCache cache;
-    row("bench",
-        {"128", "512", "1024", "4096", "no pred"}, 10, 11);
-    for (const auto &name : workloads::benchmarkNames()) {
-        const auto &w = cache.get(name);
-        auto base = runSim(w, sim::baseMachine(4).cfg, budget);
-        double b = base->ipc();
-        std::vector<std::string> cells;
-        for (unsigned entries : {128u, 512u, 1024u, 4096u}) {
-            auto s = runSim(
-                w,
+    const auto names = workloads::benchmarkNames();
+    const std::vector<unsigned> sizes = {128, 512, 1024, 4096};
+    std::vector<sim::SweepJob> jobs;
+    for (const auto &name : names) {
+        jobs.push_back(job(name, sim::baseMachine(4), budget));
+        for (unsigned entries : sizes)
+            jobs.push_back(job(
+                name,
                 sim::withWakeup(sim::baseMachine(4),
                                 core::WakeupModel::Sequential,
-                                entries)
-                    .cfg,
-                budget);
-            cells.push_back(fmt(s->ipc() / b, 4));
-        }
-        auto np = runSim(
-            w,
+                                entries),
+                budget));
+        jobs.push_back(job(
+            name,
             sim::withWakeup(sim::baseMachine(4),
-                            core::WakeupModel::SequentialNoPred)
-                .cfg,
-            budget);
-        cells.push_back(fmt(np->ipc() / b, 4));
+                            core::WakeupModel::SequentialNoPred),
+            budget));
+    }
+    auto res = runSweep(std::move(jobs));
+
+    size_t k = 0;
+    row("bench", {"128", "512", "1024", "4096", "no pred"}, 10, 11);
+    for (const auto &name : names) {
+        double b = res[k++].ipc;
+        std::vector<std::string> cells;
+        for (size_t i = 0; i < sizes.size() + 1; ++i)
+            cells.push_back(fmt(res[k++].ipc / b, 4));
         row(name, cells, 10, 11);
     }
     return 0;

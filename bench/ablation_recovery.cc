@@ -16,51 +16,57 @@ using namespace hpa::benchutil;
 int
 main()
 {
+    uint64_t budget = instBudget();
     banner("Ablation: recovery model vs. wakeup scheme",
            "Kim & Lipasti, ISCA 2003, Section 3.1 (selective "
-           "recovery compatibility)");
-    uint64_t budget = instBudget();
+           "recovery compatibility)",
+           budget);
 
-    WorkloadCache cache;
+    const auto names = workloads::benchmarkNames();
+    std::vector<sim::SweepJob> jobs;
+    for (const auto &name : names) {
+        jobs.push_back(job(name, sim::baseMachine(4), budget));
+        jobs.push_back(job(
+            name,
+            sim::withRecovery(sim::baseMachine(4),
+                              core::RecoveryModel::Selective),
+            budget));
+        jobs.push_back(job(
+            name,
+            sim::withRecovery(
+                sim::withWakeup(sim::baseMachine(4),
+                                core::WakeupModel::Sequential, 1024),
+                core::RecoveryModel::Selective),
+            budget));
+        jobs.push_back(job(
+            name,
+            sim::withWakeup(sim::baseMachine(4),
+                            core::WakeupModel::TagElimination, 1024),
+            budget));
+    }
+    auto res = runSweep(std::move(jobs));
+
+    auto squash_pct = [](const sim::SweepResult &r) {
+        const auto &st = r.sim->core().stats();
+        return double(st.squashedIssues.value())
+            / double(st.issued.value() ? st.issued.value() : 1);
+    };
+
+    size_t k = 0;
     row("bench",
         {"conv/nsel", "conv/sel", "seqw/sel", "te/nsel",
          "te-squash%", "sw-squash%"},
         10, 12);
-    for (const auto &name : workloads::benchmarkNames()) {
-        const auto &w = cache.get(name);
-        auto base = runSim(w, sim::baseMachine(4).cfg, budget);
-
-        auto conv_sel = runSim(
-            w,
-            sim::withRecovery(sim::baseMachine(4),
-                              core::RecoveryModel::Selective)
-                .cfg,
-            budget);
-        auto sw_sel = runSim(
-            w,
-            sim::withRecovery(
-                sim::withWakeup(sim::baseMachine(4),
-                                core::WakeupModel::Sequential, 1024),
-                core::RecoveryModel::Selective)
-                .cfg,
-            budget);
-        auto te = runSim(
-            w,
-            sim::withWakeup(sim::baseMachine(4),
-                            core::WakeupModel::TagElimination, 1024)
-                .cfg,
-            budget);
-
-        double b = base->ipc();
-        auto squash_pct = [](sim::Simulation &s) {
-            const auto &st = s.core().stats();
-            return double(st.squashedIssues.value())
-                / double(st.issued.value() ? st.issued.value() : 1);
-        };
+    for (const auto &name : names) {
+        double b = res[k].ipc;
+        const auto &conv_sel = res[k + 1];
+        const auto &sw_sel = res[k + 2];
+        const auto &te = res[k + 3];
+        k += 4;
         row(name,
-            {fmt(1.0, 3), fmt(conv_sel->ipc() / b, 4),
-             fmt(sw_sel->ipc() / b, 4), fmt(te->ipc() / b, 4),
-             pct(squash_pct(*te)), pct(squash_pct(*sw_sel))},
+            {fmt(1.0, 3), fmt(conv_sel.ipc / b, 4),
+             fmt(sw_sel.ipc / b, 4), fmt(te.ipc / b, 4),
+             pct(squash_pct(te)), pct(squash_pct(sw_sel))},
             10, 12);
     }
     std::printf("\n(seqw/sel: sequential wakeup on selective "

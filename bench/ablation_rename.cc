@@ -16,43 +16,48 @@ using namespace hpa::benchutil;
 int
 main()
 {
-    banner("Ablation: half-price register renaming (future work)",
-           "Kim & Lipasti, ISCA 2003, Section 6");
     uint64_t budget = instBudget();
+    banner("Ablation: half-price register renaming (future work)",
+           "Kim & Lipasti, ISCA 2003, Section 6", budget);
 
-    WorkloadCache cache;
+    const auto names = workloads::benchmarkNames();
+    std::vector<sim::SweepJob> jobs;
+    for (unsigned width : {4u, 8u}) {
+        auto rn = sim::withRename(sim::baseMachine(width),
+                                  core::RenameModel::HalfPort);
+        // Everything halved: wakeup + register file + rename.
+        auto all = sim::withRename(
+            sim::withRegfile(
+                sim::withWakeup(sim::baseMachine(width),
+                                core::WakeupModel::Sequential, 1024),
+                core::RegfileModel::SequentialAccess),
+            core::RenameModel::HalfPort);
+        for (const auto &name : names) {
+            jobs.push_back(job(name, sim::baseMachine(width), budget));
+            jobs.push_back(job(name, rn, budget));
+            jobs.push_back(job(name, all, budget));
+        }
+    }
+    auto res = runSweep(std::move(jobs));
+
+    size_t k = 0;
     for (unsigned width : {4u, 8u}) {
         std::printf("\n--- %u-wide (normalized IPC) ---\n", width);
         row("bench",
             {"half-rename", "all-half", "splits/kinst"}, 10, 13);
         std::vector<double> nrn, nall;
-        for (const auto &name : workloads::benchmarkNames()) {
-            const auto &w = cache.get(name);
-            auto base = runSim(w, sim::baseMachine(width).cfg, budget);
-            auto rn = runSim(
-                w,
-                sim::withRename(sim::baseMachine(width),
-                                core::RenameModel::HalfPort)
-                    .cfg,
-                budget);
-            // Everything halved: wakeup + register file + rename.
-            auto all_machine = sim::withRename(
-                sim::withRegfile(
-                    sim::withWakeup(sim::baseMachine(width),
-                                    core::WakeupModel::Sequential,
-                                    1024),
-                    core::RegfileModel::SequentialAccess),
-                core::RenameModel::HalfPort);
-            auto all = runSim(w, all_machine.cfg, budget);
-
-            double b = base->ipc();
-            nrn.push_back(rn->ipc() / b);
-            nall.push_back(all->ipc() / b);
-            double splits =
-                1000.0 * double(rn->core().stats().renameStalls.value())
-                / double(rn->core().stats().committed.value());
+        for (const auto &name : names) {
+            double b = res[k].ipc;
+            const auto &rn = res[k + 1];
+            const auto &all = res[k + 2];
+            k += 3;
+            nrn.push_back(rn.ipc / b);
+            nall.push_back(all.ipc / b);
+            const auto &st = rn.sim->core().stats();
+            double splits = 1000.0 * double(st.renameStalls.value())
+                / double(st.committed.value());
             row(name,
-                {fmt(rn->ipc() / b, 4), fmt(all->ipc() / b, 4),
+                {fmt(rn.ipc / b, 4), fmt(all.ipc / b, 4),
                  fmt(splits, 2)},
                 10, 13);
         }

@@ -10,52 +10,103 @@
 #ifndef HPA_BENCH_BENCH_UTIL_HH
 #define HPA_BENCH_BENCH_UTIL_HH
 
+#include <cerrno>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <map>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "sim/simulation.hh"
+#include "sim/sweep.hh"
 #include "workloads/workloads.hh"
 
 namespace hpa::benchutil
 {
 
-/** Committed-instruction budget per timing run (HPA_INSTS env). */
+/**
+ * Committed-instruction budget per timing run (HPA_INSTS env). A
+ * malformed value (empty, signed, trailing junk, zero, overflow) is
+ * rejected with a warning and the default is used — a silent
+ * strtoull() partial parse would quietly run the wrong experiment.
+ */
 inline uint64_t
 instBudget(uint64_t def = 200000)
 {
-    if (const char *s = std::getenv("HPA_INSTS")) {
-        uint64_t v = std::strtoull(s, nullptr, 10);
-        if (v > 0)
-            return v;
+    const char *s = std::getenv("HPA_INSTS");
+    if (!s)
+        return def;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s, &end, 10);
+    bool bad = end == s || *end != '\0' || errno == ERANGE || v == 0
+        || std::strchr(s, '-') != nullptr;
+    if (bad) {
+        std::fprintf(stderr,
+                     "warning: ignoring invalid HPA_INSTS='%s' "
+                     "(want a positive integer); using %llu\n",
+                     s, static_cast<unsigned long long>(def));
+        return def;
     }
-    return def;
+    return v;
 }
 
-/** Build-once cache of full-scale workload programs. */
-class WorkloadCache
-{
-  public:
-    const workloads::Workload &
-    get(const std::string &name)
-    {
-        auto it = cache_.find(name);
-        if (it == cache_.end())
-            it = cache_
-                .emplace(name,
-                         workloads::make(name, workloads::Scale::Full))
-                .first;
-        return it->second;
-    }
+/** Shared build-once workload cache (also used by the sweep engine). */
+using workloads::WorkloadCache;
 
-  private:
-    std::map<std::string, workloads::Workload> cache_;
-};
+/**
+ * Worker threads for the harness sweeps (HPA_JOBS env; unset or 0 =
+ * one per hardware thread). Sweep results are deterministic at any
+ * thread count, so a malformed value only costs a warning and the
+ * default.
+ */
+inline unsigned
+sweepJobs()
+{
+    const char *s = std::getenv("HPA_JOBS");
+    if (!s)
+        return 0;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s, &end, 10);
+    bool bad = end == s || *end != '\0' || errno == ERANGE || v > 1024
+        || std::strchr(s, '-') != nullptr;
+    if (bad) {
+        std::fprintf(stderr,
+                     "warning: ignoring invalid HPA_JOBS='%s' "
+                     "(want 0..1024); using one per hardware "
+                     "thread\n",
+                     s);
+        return 0;
+    }
+    return unsigned(v);
+}
+
+/** Build one timing-run job for the sweep engine. */
+inline sim::SweepJob
+job(const std::string &workload, const sim::Machine &m,
+    uint64_t budget)
+{
+    sim::SweepJob j;
+    j.workload = workload;
+    j.machine = m;
+    j.max_insts = budget;
+    return j;
+}
+
+/**
+ * Run a batch of jobs on the sweep engine with HPA_JOBS worker
+ * threads; result[i] corresponds to jobs[i], independent of which
+ * thread ran it, so harnesses consume results in submission order.
+ */
+inline std::vector<sim::SweepResult>
+runSweep(std::vector<sim::SweepJob> jobs)
+{
+    return sim::SweepRunner(sweepJobs()).run(std::move(jobs));
+}
 
 /**
  * Run one timing simulation to the instruction budget, fast-forwarding
@@ -86,6 +137,18 @@ banner(const std::string &what, const std::string &paper_ref)
     std::printf("Reproduces: %s\n", paper_ref.c_str());
     std::printf("==============================================="
                 "=====================\n");
+}
+
+/** Banner variant reporting the instruction budget actually used. */
+inline void
+banner(const std::string &what, const std::string &paper_ref,
+       uint64_t budget)
+{
+    banner(what, paper_ref);
+    std::printf("committed-instruction budget per run: %llu%s\n",
+                static_cast<unsigned long long>(budget),
+                std::getenv("HPA_INSTS") ? " (HPA_INSTS)"
+                                         : " (default)");
 }
 
 /** Print one aligned row: name column then fixed-width cells. */

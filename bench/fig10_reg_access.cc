@@ -15,21 +15,27 @@ using namespace hpa::benchutil;
 int
 main()
 {
+    uint64_t budget = instBudget();
     banner("Figure 10: register accesses of 2-source instructions",
            "Kim & Lipasti, ISCA 2003, Figure 10 (paper: <4% of all "
-           "instructions need 2 read ports)");
-    uint64_t budget = instBudget();
+           "instructions need 2 read ports)",
+           budget);
 
-    WorkloadCache cache;
+    const auto names = workloads::benchmarkNames();
+    std::vector<sim::SweepJob> jobs;
+    for (unsigned width : {4u, 8u})
+        for (const auto &name : names)
+            jobs.push_back(job(name, sim::baseMachine(width), budget));
+    auto res = runSweep(std::move(jobs));
+
+    size_t k = 0;
     for (unsigned width : {4u, 8u}) {
         std::printf("\n--- %u-wide base machine ---\n", width);
         row("bench",
             {"b2b issue", "2 ready", "non-b2b", "2-port/all"},
             10, 12);
-        for (const auto &name : workloads::benchmarkNames()) {
-            auto s = runSim(cache.get(name),
-                            sim::baseMachine(width).cfg, budget);
-            const auto &st = s->core().stats();
+        for (const auto &name : names) {
+            const auto &st = res[k++].sim->core().stats();
             double n = double(st.rfBackToBack.value()
                               + st.rfTwoReady.value()
                               + st.rfNonBackToBack.value());

@@ -19,46 +19,53 @@ using namespace hpa::benchutil;
 int
 main()
 {
-    banner("Figure 14: performance of sequential wakeup",
-           "Kim & Lipasti, ISCA 2003, Figure 14");
     uint64_t budget = instBudget();
+    banner("Figure 14: performance of sequential wakeup",
+           "Kim & Lipasti, ISCA 2003, Figure 14", budget);
 
-    WorkloadCache cache;
+    const auto names = workloads::benchmarkNames();
+    std::vector<sim::SweepJob> jobs;
+    for (unsigned width : {4u, 8u}) {
+        for (const auto &name : names) {
+            jobs.push_back(job(name, sim::baseMachine(width), budget));
+            jobs.push_back(job(
+                name,
+                sim::withWakeup(sim::baseMachine(width),
+                                core::WakeupModel::Sequential, 1024),
+                budget));
+            jobs.push_back(job(
+                name,
+                sim::withWakeup(sim::baseMachine(width),
+                                core::WakeupModel::TagElimination,
+                                1024),
+                budget));
+            jobs.push_back(job(
+                name,
+                sim::withWakeup(sim::baseMachine(width),
+                                core::WakeupModel::SequentialNoPred),
+                budget));
+        }
+    }
+    auto res = runSweep(std::move(jobs));
+
+    size_t k = 0;
     for (unsigned width : {4u, 8u}) {
         std::printf("\n--- %u-wide (normalized IPC) ---\n", width);
         row("bench",
             {"base IPC", "seq-wakeup", "tag-elim", "seq-nopred"},
             10, 12);
         std::vector<double> nsw, nte, nnp;
-        for (const auto &name : workloads::benchmarkNames()) {
-            const auto &w = cache.get(name);
-            auto base = runSim(w, sim::baseMachine(width).cfg, budget);
-            auto sw = runSim(
-                w,
-                sim::withWakeup(sim::baseMachine(width),
-                                core::WakeupModel::Sequential, 1024)
-                    .cfg,
-                budget);
-            auto te = runSim(
-                w,
-                sim::withWakeup(sim::baseMachine(width),
-                                core::WakeupModel::TagElimination,
-                                1024)
-                    .cfg,
-                budget);
-            auto np = runSim(
-                w,
-                sim::withWakeup(sim::baseMachine(width),
-                                core::WakeupModel::SequentialNoPred)
-                    .cfg,
-                budget);
-            double b = base->ipc();
-            nsw.push_back(sw->ipc() / b);
-            nte.push_back(te->ipc() / b);
-            nnp.push_back(np->ipc() / b);
+        for (const auto &name : names) {
+            double b = res[k].ipc;
+            double sw = res[k + 1].ipc / b;
+            double te = res[k + 2].ipc / b;
+            double np = res[k + 3].ipc / b;
+            k += 4;
+            nsw.push_back(sw);
+            nte.push_back(te);
+            nnp.push_back(np);
             row(name,
-                {fmt(b, 3), fmt(sw->ipc() / b, 4),
-                 fmt(te->ipc() / b, 4), fmt(np->ipc() / b, 4)});
+                {fmt(b, 3), fmt(sw, 4), fmt(te, 4), fmt(np, 4)});
         }
         row("geomean",
             {"", fmt(geomean(nsw), 4), fmt(geomean(nte), 4),

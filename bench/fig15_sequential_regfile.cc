@@ -19,45 +19,52 @@ using namespace hpa::benchutil;
 int
 main()
 {
-    banner("Figure 15: performance of sequential register access",
-           "Kim & Lipasti, ISCA 2003, Figure 15");
     uint64_t budget = instBudget();
+    banner("Figure 15: performance of sequential register access",
+           "Kim & Lipasti, ISCA 2003, Figure 15", budget);
 
-    WorkloadCache cache;
+    const auto names = workloads::benchmarkNames();
+    std::vector<sim::SweepJob> jobs;
+    for (unsigned width : {4u, 8u}) {
+        for (const auto &name : names) {
+            jobs.push_back(job(name, sim::baseMachine(width), budget));
+            jobs.push_back(job(
+                name,
+                sim::withRegfile(sim::baseMachine(width),
+                                 core::RegfileModel::SequentialAccess),
+                budget));
+            jobs.push_back(job(
+                name,
+                sim::withRegfile(sim::baseMachine(width),
+                                 core::RegfileModel::ExtraStage),
+                budget));
+            jobs.push_back(job(
+                name,
+                sim::withRegfile(sim::baseMachine(width),
+                                 core::RegfileModel::HalfPortCrossbar),
+                budget));
+        }
+    }
+    auto res = runSweep(std::move(jobs));
+
+    size_t k = 0;
     for (unsigned width : {4u, 8u}) {
         std::printf("\n--- %u-wide (normalized IPC) ---\n", width);
         row("bench",
             {"base IPC", "seq RF", "1 extra stg", "reg+xbar"},
             10, 12);
         std::vector<double> nsq, nex, nxb;
-        for (const auto &name : workloads::benchmarkNames()) {
-            const auto &w = cache.get(name);
-            auto base = runSim(w, sim::baseMachine(width).cfg, budget);
-            auto sq = runSim(
-                w,
-                sim::withRegfile(sim::baseMachine(width),
-                                 core::RegfileModel::SequentialAccess)
-                    .cfg,
-                budget);
-            auto ex = runSim(
-                w,
-                sim::withRegfile(sim::baseMachine(width),
-                                 core::RegfileModel::ExtraStage)
-                    .cfg,
-                budget);
-            auto xb = runSim(
-                w,
-                sim::withRegfile(sim::baseMachine(width),
-                                 core::RegfileModel::HalfPortCrossbar)
-                    .cfg,
-                budget);
-            double b = base->ipc();
-            nsq.push_back(sq->ipc() / b);
-            nex.push_back(ex->ipc() / b);
-            nxb.push_back(xb->ipc() / b);
+        for (const auto &name : names) {
+            double b = res[k].ipc;
+            double sq = res[k + 1].ipc / b;
+            double ex = res[k + 2].ipc / b;
+            double xb = res[k + 3].ipc / b;
+            k += 4;
+            nsq.push_back(sq);
+            nex.push_back(ex);
+            nxb.push_back(xb);
             row(name,
-                {fmt(b, 3), fmt(sq->ipc() / b, 4),
-                 fmt(ex->ipc() / b, 4), fmt(xb->ipc() / b, 4)});
+                {fmt(b, 3), fmt(sq, 4), fmt(ex, 4), fmt(xb, 4)});
         }
         row("geomean",
             {"", fmt(geomean(nsq), 4), fmt(geomean(nex), 4),

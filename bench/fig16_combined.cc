@@ -18,42 +18,46 @@ using namespace hpa::benchutil;
 int
 main()
 {
+    uint64_t budget = instBudget();
     banner("Figure 16: combined sequential wakeup + sequential "
            "register access",
-           "Kim & Lipasti, ISCA 2003, Figure 16");
-    uint64_t budget = instBudget();
+           "Kim & Lipasti, ISCA 2003, Figure 16", budget);
 
-    WorkloadCache cache;
+    const auto names = workloads::benchmarkNames();
+    std::vector<sim::SweepJob> jobs;
+    for (unsigned width : {4u, 8u}) {
+        auto seqw = sim::withWakeup(sim::baseMachine(width),
+                                    core::WakeupModel::Sequential,
+                                    1024);
+        auto comb = sim::withRegfile(
+            seqw, core::RegfileModel::SequentialAccess);
+        auto seqrf = sim::withRegfile(
+            sim::baseMachine(width),
+            core::RegfileModel::SequentialAccess);
+        for (const auto &name : names) {
+            jobs.push_back(job(name, sim::baseMachine(width), budget));
+            jobs.push_back(job(name, comb, budget));
+            jobs.push_back(job(name, seqw, budget));
+            jobs.push_back(job(name, seqrf, budget));
+        }
+    }
+    auto res = runSweep(std::move(jobs));
+
+    size_t k = 0;
     for (unsigned width : {4u, 8u}) {
         std::printf("\n--- %u-wide (normalized IPC) ---\n", width);
         row("bench",
             {"base IPC", "combined", "seq-wkup", "seq-RF"}, 10, 12);
         std::vector<double> ncomb;
-        for (const auto &name : workloads::benchmarkNames()) {
-            const auto &w = cache.get(name);
-            auto base = runSim(w, sim::baseMachine(width).cfg, budget);
-            auto comb_machine = sim::withRegfile(
-                sim::withWakeup(sim::baseMachine(width),
-                                core::WakeupModel::Sequential, 1024),
-                core::RegfileModel::SequentialAccess);
-            auto comb = runSim(w, comb_machine.cfg, budget);
-            auto sw = runSim(
-                w,
-                sim::withWakeup(sim::baseMachine(width),
-                                core::WakeupModel::Sequential, 1024)
-                    .cfg,
-                budget);
-            auto sq = runSim(
-                w,
-                sim::withRegfile(sim::baseMachine(width),
-                                 core::RegfileModel::SequentialAccess)
-                    .cfg,
-                budget);
-            double b = base->ipc();
-            ncomb.push_back(comb->ipc() / b);
+        for (const auto &name : names) {
+            double b = res[k].ipc;
+            double comb = res[k + 1].ipc / b;
+            double sw = res[k + 2].ipc / b;
+            double sq = res[k + 3].ipc / b;
+            k += 4;
+            ncomb.push_back(comb);
             row(name,
-                {fmt(b, 3), fmt(comb->ipc() / b, 4),
-                 fmt(sw->ipc() / b, 4), fmt(sq->ipc() / b, 4)});
+                {fmt(b, 3), fmt(comb, 4), fmt(sw, 4), fmt(sq, 4)});
         }
         row("geomean", {"", fmt(geomean(ncomb), 4), "", ""});
     }

@@ -2,7 +2,8 @@
  * @file
  * Figure 2: percentage of dynamic instructions with a 2-source
  * format, with stores broken out separately. Purely a program
- * property: measured on the functional emulator.
+ * property: measured on the functional emulator, one benchmark per
+ * sweep-engine worker.
  */
 
 #include "func/emulator.hh"
@@ -15,28 +16,40 @@ using namespace hpa::benchutil;
 int
 main()
 {
+    uint64_t budget = instBudget(1000000);
     banner("Figure 2: percentage of 2-source-format instructions",
            "Kim & Lipasti, ISCA 2003, Figure 2 (paper: 18-36% "
-           "2-source format)");
-    uint64_t budget = instBudget(1000000);
+           "2-source format)",
+           budget);
 
-    WorkloadCache cache;
-    row("bench", {"2-src fmt", "stores", "other"});
-    for (const auto &name : workloads::benchmarkNames()) {
-        const auto &w = cache.get(name);
-        func::Emulator emu(w.program);
+    const auto names = workloads::benchmarkNames();
+    struct Counts
+    {
         uint64_t two = 0, stores = 0, total = 0;
-        while (!emu.halted() && total < budget) {
-            auto rec = emu.step();
-            ++total;
-            if (rec.inst.isStore())
-                ++stores;
-            else if (rec.inst.isTwoSourceFormat())
-                ++two;
-        }
-        double t = double(total);
-        row(name, {pct(two / t), pct(stores / t),
-                   pct((total - two - stores) / t)});
+    };
+    std::vector<Counts> counts(names.size());
+    auto &cache = workloads::globalCache();
+    sim::SweepRunner::parallelFor(
+        names.size(), sweepJobs(), [&](size_t i) {
+            func::Emulator emu(cache.get(names[i]).program);
+            Counts &c = counts[i];
+            while (!emu.halted() && c.total < budget) {
+                auto rec = emu.step();
+                ++c.total;
+                if (rec.inst.isStore())
+                    ++c.stores;
+                else if (rec.inst.isTwoSourceFormat())
+                    ++c.two;
+            }
+        });
+
+    row("bench", {"2-src fmt", "stores", "other"});
+    for (size_t i = 0; i < names.size(); ++i) {
+        const Counts &c = counts[i];
+        double t = double(c.total);
+        row(names[i],
+            {pct(c.two / t), pct(c.stores / t),
+             pct((c.total - c.two - c.stores) / t)});
     }
     return 0;
 }

@@ -4,6 +4,8 @@
  * source operands — nops (zero-register destinations, eliminated at
  * decode), instructions with fewer than two unique sources (zero
  * registers / identical operands), and true 2-source instructions.
+ * Measured on the functional emulator, one benchmark per
+ * sweep-engine worker.
  */
 
 #include "func/emulator.hh"
@@ -16,34 +18,47 @@ using namespace hpa::benchutil;
 int
 main()
 {
+    uint64_t budget = instBudget(1000000);
     banner("Figure 3: breakdown of 2-source-format instructions",
            "Kim & Lipasti, ISCA 2003, Figure 3 (paper: 6-23% of all "
-           "instructions are true 2-source)");
-    uint64_t budget = instBudget(1000000);
+           "instructions are true 2-source)",
+           budget);
 
-    WorkloadCache cache;
+    const auto names = workloads::benchmarkNames();
+    struct Counts
+    {
+        uint64_t nops = 0, one = 0, two = 0, fmt2 = 0, total = 0;
+    };
+    std::vector<Counts> counts(names.size());
+    auto &cache = workloads::globalCache();
+    sim::SweepRunner::parallelFor(
+        names.size(), sweepJobs(), [&](size_t i) {
+            func::Emulator emu(cache.get(names[i]).program);
+            Counts &c = counts[i];
+            while (!emu.halted() && c.total < budget) {
+                auto rec = emu.step();
+                ++c.total;
+                if (rec.inst.isStore()
+                    || !rec.inst.isTwoSourceFormat())
+                    continue;
+                ++c.fmt2;
+                if (rec.inst.isNop())
+                    ++c.nops;
+                else if (rec.inst.uniqueSrcRegs().count == 2)
+                    ++c.two;
+                else
+                    ++c.one;
+            }
+        });
+
     row("bench",
         {"nops", "<2 unique", "2 unique", "2src/all"}, 10, 12);
-    for (const auto &name : workloads::benchmarkNames()) {
-        const auto &w = cache.get(name);
-        func::Emulator emu(w.program);
-        uint64_t nops = 0, one = 0, two = 0, fmt2 = 0, total = 0;
-        while (!emu.halted() && total < budget) {
-            auto rec = emu.step();
-            ++total;
-            if (rec.inst.isStore() || !rec.inst.isTwoSourceFormat())
-                continue;
-            ++fmt2;
-            if (rec.inst.isNop())
-                ++nops;
-            else if (rec.inst.uniqueSrcRegs().count == 2)
-                ++two;
-            else
-                ++one;
-        }
-        double f = double(fmt2 ? fmt2 : 1);
-        row(name, {pct(nops / f), pct(one / f), pct(two / f),
-                   pct(double(two) / double(total))});
+    for (size_t i = 0; i < names.size(); ++i) {
+        const Counts &c = counts[i];
+        double f = double(c.fmt2 ? c.fmt2 : 1);
+        row(names[i],
+            {pct(c.nops / f), pct(c.one / f), pct(c.two / f),
+             pct(double(c.two) / double(c.total))});
     }
     std::printf("\n(last column: true 2-source instructions as a "
                 "fraction of all dynamic instructions)\n");

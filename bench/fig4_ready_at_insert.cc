@@ -14,19 +14,26 @@ using namespace hpa::benchutil;
 int
 main()
 {
+    uint64_t budget = instBudget();
     banner("Figure 4: ready operands of 2-source insts at insert",
            "Kim & Lipasti, ISCA 2003, Figure 4 (paper: 4-16% have 0 "
-           "ready operands)");
-    uint64_t budget = instBudget();
+           "ready operands)",
+           budget);
 
-    WorkloadCache cache;
+    const auto names = workloads::benchmarkNames();
+    std::vector<sim::SweepJob> jobs;
+    for (unsigned width : {4u, 8u})
+        for (const auto &name : names)
+            jobs.push_back(job(name, sim::baseMachine(width), budget));
+    auto res = runSweep(std::move(jobs));
+
+    size_t k = 0;
     for (unsigned width : {4u, 8u}) {
         std::printf("\n--- %u-wide base machine ---\n", width);
         row("bench", {"0 ready", "1 ready", "2 ready"});
-        for (const auto &name : workloads::benchmarkNames()) {
-            auto s = runSim(cache.get(name),
-                            sim::baseMachine(width).cfg, budget);
-            const auto &d = s->core().stats().readyAtInsert;
+        for (const auto &name : names) {
+            const auto &d =
+                res[k++].sim->core().stats().readyAtInsert;
             row(name, {pct(d.fraction(0)), pct(d.fraction(1)),
                        pct(d.fraction(2))});
         }

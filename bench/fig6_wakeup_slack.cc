@@ -14,22 +14,28 @@ using namespace hpa::benchutil;
 int
 main()
 {
+    uint64_t budget = instBudget();
     banner("Figure 6: slack between two operand wakeups",
            "Kim & Lipasti, ISCA 2003, Figure 6 (paper: <3% of "
-           "instructions wake both operands in the same cycle)");
-    uint64_t budget = instBudget();
+           "instructions wake both operands in the same cycle)",
+           budget);
 
-    WorkloadCache cache;
+    const auto names = workloads::benchmarkNames();
+    std::vector<sim::SweepJob> jobs;
+    for (unsigned width : {4u, 8u})
+        for (const auto &name : names)
+            jobs.push_back(job(name, sim::baseMachine(width), budget));
+    auto res = runSweep(std::move(jobs));
+
+    size_t k = 0;
     for (unsigned width : {4u, 8u}) {
         std::printf("\n--- %u-wide base machine ---\n", width);
         row("bench",
             {"slack 0", "slack 1", "slack 2", "slack 3", "slack 4+",
              "0/all-2src"},
             10, 11);
-        for (const auto &name : workloads::benchmarkNames()) {
-            auto s = runSim(cache.get(name),
-                            sim::baseMachine(width).cfg, budget);
-            const auto &st = s->core().stats();
+        for (const auto &name : names) {
+            const auto &st = res[k++].sim->core().stats();
             const auto &d = st.wakeupSlack;
             // Simultaneous wakeups as a fraction of all 2-source
             // instructions (the paper's "<3% of instructions").

@@ -15,20 +15,26 @@ using namespace hpa::benchutil;
 int
 main()
 {
+    uint64_t budget = instBudget();
     banner("Figure 7: last-arriving operand prediction accuracy",
            "Kim & Lipasti, ISCA 2003, Figure 7 (paper: ~85-97% with "
-           "a small bimodal table)");
-    uint64_t budget = instBudget();
+           "a small bimodal table)",
+           budget);
 
-    WorkloadCache cache;
+    const auto names = workloads::benchmarkNames();
+    std::vector<sim::SweepJob> jobs;
+    for (unsigned width : {4u, 8u})
+        for (const auto &name : names)
+            jobs.push_back(job(name, sim::baseMachine(width), budget));
+    auto res = runSweep(std::move(jobs));
+
+    size_t k = 0;
     for (unsigned width : {4u, 8u}) {
         std::printf("\n--- %u-wide base machine ---\n", width);
         row("bench",
             {"128", "512", "1024", "4096", "simultaneous"}, 10, 13);
-        for (const auto &name : workloads::benchmarkNames()) {
-            auto s = runSim(cache.get(name),
-                            sim::baseMachine(width).cfg, budget);
-            const auto &mon = s->core().lapMonitor();
+        for (const auto &name : names) {
+            const auto &mon = res[k++].sim->core().lapMonitor();
             double simul = mon.samples()
                 ? double(mon.simultaneous()) / double(mon.samples())
                 : 0.0;

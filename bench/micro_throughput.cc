@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Simulator-throughput micro-benchmark: simulated cycles per second
+ * of wall time for the timing core itself, per workload and machine
+ * width. This is the host-side figure of merit for the scheduler
+ * hot path (ready-list select, indexed consumer/store lists) — IPC
+ * measures the modeled machine, cycles/sec measures the simulator.
+ *
+ * The timing loop measures Core::run() only; workload assembly and
+ * functional fast-forward are excluded.
+ */
+
+#include <chrono>
+
+#include "bench_util.hh"
+
+using namespace hpa;
+using namespace hpa::benchutil;
+
+int
+main()
+{
+    uint64_t budget = instBudget();
+    banner("Micro: simulator throughput (simulated cycles/sec)",
+           "host-side figure of merit, not a paper experiment",
+           budget);
+
+    WorkloadCache cache;
+    for (unsigned width : {4u, 8u}) {
+        std::printf("\n--- %u-wide base machine ---\n", width);
+        row("bench",
+            {"sim cycles", "wall ms", "Mcycles/s", "Minsts/s"},
+            10, 12);
+        double total_cycles = 0, total_secs = 0, total_insts = 0;
+        for (const auto &name : workloads::benchmarkNames()) {
+            const auto &w = cache.get(name);
+            uint64_t ff = 0;
+            auto it = w.program.symbols.find("steady");
+            if (it != w.program.symbols.end())
+                ff = it->second;
+            sim::Simulation s(w.program, sim::baseMachine(width).cfg,
+                              budget, ff);
+            auto t0 = std::chrono::steady_clock::now();
+            s.run();
+            auto t1 = std::chrono::steady_clock::now();
+            double secs =
+                std::chrono::duration<double>(t1 - t0).count();
+            double cycles = double(s.core().cycle());
+            double insts =
+                double(s.core().stats().committed.value());
+            total_cycles += cycles;
+            total_secs += secs;
+            total_insts += insts;
+            row(name,
+                {std::to_string(uint64_t(cycles)),
+                 fmt(1e3 * secs, 2), fmt(cycles / secs / 1e6, 3),
+                 fmt(insts / secs / 1e6, 3)});
+        }
+        row("total",
+            {std::to_string(uint64_t(total_cycles)),
+             fmt(1e3 * total_secs, 2),
+             fmt(total_cycles / total_secs / 1e6, 3),
+             fmt(total_insts / total_secs / 1e6, 3)});
+    }
+    return 0;
+}

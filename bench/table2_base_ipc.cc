@@ -16,21 +16,27 @@ using namespace hpa::benchutil;
 int
 main()
 {
-    banner("Table 2: benchmarks and base IPC",
-           "Kim & Lipasti, ISCA 2003, Table 2");
     uint64_t budget = instBudget();
-    std::printf("committed instructions per run: %llu\n\n",
-                static_cast<unsigned long long>(budget));
+    banner("Table 2: benchmarks and base IPC",
+           "Kim & Lipasti, ISCA 2003, Table 2", budget);
+    std::printf("\n");
 
-    WorkloadCache cache;
+    const auto names = workloads::benchmarkNames();
+    std::vector<sim::SweepJob> jobs;
+    for (const auto &name : names) {
+        jobs.push_back(job(name, sim::baseMachine(4), budget));
+        jobs.push_back(job(name, sim::baseMachine(8), budget));
+    }
+    auto res = runSweep(std::move(jobs));
+
+    size_t k = 0;
     row("bench", {"insts", "IPC 4-wide", "IPC 8-wide"});
-    for (const auto &name : workloads::benchmarkNames()) {
-        const auto &w = cache.get(name);
-        auto s4 = runSim(w, sim::baseMachine(4).cfg, budget);
-        auto s8 = runSim(w, sim::baseMachine(8).cfg, budget);
+    for (const auto &name : names) {
+        const auto &s4 = res[k++];
+        const auto &s8 = res[k++];
         row(name,
-            {std::to_string(s4->core().stats().committed.value()),
-             fmt(s4->ipc(), 2), fmt(s8->ipc(), 2)});
+            {std::to_string(s4.committed), fmt(s4.ipc, 2),
+             fmt(s8.ipc, 2)});
     }
     std::printf("\nPaper (Table 2, SPEC CINT2000): 4-wide IPC "
                 "0.71(mcf)..2.02(vortex), 8-wide 0.93..2.95.\n");

@@ -15,19 +15,25 @@ using namespace hpa::benchutil;
 int
 main()
 {
+    uint64_t budget = instBudget();
     banner("Table 3: operand wakeup order and last-arriving operand",
            "Kim & Lipasti, ISCA 2003, Table 3 (paper: ~81-99% same "
-           "order; left/right roughly balanced)");
-    uint64_t budget = instBudget();
+           "order; left/right roughly balanced)",
+           budget);
 
-    WorkloadCache cache;
+    const auto names = workloads::benchmarkNames();
+    std::vector<sim::SweepJob> jobs;
+    for (unsigned width : {4u, 8u})
+        for (const auto &name : names)
+            jobs.push_back(job(name, sim::baseMachine(width), budget));
+    auto res = runSweep(std::move(jobs));
+
+    size_t k = 0;
     for (unsigned width : {4u, 8u}) {
         std::printf("\n--- %u-wide base machine ---\n", width);
         row("bench", {"same", "diff", "left last", "right last"});
-        for (const auto &name : workloads::benchmarkNames()) {
-            auto s = runSim(cache.get(name),
-                            sim::baseMachine(width).cfg, budget);
-            const auto &st = s->core().stats();
+        for (const auto &name : names) {
+            const auto &st = res[k++].sim->core().stats();
             double order = double(st.orderSame.value()
                                   + st.orderDiff.value());
             double lastn = double(st.leftLast.value()

@@ -74,9 +74,119 @@ Core::Core(const CoreConfig &cfg, InstSource &source)
       fu_(cfg), lap_(cfg.lap_entries),
       window_(cfg.ruu_size), consumers_(cfg.ruu_size)
 {
+    readyList_.reserve(cfg.ruu_size);
+    issuedList_.reserve(cfg.ruu_size);
     lookahead_ = source_.next();
     if (!lookahead_)
         sourceDone_ = true;
+}
+
+// --------------------------------------------------------------------
+// Scheduler side lists
+// --------------------------------------------------------------------
+
+/** Model readiness predicate: every tag match the wakeup scheme
+ *  requires for issue has been observed. Excludes per-cycle issue
+ *  conditions (dispatch delay, FUs, LSQ, ports) checked at select. */
+bool
+Core::schedReady(const DynInst &di) const
+{
+    if (cfg_.wakeup == WakeupModel::TagElimination) {
+        for (unsigned i = 0; i < di.numSrc; ++i) {
+            const OperandState &op = di.src[i];
+            if (op.watched && !op.ready)
+                return false;
+        }
+        if (di.requireDataReady && !di.allSrcDataReady())
+            return false;
+        return true;
+    }
+    return di.allSrcReady();
+}
+
+namespace
+{
+
+/** Position of seq in a seq-sorted slot list. */
+inline std::vector<unsigned>::iterator
+seqPos(std::vector<unsigned> &list, const std::vector<DynInst> &win,
+       uint64_t seq)
+{
+    return std::lower_bound(list.begin(), list.end(), seq,
+                            [&win](unsigned s, uint64_t q) {
+                                return win[s].seq < q;
+                            });
+}
+
+} // namespace
+
+/** Reconcile one slot's ready-list membership with its state. Call
+ *  after any transition that can change schedReady()/issued. */
+void
+Core::updateReadySlot(unsigned slot)
+{
+    DynInst &di = window_[slot];
+    bool want = di.inWindow && !di.issued && !di.completed
+        && schedReady(di);
+    if (want == di.inReadyList)
+        return;
+    if (want)
+        readyList_.insert(seqPos(readyList_, window_, di.seq), slot);
+    else
+        readyRemove(slot);
+    di.inReadyList = want;
+}
+
+void
+Core::readyRemove(unsigned slot)
+{
+    auto it = seqPos(readyList_, window_, window_[slot].seq);
+    assert(it != readyList_.end() && *it == slot);
+    readyList_.erase(it);
+}
+
+void
+Core::issuedInsert(unsigned slot)
+{
+    issuedList_.insert(seqPos(issuedList_, window_, window_[slot].seq),
+                       slot);
+}
+
+void
+Core::issuedRemove(unsigned slot)
+{
+    auto it = seqPos(issuedList_, window_, window_[slot].seq);
+    assert(it != issuedList_.end() && *it == slot);
+    issuedList_.erase(it);
+}
+
+bool
+Core::readyListConsistent() const
+{
+    std::vector<unsigned> want_ready, want_issued, want_stores;
+    unsigned idx = head_;
+    for (unsigned n = 0; n < windowCount_; ++n) {
+        const DynInst &di = window_[idx];
+        if (di.inWindow) {
+            if (!di.issued && !di.completed && schedReady(di))
+                want_ready.push_back(idx);
+            if (di.issued && !di.completed)
+                want_issued.push_back(idx);
+            if (di.isStore())
+                want_stores.push_back(idx);
+        }
+        idx = (idx + 1) % cfg_.ruu_size;
+    }
+    if (want_ready != readyList_ || want_issued != issuedList_)
+        return false;
+    if (want_stores.size() != storeSlots_.size()
+        || !std::equal(want_stores.begin(), want_stores.end(),
+                       storeSlots_.begin()))
+        return false;
+    for (unsigned slot : readyList_)
+        if (!window_[slot].inReadyList)
+            return false;
+    return true;
 }
 
 void
@@ -161,6 +271,11 @@ Core::commit()
             commitListener_(di, cycle_);
         consumers_[head_].clear();
         di.inWindow = false;
+        if (di.isStore()) {
+            assert(!storeSlots_.empty()
+                   && storeSlots_.front() == head_);
+            storeSlots_.pop_front();
+        }
         if (di.rec.inst.isMemRef())
             --lsqCount_;
         ++stats_.committed;
@@ -340,6 +455,7 @@ Core::handleFastWake(const Event &ev)
         if (op.producerSeq != ev.seq)
             continue;
         wakeOperand(ci, op, cycle_, ev.seq, false);
+        updateReadySlot(unsigned(c.slot));
     }
     if (cfg_.sequentialWakeup())
         scheduleEvent(cycle_ + 1,
@@ -358,6 +474,7 @@ Core::handleSlowWake(const Event &ev)
         if (op.producerSeq != ev.seq)
             continue;
         wakeOperand(ci, op, cycle_, ev.seq, true);
+        updateReadySlot(unsigned(c.slot));
     }
 }
 
@@ -367,6 +484,7 @@ Core::handleComplete(const Event &ev)
     DynInst &di = window_[ev.slot];
     di.completed = true;
     di.completeCycle = cycle_;
+    issuedRemove(unsigned(ev.slot));
 
     if (di.mispredictedBranch && fetchStalledOnBranch_) {
         fetchStalledOnBranch_ = false;
@@ -401,6 +519,7 @@ Core::repairConsumersOf(int slot, uint64_t producer_seq)
         op.wakeCycle = NO_CYCLE;
         op.dataReadyCycle = NO_CYCLE;
         op.wakeProducerSeq = NO_SEQ;
+        updateReadySlot(unsigned(c.slot));
     }
 }
 
@@ -408,16 +527,15 @@ void
 Core::squashWindow(uint64_t first_cycle, uint64_t last_cycle,
                    uint64_t trigger_seq, bool selective)
 {
-    // Collect issued-in-shadow instructions.
+    // Collect issued-in-shadow instructions. issuedList_ holds
+    // exactly the issued-and-incomplete window entries, oldest
+    // first — same visit order as a head-to-tail window scan.
     std::vector<int> candidates;
-    unsigned idx = head_;
-    for (unsigned n = 0; n < windowCount_; ++n) {
-        DynInst &di = window_[idx];
-        if (di.inWindow && di.issued && !di.completed
-            && di.seq != trigger_seq && di.issueCycle >= first_cycle
+    for (unsigned slot : issuedList_) {
+        DynInst &di = window_[slot];
+        if (di.seq != trigger_seq && di.issueCycle >= first_cycle
             && di.issueCycle <= last_cycle)
-            candidates.push_back(int(idx));
-        idx = (idx + 1) % cfg_.ruu_size;
+            candidates.push_back(int(slot));
     }
 
     std::vector<int> squash;
@@ -464,6 +582,8 @@ Core::squashWindow(uint64_t first_cycle, uint64_t last_cycle,
             di.requireDataReady = true;
         }
         ++stats_.squashedIssues;
+        issuedRemove(unsigned(slot));
+        updateReadySlot(unsigned(slot));
         repairConsumersOf(slot, di.seq);
     }
 }
@@ -514,18 +634,7 @@ Core::eligible(const DynInst &di) const
     if (!di.inWindow || di.issued || di.completed
         || di.dispatchCycle >= cycle_)
         return false;
-
-    if (cfg_.wakeup == WakeupModel::TagElimination) {
-        for (unsigned i = 0; i < di.numSrc; ++i) {
-            const OperandState &op = di.src[i];
-            if (op.watched && !op.ready)
-                return false;
-        }
-        if (di.requireDataReady && !di.allSrcDataReady())
-            return false;
-        return true;
-    }
-    return di.allSrcReady();
+    return schedReady(di);
 }
 
 bool
@@ -533,31 +642,30 @@ Core::lsqAllowsLoad(const DynInst &load) const
 {
     uint64_t lo = load.rec.effAddr;
     uint64_t hi = lo + load.rec.inst.memSize();
-    unsigned idx = head_;
-    for (unsigned n = 0; n < windowCount_; ++n) {
-        const DynInst &di = window_[idx];
+    // storeSlots_ holds the in-window stores in program order, so
+    // the overlap search touches only older stores instead of the
+    // whole window.
+    for (unsigned slot : storeSlots_) {
+        const DynInst &di = window_[slot];
         if (di.seq >= load.seq)
             break;
-        if (di.inWindow && di.isStore()) {
-            uint64_t slo = di.rec.effAddr;
-            uint64_t shi = slo + di.rec.inst.memSize();
-            if (slo < hi && lo < shi) {
-                // Overlapping older store: its address must be known
-                // (agen issued) and its data produced before the load
-                // can obtain a forwarded value.
-                if (!di.issued)
+        uint64_t slo = di.rec.effAddr;
+        uint64_t shi = slo + di.rec.inst.memSize();
+        if (slo < hi && lo < shi) {
+            // Overlapping older store: its address must be known
+            // (agen issued) and its data produced before the load
+            // can obtain a forwarded value.
+            if (!di.issued)
+                return false;
+            if (di.storeDataProducerSeq != NO_SEQ) {
+                const DynInst &p =
+                    window_[di.storeDataProducerSlot];
+                if (p.inWindow
+                    && p.seq == di.storeDataProducerSeq
+                    && !p.completed)
                     return false;
-                if (di.storeDataProducerSeq != NO_SEQ) {
-                    const DynInst &p =
-                        window_[di.storeDataProducerSlot];
-                    if (p.inWindow
-                        && p.seq == di.storeDataProducerSeq
-                        && !p.completed)
-                        return false;
-                }
             }
         }
-        idx = (idx + 1) % cfg_.ruu_size;
     }
     return true;
 }
@@ -592,6 +700,9 @@ Core::issueInst(DynInst &di, int slot)
     di.issueCycle = cycle_;
     ++di.issueToken;
     ++stats_.issued;
+    readyRemove(unsigned(slot));
+    di.inReadyList = false;
+    issuedInsert(unsigned(slot));
     bool first_issue = di.issueToken == 1;
 
     unsigned ports = computeRfPorts(di);
@@ -627,18 +738,14 @@ Core::issueInst(DynInst &di, int slot)
         bool forwarded = false;
         uint64_t lo = di.rec.effAddr;
         uint64_t hi = lo + di.rec.inst.memSize();
-        unsigned idx = head_;
-        for (unsigned n = 0; n < windowCount_; ++n) {
-            const DynInst &st = window_[idx];
+        for (unsigned st_slot : storeSlots_) {
+            const DynInst &st = window_[st_slot];
             if (st.seq >= di.seq)
                 break;
-            if (st.inWindow && st.isStore()) {
-                uint64_t slo = st.rec.effAddr;
-                uint64_t shi = slo + st.rec.inst.memSize();
-                if (slo < hi && lo < shi)
-                    forwarded = true;
-            }
-            idx = (idx + 1) % cfg_.ruu_size;
+            uint64_t slo = st.rec.effAddr;
+            uint64_t shi = slo + st.rec.inst.memSize();
+            if (slo < hi && lo < shi)
+                forwarded = true;
         }
         unsigned mem_lat = forwarded
             ? hier_.assumedLoadLatency()
@@ -712,33 +819,44 @@ Core::select()
     unsigned ports_left = crossbar ? cfg_.width : ~0u;
 
     // Oldest-first, loads and branches prioritized (Section 2.1).
+    // The ready list holds exactly the unissued instructions whose
+    // required tag matches have been observed, sorted oldest first
+    // (seq order == window order), so iterating it reproduces the
+    // full-window scan's issue decisions bit-for-bit while touching
+    // only ready instructions. issueInst() erases the current entry;
+    // nothing is inserted during select (all wakeups are scheduled
+    // for strictly later cycles).
     for (int pass = 0; pass < 2 && avail > 0; ++pass) {
-        unsigned idx = head_;
-        for (unsigned n = 0; n < windowCount_ && avail > 0; ++n) {
-            DynInst &di = window_[idx];
-            unsigned slot = idx;
-            idx = (idx + 1) % cfg_.ruu_size;
+        for (size_t i = 0; i < readyList_.size() && avail > 0;) {
+            unsigned slot = readyList_[i];
+            DynInst &di = window_[slot];
 
             bool high_prio = di.isLoad() || di.isControl();
-            if ((pass == 0) != high_prio)
+            if ((pass == 0) != high_prio || !eligible(di)) {
+                ++i;
                 continue;
-            if (!eligible(di))
+            }
+            if (di.isLoad() && !lsqAllowsLoad(di)) {
+                ++i;
                 continue;
-            if (di.isLoad() && !lsqAllowsLoad(di))
-                continue;
+            }
             if (crossbar) {
                 unsigned ports = computeRfPorts(di);
-                if (ports > ports_left)
+                if (ports > ports_left) {
+                    ++i;
                     continue;
+                }
                 ports_left -= ports;
             }
             if (!fu_.acquire(di.rec.inst.opClass(), cycle_)) {
                 if (crossbar)
                     ports_left += computeRfPorts(di);
+                ++i;
                 continue;
             }
             issueInst(di, int(slot));
             --avail;
+            // readyList_[i] now names the next-oldest entry.
         }
     }
 }
@@ -894,6 +1012,9 @@ Core::dispatch()
 
         setupOperands(di, int(slot));
         applyWakePlacement(di);
+        updateReadySlot(slot);
+        if (di.isStore())
+            storeSlots_.push_back(slot);
 
         isa::RegIndex dest = di.rec.inst.destReg();
         if (dest != isa::NO_REG && !isa::isZeroReg(dest))

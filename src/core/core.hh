@@ -160,6 +160,24 @@ class Core
         commitListener_ = std::move(fn);
     }
 
+    // --- Testing hooks (scheduler data-structure invariants). ---
+
+    /** Snapshot of the incremental ready list: window slots of
+     *  unissued, scheduler-ready instructions, oldest first. */
+    const std::vector<unsigned> &readyListSnapshot() const
+    {
+        return readyList_;
+    }
+
+    /**
+     * Recompute scheduler readiness by brute force over the whole
+     * window and check it matches the incrementally maintained
+     * ready list (same members, oldest-first order), and that the
+     * store/issued side lists match the window too. Used by the
+     * fuzz tests; O(window), never called on the hot path.
+     */
+    bool readyListConsistent() const;
+
   private:
     // --- Event machinery. ---
     enum class EventKind : uint8_t
@@ -207,6 +225,11 @@ class Core
 
     void setupOperands(DynInst &di, int slot);
     void applyWakePlacement(DynInst &di);
+    bool schedReady(const DynInst &di) const;
+    void updateReadySlot(unsigned slot);
+    void readyRemove(unsigned slot);
+    void issuedInsert(unsigned slot);
+    void issuedRemove(unsigned slot);
     bool eligible(const DynInst &di) const;
     bool lsqAllowsLoad(const DynInst &load) const;
     unsigned computeRfPorts(const DynInst &di) const;
@@ -244,6 +267,23 @@ class Core
     unsigned tail_ = 0;
     unsigned windowCount_ = 0;
     unsigned lsqCount_ = 0;
+
+    // --- Incrementally maintained scheduler indices. ---
+    // The per-cycle whole-window scans of select, the LSQ search and
+    // replay candidate collection are replaced by these seq-ordered
+    // (= program-ordered, the window is a FIFO) side lists, so each
+    // pipeline phase touches only the instructions it actually acts
+    // on while preserving oldest-first priority bit-for-bit.
+
+    /** Unissued, scheduler-ready instructions (ready-list select).
+     *  Entries join on wakeup/insert, leave on issue or when replay
+     *  repair takes a tag match away. Sorted by seq. */
+    std::vector<unsigned> readyList_;
+    /** Issued-but-incomplete instructions: the replay-shadow
+     *  candidate set of squashWindow(). Sorted by seq. */
+    std::vector<unsigned> issuedList_;
+    /** In-window stores in program order (LSQ overlap searches). */
+    std::deque<unsigned> storeSlots_;
 
     /** Youngest in-flight producer per unified register. */
     struct ProducerRef

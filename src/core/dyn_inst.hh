@@ -97,6 +97,10 @@ struct DynInst
      *  gate store-to-load forwarding; not a scheduling operand). */
     uint64_t storeDataProducerSeq = NO_SEQ;
 
+    /** Scheduler bookkeeping: currently on the core's incremental
+     *  ready list (unissued + all required tag matches observed). */
+    bool inReadyList = false;
+
     // --- Characterization bookkeeping. ---
     /** Operand wake-order stats already recorded for this inst. */
     bool lapResolved = false;

@@ -1,0 +1,138 @@
+#include "sim/sweep.hh"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace hpa::sim
+{
+
+SweepRunner::SweepRunner(unsigned jobs,
+                         workloads::WorkloadCache *cache)
+    : jobs_(resolveJobs(jobs)),
+      cache_(cache ? cache : &workloads::globalCache())
+{}
+
+unsigned
+SweepRunner::resolveJobs(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+SweepResult
+SweepRunner::runOne(const SweepJob &job,
+                    workloads::WorkloadCache &cache)
+{
+    const workloads::Workload &w =
+        cache.get(job.workload, job.scale);
+
+    uint64_t ff = 0;
+    if (job.fast_forward) {
+        auto it = w.program.symbols.find("steady");
+        if (it != w.program.symbols.end())
+            ff = it->second;
+    }
+
+    SweepResult r;
+    r.job = job;
+    r.sim = std::make_unique<Simulation>(w.program, job.machine.cfg,
+                                         job.max_insts, ff);
+    auto t0 = std::chrono::steady_clock::now();
+    r.sim->run(job.max_cycles);
+    auto t1 = std::chrono::steady_clock::now();
+    r.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+    r.ipc = r.sim->ipc();
+    r.committed = r.sim->core().stats().committed.value();
+    r.cycles = r.sim->core().cycle();
+    return r;
+}
+
+void
+SweepRunner::parallelFor(size_t n, unsigned jobs,
+                         const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    unsigned workers =
+        unsigned(std::min<size_t>(resolveJobs(jobs), n));
+    if (workers <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mu;
+
+    auto work = [&] {
+        for (;;) {
+            size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mu);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t)
+        pool.emplace_back(work);
+    for (auto &t : pool)
+        t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+std::vector<SweepResult>
+SweepRunner::run(std::vector<SweepJob> jobs)
+{
+    std::vector<SweepResult> results(jobs.size());
+    workloads::WorkloadCache &cache = *cache_;
+    parallelFor(jobs.size(), jobs_, [&](size_t i) {
+        results[i] = runOne(jobs[i], cache);
+    });
+    return results;
+}
+
+std::vector<Machine>
+reproductionMachines()
+{
+    std::vector<Machine> ms;
+    for (unsigned width : {4u, 8u}) {
+        ms.push_back(baseMachine(width));
+        ms.push_back(withWakeup(baseMachine(width),
+                                core::WakeupModel::Sequential, 1024));
+        ms.push_back(withWakeup(baseMachine(width),
+                                core::WakeupModel::TagElimination,
+                                1024));
+        ms.push_back(withWakeup(baseMachine(width),
+                                core::WakeupModel::SequentialNoPred));
+        ms.push_back(withRegfile(
+            baseMachine(width),
+            core::RegfileModel::SequentialAccess));
+        ms.push_back(withRegfile(baseMachine(width),
+                                 core::RegfileModel::ExtraStage));
+        ms.push_back(withRegfile(
+            baseMachine(width),
+            core::RegfileModel::HalfPortCrossbar));
+        ms.push_back(withRegfile(
+            withWakeup(baseMachine(width),
+                       core::WakeupModel::Sequential, 1024),
+            core::RegfileModel::SequentialAccess));
+    }
+    return ms;
+}
+
+} // namespace hpa::sim

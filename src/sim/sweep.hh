@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Parallel sweep engine. Every figure/table harness replays the same
+ * pattern — a loop over (workload, machine, budget) tuples, each an
+ * independent Simulation — so the engine runs them as jobs on a
+ * fixed thread pool: one isolated Simulation per job, workload
+ * programs built once process-wide (thread-safe cache), and results
+ * returned in submission order so table printing — and the stats
+ * themselves — are identical to a serial run.
+ */
+
+#ifndef HPA_SIM_SWEEP_HH
+#define HPA_SIM_SWEEP_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hh"
+#include "workloads/workloads.hh"
+
+namespace hpa::sim
+{
+
+/** One (workload, machine, budget) simulation request. */
+struct SweepJob
+{
+    /** Workload registry name (workloads::benchmarkNames()). */
+    std::string workload;
+    Machine machine;
+    /** Committed-instruction budget (0 = run to HALT). */
+    uint64_t max_insts = 0;
+    /** Cycle budget (0 = unbounded). */
+    uint64_t max_cycles = 0;
+    /** Fast-forward functionally to the kernel's `steady:` label. */
+    bool fast_forward = true;
+    workloads::Scale scale = workloads::Scale::Full;
+};
+
+/** A completed sweep job. The Simulation is kept alive so callers
+ *  read IPC, CoreStats, the LAP monitor, … exactly as they would
+ *  after a serial runSim(). */
+struct SweepResult
+{
+    SweepJob job;
+    std::unique_ptr<Simulation> sim;
+    double ipc = 0.0;
+    uint64_t committed = 0;
+    uint64_t cycles = 0;
+    /** Wall-clock seconds of the timing run (excludes workload
+     *  assembly and functional fast-forward). */
+    double wallSeconds = 0.0;
+
+    /** Simulated cycles per wall second (host throughput). */
+    double
+    cyclesPerSec() const
+    {
+        return wallSeconds > 0 ? double(cycles) / wallSeconds : 0.0;
+    }
+};
+
+/**
+ * Fixed-size thread pool running sweep jobs. Results are ordered by
+ * submission index regardless of completion order, and each job gets
+ * a fully isolated Simulation, so `jobs(N)` output is byte-identical
+ * to `jobs(1)`.
+ */
+class SweepRunner
+{
+  public:
+    /**
+     * @param jobs worker threads; 0 = one per hardware thread
+     * @param cache workload cache to share (default: globalCache())
+     */
+    explicit SweepRunner(unsigned jobs = 0,
+                         workloads::WorkloadCache *cache = nullptr);
+
+    unsigned jobs() const { return jobs_; }
+
+    /** Run all jobs; result[i] corresponds to jobs[i]. */
+    std::vector<SweepResult> run(std::vector<SweepJob> jobs);
+
+    /** Run one job synchronously on the calling thread. */
+    static SweepResult runOne(const SweepJob &job,
+                              workloads::WorkloadCache &cache);
+
+    /**
+     * Deterministic parallel loop: fn(0..n-1) each exactly once,
+     * claimed dynamically across `jobs` threads (jobs <= 1: inline,
+     * in order). The first exception thrown by any fn is rethrown
+     * on the caller after all workers join.
+     */
+    static void parallelFor(size_t n, unsigned jobs,
+                            const std::function<void(size_t)> &fn);
+
+    /** Resolve a --jobs style request: 0 means hardware threads. */
+    static unsigned resolveJobs(unsigned requested);
+
+  private:
+    unsigned jobs_;
+    workloads::WorkloadCache *cache_;
+};
+
+/**
+ * The machine configurations of the paper's main IPC figures
+ * (Table 2 base, Figure 14 wakeup schemes, Figure 15 register
+ * files, Figure 16 combined), for both Table 1 widths. Crossed with
+ * the twelve workloads this is the canonical "full reproduction
+ * sweep" run by tools/hpa_bench_sweep and the determinism tests.
+ */
+std::vector<Machine> reproductionMachines();
+
+} // namespace hpa::sim
+
+#endif // HPA_SIM_SWEEP_HH

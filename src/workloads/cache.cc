@@ -1,0 +1,25 @@
+#include "workloads/workloads.hh"
+
+namespace hpa::workloads
+{
+
+const Workload &
+WorkloadCache::get(const std::string &name, Scale scale)
+{
+    Entry *e;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        e = &entries_[{name, scale}];
+    }
+    std::call_once(e->once, [&] { e->w = make(name, scale); });
+    return e->w;
+}
+
+WorkloadCache &
+globalCache()
+{
+    static WorkloadCache cache;
+    return cache;
+}
+
+} // namespace hpa::workloads

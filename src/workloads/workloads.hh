@@ -25,6 +25,8 @@
 #ifndef HPA_WORKLOADS_WORKLOADS_HH
 #define HPA_WORKLOADS_WORKLOADS_HH
 
+#include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -60,6 +62,38 @@ Workload make(const std::string &name, Scale scale = Scale::Full);
 
 /** Build all twelve. */
 std::vector<Workload> makeAll(Scale scale = Scale::Full);
+
+/**
+ * Build-once, thread-safe workload cache. Assembling a full-scale
+ * kernel is orders of magnitude slower than looking it up, and the
+ * parallel sweep engine hits the same (name, scale) pairs from many
+ * worker threads at once: each entry is built exactly once (under a
+ * per-entry once_flag, so distinct workloads still build
+ * concurrently) and lives for the cache's lifetime — returned
+ * references are stable.
+ */
+class WorkloadCache
+{
+  public:
+    /** Get (building on first use) one workload. */
+    const Workload &get(const std::string &name,
+                        Scale scale = Scale::Full);
+
+  private:
+    struct Entry
+    {
+        std::once_flag once;
+        Workload w;
+    };
+
+    std::mutex mu_;
+    /** Node-stable map: entry addresses survive later insertions. */
+    std::map<std::pair<std::string, Scale>, Entry> entries_;
+};
+
+/** Process-wide shared cache used by the sweep engine and the bench
+ *  harnesses (one build of each program per process). */
+WorkloadCache &globalCache();
 
 // Individual builders.
 Workload makeBzip(Scale scale);

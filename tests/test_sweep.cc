@@ -1,0 +1,162 @@
+/** @file Sweep-engine tests: parallel results byte-identical to a
+ *  serial run for every (machine x workload) pair of the full
+ *  reproduction sweep, thread-safe build-once workload cache,
+ *  deterministic parallelFor, and the strict environment parsing of
+ *  the harness helpers. */
+
+#include <atomic>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench_util.hh"
+#include "sim/sweep.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace hpa;
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    std::vector<std::atomic<unsigned>> hits(257);
+    sim::SweepRunner::parallelFor(hits.size(), 8, [&](size_t i) {
+        hits[i].fetch_add(1);
+    });
+    for (size_t i = 0; i < hits.size(); ++i)
+        ASSERT_EQ(hits[i].load(), 1u) << "index " << i;
+}
+
+TEST(ParallelFor, SingleWorkerRunsInlineInOrder)
+{
+    std::vector<size_t> order;
+    sim::SweepRunner::parallelFor(10, 1, [&](size_t i) {
+        order.push_back(i);
+    });
+    ASSERT_EQ(order.size(), 10u);
+    for (size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelFor, PropagatesTheFirstException)
+{
+    EXPECT_THROW(
+        sim::SweepRunner::parallelFor(100, 4,
+                                      [](size_t i) {
+                                          if (i == 13)
+                                              throw std::runtime_error(
+                                                  "boom");
+                                      }),
+        std::runtime_error);
+}
+
+TEST(ResolveJobs, ExplicitRequestWinsZeroMeansHardware)
+{
+    EXPECT_EQ(sim::SweepRunner::resolveJobs(3), 3u);
+    EXPECT_EQ(sim::SweepRunner::resolveJobs(1), 1u);
+    EXPECT_GE(sim::SweepRunner::resolveJobs(0), 1u);
+}
+
+TEST(WorkloadCacheTest, ConcurrentGetsReturnTheSameBuiltEntry)
+{
+    workloads::WorkloadCache cache;
+    auto names = workloads::benchmarkNames();
+    ASSERT_GE(names.size(), 4u);
+
+    // 16 threads hammer 4 distinct keys; every get of a key must
+    // return the identical (build-once) Workload object.
+    std::vector<const workloads::Workload *> got(64);
+    sim::SweepRunner::parallelFor(got.size(), 16, [&](size_t i) {
+        got[i] = &cache.get(names[i % 4], workloads::Scale::Test);
+    });
+    for (size_t i = 0; i < got.size(); ++i) {
+        ASSERT_NE(got[i], nullptr);
+        EXPECT_EQ(got[i], got[i % 4]) << "key " << names[i % 4];
+        EXPECT_EQ(got[i]->name, names[i % 4]);
+    }
+}
+
+TEST(SweepDeterminism, EightWorkersMatchSerialForEveryPair)
+{
+    // The full reproduction grid at a small budget: every machine of
+    // the paper's main figures crossed with every workload. jobs(8)
+    // must reproduce jobs(1) bit-for-bit — same IPC doubles, same
+    // cycle counts, and a byte-identical statistics report.
+    const uint64_t BUDGET = 2000;
+    auto machines = sim::reproductionMachines();
+    auto names = workloads::benchmarkNames();
+
+    std::vector<sim::SweepJob> jobs;
+    for (const auto &m : machines) {
+        for (const auto &n : names) {
+            sim::SweepJob j;
+            j.workload = n;
+            j.machine = m;
+            j.max_insts = BUDGET;
+            jobs.push_back(j);
+        }
+    }
+
+    workloads::WorkloadCache cache;
+    auto serial = sim::SweepRunner(1, &cache).run(jobs);
+    auto parallel = sim::SweepRunner(8, &cache).run(jobs);
+    ASSERT_EQ(serial.size(), jobs.size());
+    ASSERT_EQ(parallel.size(), jobs.size());
+
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        std::string what =
+            jobs[i].machine.name + "|" + jobs[i].workload;
+        ASSERT_NE(serial[i].sim, nullptr) << what;
+        ASSERT_NE(parallel[i].sim, nullptr) << what;
+        EXPECT_EQ(serial[i].ipc, parallel[i].ipc) << what;
+        EXPECT_EQ(serial[i].cycles, parallel[i].cycles) << what;
+        EXPECT_EQ(serial[i].committed, parallel[i].committed) << what;
+
+        std::ostringstream a, b;
+        serial[i].sim->report(a);
+        parallel[i].sim->report(b);
+        EXPECT_EQ(a.str(), b.str()) << what;
+    }
+}
+
+TEST(InstBudgetEnv, AcceptsOnlyPositiveIntegers)
+{
+    setenv("HPA_INSTS", "12345", 1);
+    EXPECT_EQ(benchutil::instBudget(), 12345u);
+    setenv("HPA_INSTS", "garbage", 1);
+    EXPECT_EQ(benchutil::instBudget(500), 500u);
+    setenv("HPA_INSTS", "123abc", 1);
+    EXPECT_EQ(benchutil::instBudget(500), 500u);
+    setenv("HPA_INSTS", "-5", 1);
+    EXPECT_EQ(benchutil::instBudget(500), 500u);
+    setenv("HPA_INSTS", "0", 1);
+    EXPECT_EQ(benchutil::instBudget(500), 500u);
+    setenv("HPA_INSTS", "", 1);
+    EXPECT_EQ(benchutil::instBudget(500), 500u);
+    setenv("HPA_INSTS", "99999999999999999999999999", 1);
+    EXPECT_EQ(benchutil::instBudget(500), 500u);
+    unsetenv("HPA_INSTS");
+    EXPECT_EQ(benchutil::instBudget(500), 500u);
+}
+
+TEST(SweepJobsEnv, AcceptsSmallUnsignedIntegers)
+{
+    setenv("HPA_JOBS", "4", 1);
+    EXPECT_EQ(benchutil::sweepJobs(), 4u);
+    setenv("HPA_JOBS", "0", 1);
+    EXPECT_EQ(benchutil::sweepJobs(), 0u);
+    setenv("HPA_JOBS", "2000", 1); // over the sanity cap
+    EXPECT_EQ(benchutil::sweepJobs(), 0u);
+    setenv("HPA_JOBS", "four", 1);
+    EXPECT_EQ(benchutil::sweepJobs(), 0u);
+    setenv("HPA_JOBS", "-1", 1);
+    EXPECT_EQ(benchutil::sweepJobs(), 0u);
+    unsetenv("HPA_JOBS");
+    EXPECT_EQ(benchutil::sweepJobs(), 0u);
+}
+
+} // namespace

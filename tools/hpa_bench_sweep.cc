@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Host-throughput benchmark of the full reproduction sweep: run
+ * every (paper machine x benchmark) pair once serially and once on
+ * the thread pool, verify the two produce identical IPC (the sweep
+ * engine's determinism contract), and emit BENCH_sweep.json with
+ * per-run IPC, wall time and simulated-cycles/sec plus the measured
+ * serial-to-parallel speedup.
+ *
+ *   hpa_bench_sweep [--insts N] [--jobs N] [--out FILE]
+ *                   [--check GOLDEN] [--write-golden FILE]
+ *
+ * --check compares the sweep's IPC values against a golden JSON map
+ * (tools/golden_sweep_ipc.json in the repo) and fails on any drift —
+ * the cheap regression gate run by tools/run_full_sweep.sh.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <functional>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/sweep.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace hpa;
+
+/** Key of one run in the golden map. */
+std::string
+runKey(const sim::SweepJob &job)
+{
+    return job.machine.name + "|" + job.workload;
+}
+
+/**
+ * Minimal parser for the golden file: extracts every `"key": number`
+ * pair. The golden format is flat, so no general JSON machinery is
+ * needed.
+ */
+std::map<std::string, double>
+parseGolden(const std::string &text)
+{
+    std::map<std::string, double> kv;
+    size_t pos = 0;
+    while ((pos = text.find('"', pos)) != std::string::npos) {
+        size_t end = text.find('"', pos + 1);
+        if (end == std::string::npos)
+            break;
+        std::string key = text.substr(pos + 1, end - pos - 1);
+        size_t colon = text.find(':', end);
+        if (colon == std::string::npos)
+            break;
+        size_t vstart = text.find_first_not_of(" \t\n", colon + 1);
+        if (vstart == std::string::npos)
+            break;
+        char *vend = nullptr;
+        double v = std::strtod(text.c_str() + vstart, &vend);
+        if (vend != text.c_str() + vstart)
+            kv[key] = v;
+        pos = end + 1;
+    }
+    return kv;
+}
+
+double
+wallSeconds(const std::function<void()> &fn)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    uint64_t insts = 50000;
+    unsigned jobs = 0;
+    std::string out = "BENCH_sweep.json";
+    std::string check;
+    std::string write_golden;
+
+    auto need = [&](int &i) -> std::string {
+        if (i + 1 >= argc) {
+            std::cerr << argv[i] << " needs a value\n";
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--insts")
+            insts = std::stoull(need(i));
+        else if (a == "--jobs")
+            jobs = unsigned(std::stoul(need(i)));
+        else if (a == "--out")
+            out = need(i);
+        else if (a == "--check")
+            check = need(i);
+        else if (a == "--write-golden")
+            write_golden = need(i);
+        else {
+            std::cerr << "unknown option: " << a << "\n"
+                      << "usage: hpa_bench_sweep [--insts N] "
+                         "[--jobs N] [--out FILE] [--check GOLDEN] "
+                         "[--write-golden FILE]\n";
+            return 2;
+        }
+    }
+
+    auto machines = sim::reproductionMachines();
+    auto names = workloads::benchmarkNames();
+    std::vector<sim::SweepJob> sweep;
+    for (const auto &m : machines) {
+        for (const auto &n : names) {
+            sim::SweepJob j;
+            j.workload = n;
+            j.machine = m;
+            j.max_insts = insts;
+            sweep.push_back(j);
+        }
+    }
+
+    unsigned hw = sim::SweepRunner::resolveJobs(0);
+    unsigned par_jobs = sim::SweepRunner::resolveJobs(jobs);
+    std::printf("%zu runs (%zu machines x %zu benchmarks), "
+                "%llu insts per run, %u hardware thread(s)\n",
+                sweep.size(), machines.size(), names.size(),
+                static_cast<unsigned long long>(insts), hw);
+
+    // Pre-build every workload so neither timed pass pays assembly.
+    for (const auto &n : names)
+        workloads::globalCache().get(n);
+
+    std::printf("serial pass (1 worker)...\n");
+    std::vector<sim::SweepResult> serial;
+    double t_serial = wallSeconds(
+        [&] { serial = sim::SweepRunner(1).run(sweep); });
+
+    std::printf("parallel pass (%u workers)...\n", par_jobs);
+    std::vector<sim::SweepResult> parallel;
+    double t_parallel = wallSeconds(
+        [&] { parallel = sim::SweepRunner(par_jobs).run(sweep); });
+
+    // Determinism contract: parallel results bit-identical to serial.
+    size_t mismatches = 0;
+    for (size_t i = 0; i < sweep.size(); ++i) {
+        if (serial[i].ipc != parallel[i].ipc
+            || serial[i].cycles != parallel[i].cycles
+            || serial[i].committed != parallel[i].committed) {
+            std::fprintf(stderr,
+                         "DETERMINISM MISMATCH %s: serial IPC %.9f "
+                         "parallel IPC %.9f\n",
+                         runKey(sweep[i]).c_str(), serial[i].ipc,
+                         parallel[i].ipc);
+            ++mismatches;
+        }
+    }
+    if (mismatches) {
+        std::fprintf(stderr, "%zu mismatching runs\n", mismatches);
+        return 1;
+    }
+
+    double speedup = t_parallel > 0 ? t_serial / t_parallel : 0.0;
+    double efficiency =
+        speedup / double(std::min<unsigned>(par_jobs, hw));
+    uint64_t total_cycles = 0;
+    for (const auto &r : parallel)
+        total_cycles += r.cycles;
+
+    std::printf("serial %.2f s, parallel %.2f s at %u workers: "
+                "speedup %.2fx (%.0f%% of linear up to %u cores)\n",
+                t_serial, t_parallel, par_jobs, speedup,
+                100.0 * efficiency, std::min(par_jobs, hw));
+
+    {
+        std::ofstream os(out);
+        if (!os) {
+            std::cerr << "cannot write " << out << "\n";
+            return 1;
+        }
+        char buf[256];
+        os << "{\n";
+        os << "  \"schema\": \"hpa-bench-sweep-v1\",\n";
+        std::snprintf(buf, sizeof(buf),
+                      "  \"insts_per_run\": %llu,\n"
+                      "  \"hardware_threads\": %u,\n"
+                      "  \"parallel_jobs\": %u,\n",
+                      static_cast<unsigned long long>(insts), hw,
+                      par_jobs);
+        os << buf;
+        std::snprintf(buf, sizeof(buf),
+                      "  \"serial_wall_seconds\": %.3f,\n"
+                      "  \"parallel_wall_seconds\": %.3f,\n"
+                      "  \"speedup\": %.3f,\n"
+                      "  \"scaling_efficiency\": %.3f,\n",
+                      t_serial, t_parallel, speedup, efficiency);
+        os << buf;
+        std::snprintf(buf, sizeof(buf),
+                      "  \"total_simulated_cycles\": %llu,\n"
+                      "  \"aggregate_cycles_per_sec\": %.0f,\n",
+                      static_cast<unsigned long long>(total_cycles),
+                      t_parallel > 0 ? double(total_cycles) / t_parallel
+                                     : 0.0);
+        os << buf;
+        os << "  \"runs\": [\n";
+        for (size_t i = 0; i < parallel.size(); ++i) {
+            const auto &r = parallel[i];
+            std::snprintf(
+                buf, sizeof(buf),
+                "    {\"machine\": \"%s\", \"workload\": \"%s\", "
+                "\"ipc\": %.6f, \"committed\": %llu, "
+                "\"cycles\": %llu, \"wall_seconds\": %.4f, "
+                "\"cycles_per_sec\": %.0f}%s\n",
+                r.job.machine.name.c_str(), r.job.workload.c_str(),
+                r.ipc,
+                static_cast<unsigned long long>(r.committed),
+                static_cast<unsigned long long>(r.cycles),
+                r.wallSeconds, r.cyclesPerSec(),
+                i + 1 < parallel.size() ? "," : "");
+            os << buf;
+        }
+        os << "  ]\n}\n";
+        std::printf("wrote %s\n", out.c_str());
+    }
+
+    if (!write_golden.empty()) {
+        std::ofstream os(write_golden);
+        if (!os) {
+            std::cerr << "cannot write " << write_golden << "\n";
+            return 1;
+        }
+        char buf[128];
+        os << "{\n";
+        std::snprintf(buf, sizeof(buf),
+                      "  \"insts_per_run\": %llu,\n",
+                      static_cast<unsigned long long>(insts));
+        os << buf;
+        for (size_t i = 0; i < parallel.size(); ++i) {
+            std::snprintf(buf, sizeof(buf), "  \"%s\": %.6f%s\n",
+                          runKey(sweep[i]).c_str(), parallel[i].ipc,
+                          i + 1 < parallel.size() ? "," : "");
+            os << buf;
+        }
+        os << "}\n";
+        std::printf("wrote %s\n", write_golden.c_str());
+    }
+
+    if (!check.empty()) {
+        std::ifstream in(check);
+        if (!in) {
+            std::cerr << "cannot read " << check << "\n";
+            return 1;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        auto golden = parseGolden(text.str());
+
+        auto budget = golden.find("insts_per_run");
+        if (budget != golden.end()
+            && uint64_t(budget->second) != insts) {
+            std::fprintf(stderr,
+                         "golden was recorded at %llu insts per run, "
+                         "this sweep ran %llu — not comparable\n",
+                         static_cast<unsigned long long>(
+                             budget->second),
+                         static_cast<unsigned long long>(insts));
+            return 1;
+        }
+
+        size_t drift = 0, checked = 0;
+        for (size_t i = 0; i < sweep.size(); ++i) {
+            auto it = golden.find(runKey(sweep[i]));
+            if (it == golden.end())
+                continue;
+            ++checked;
+            // Golden stores 6 decimals; allow the rounding slack.
+            if (std::fabs(parallel[i].ipc - it->second) > 5e-7) {
+                std::fprintf(stderr,
+                             "IPC DRIFT %s: golden %.6f got %.6f\n",
+                             runKey(sweep[i]).c_str(), it->second,
+                             parallel[i].ipc);
+                ++drift;
+            }
+        }
+        if (checked == 0) {
+            std::fprintf(stderr, "golden %s matched no runs\n",
+                         check.c_str());
+            return 1;
+        }
+        if (drift) {
+            std::fprintf(stderr,
+                         "%zu of %zu runs drifted from golden\n",
+                         drift, checked);
+            return 1;
+        }
+        std::printf("golden check: %zu runs match %s\n", checked,
+                    check.c_str());
+    }
+    return 0;
+}

@@ -10,12 +10,15 @@
  *   hpa_sim --list
  */
 
+#include <chrono>
 #include <cstring>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <sstream>
 
 #include "sim/simulation.hh"
+#include "sim/sweep.hh"
 #include "workloads/workloads.hh"
 
 namespace
@@ -32,6 +35,10 @@ workload (choose one):
   --bench NAME        SPEC CINT2000 substitute (see --list)
   --asm FILE          assemble and run an HPA-ISA source file
   --list              list available benchmarks and exit
+  --sweep             run the full reproduction sweep (every
+                      benchmark x every paper machine) on a thread
+                      pool and print an IPC matrix
+  --jobs N            sweep worker threads (0 = hardware threads)
 
 machine:
   --width N           4 (default) or 8: Table 1 base machines
@@ -43,7 +50,8 @@ machine:
   --bypass N          bypass window in cycles (default 1)
 
 run control:
-  --insts N           committed-instruction budget (default: to HALT)
+  --insts N           committed-instruction budget (default: to
+                      HALT; in --sweep mode: 200000 per run)
   --cycles N          cycle budget (default: unbounded)
   --no-fastforward    do not skip to the workload's steady: label
   --report            dump the full statistics report
@@ -65,6 +73,66 @@ parseWakeup(const std::string &v, core::WakeupModel &out)
     else
         return false;
     return true;
+}
+
+/**
+ * The full reproduction sweep: every benchmark on every machine of
+ * the paper's main figures, run on the SweepRunner thread pool.
+ * Deterministic — the IPC matrix is identical at any --jobs value.
+ */
+int
+runSweepMode(unsigned jobs, uint64_t insts, uint64_t cycles)
+{
+    if (insts == 0)
+        insts = 200000;
+    auto machines = sim::reproductionMachines();
+    auto names = workloads::benchmarkNames();
+
+    std::vector<sim::SweepJob> sweep;
+    for (const auto &m : machines) {
+        for (const auto &n : names) {
+            sim::SweepJob j;
+            j.workload = n;
+            j.machine = m;
+            j.max_insts = insts;
+            j.max_cycles = cycles;
+            sweep.push_back(j);
+        }
+    }
+
+    sim::SweepRunner runner(jobs);
+    std::cout << sweep.size() << " runs (" << machines.size()
+              << " machines x " << names.size() << " benchmarks), "
+              << runner.jobs() << " worker thread(s), " << insts
+              << " insts per run\n\n";
+    auto t0 = std::chrono::steady_clock::now();
+    auto res = runner.run(std::move(sweep));
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+
+    // IPC matrix: machines down, benchmarks across.
+    std::cout << std::left << std::setw(26) << "machine (IPC)";
+    for (const auto &n : names)
+        std::cout << std::right << std::setw(8) << n;
+    std::cout << "\n";
+    size_t k = 0;
+    uint64_t total_cycles = 0;
+    for (const auto &m : machines) {
+        std::cout << std::left << std::setw(26) << m.name;
+        for (size_t i = 0; i < names.size(); ++i, ++k) {
+            std::cout << std::right << std::setw(8) << std::fixed
+                      << std::setprecision(2) << res[k].ipc;
+            total_cycles += res[k].cycles;
+        }
+        std::cout << "\n";
+    }
+    std::cout << "\n"
+              << std::setprecision(1) << total_cycles / 1e6
+              << " Mcycles simulated in " << wall << " s wall ("
+              << std::setprecision(2) << total_cycles / 1e6 / wall
+              << " Mcycles/s aggregate)\n";
+    return 0;
 }
 
 bool
@@ -101,6 +169,8 @@ main(int argc, char **argv)
     uint64_t cycles = 0;
     bool fastforward = true;
     bool report = false;
+    bool sweep = false;
+    unsigned jobs = 0;
 
     auto need = [&](int &i) -> std::string {
         if (i + 1 >= argc) {
@@ -121,6 +191,10 @@ main(int argc, char **argv)
                 std::cout << n << " — " << w.description << "\n";
             }
             return 0;
+        } else if (a == "--sweep") {
+            sweep = true;
+        } else if (a == "--jobs") {
+            jobs = unsigned(std::stoul(need(i)));
         } else if (a == "--bench") {
             bench = need(i);
         } else if (a == "--asm") {
@@ -161,6 +235,20 @@ main(int argc, char **argv)
             std::cerr << "unknown option: " << a << "\n";
             usage(std::cerr);
             return 2;
+        }
+    }
+
+    if (sweep) {
+        if (!bench.empty() || !asm_file.empty()) {
+            std::cerr << "--sweep runs every benchmark; drop "
+                         "--bench/--asm\n";
+            return 2;
+        }
+        try {
+            return runSweepMode(jobs, insts, cycles);
+        } catch (const std::exception &e) {
+            std::cerr << "error: " << e.what() << "\n";
+            return 1;
         }
     }
 

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Build the simulator, run the full reproduction sweep (every paper
+# machine x every benchmark) once serially and once on the thread
+# pool, and check the resulting IPC matrix against the checked-in
+# golden. Writes BENCH_sweep.json (per-run IPC, wall time,
+# simulated-cycles/sec, and the measured serial-to-parallel speedup)
+# in the repo root.
+#
+# Usage: tools/run_full_sweep.sh
+#   HPA_INSTS  committed-instruction budget per run (default 50000 —
+#              the budget the golden was recorded at; other values
+#              skip the golden comparison)
+#   HPA_JOBS   worker threads for the parallel pass (default: one
+#              per hardware thread)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+INSTS="${HPA_INSTS:-50000}"
+JOBS="${HPA_JOBS:-0}"
+GOLDEN=tools/golden_sweep_ipc.json
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build -j"$(nproc)" --target hpa_bench_sweep
+
+CHECK=(--check "$GOLDEN")
+if [ "$INSTS" != 50000 ]; then
+    echo "note: HPA_INSTS=$INSTS differs from the golden budget" \
+         "(50000); skipping the golden comparison"
+    CHECK=()
+fi
+
+./build/tools/hpa_bench_sweep --insts "$INSTS" --jobs "$JOBS" \
+    --out BENCH_sweep.json "${CHECK[@]}"
+
+echo "full sweep OK: BENCH_sweep.json written"

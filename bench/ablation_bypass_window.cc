@@ -26,39 +26,36 @@ main()
     const std::vector<unsigned> windows = {1, 2, 3};
     std::vector<sim::SweepJob> jobs;
     for (const auto &name : names) {
-        jobs.push_back(job(name, sim::baseMachine(4), budget));
-        for (unsigned window : windows) {
-            auto m = sim::withRegfile(
-                sim::baseMachine(4),
-                core::RegfileModel::SequentialAccess);
-            m.cfg.bypass_window = window;
-            jobs.push_back(job(name, m, budget));
-        }
+        jobs.push_back(job(name, sim::Machine::base(4), budget));
+        for (unsigned window : windows)
+            jobs.push_back(
+                job(name,
+                    sim::Machine::base(4)
+                        .regfile(core::RegfileModel::SequentialAccess)
+                        .bypassWindow(window),
+                    budget));
     }
     auto res = runSweep(std::move(jobs));
 
     size_t k = 0;
-    row("bench",
-        {"w=1 IPC", "w=2 IPC", "w=3 IPC", "seqRA w=1", "seqRA w=3"},
-        10, 12);
+    Table t({"bench", "w=1 IPC", "w=2 IPC", "w=3 IPC", "seqRA w=1",
+             "seqRA w=3"});
     for (const auto &name : names) {
         double b = res[k++].ipc;
-        std::vector<std::string> cells;
+        t.begin(name);
         uint64_t seq_ra_w1 = 0, seq_ra_w3 = 0;
         for (unsigned window : windows) {
             const auto &r = res[k++];
-            cells.push_back(fmt(r.ipc / b, 4));
-            uint64_t seq_ra =
-                r.sim->core().stats().seqRegAccesses.value();
+            t.norm(r.ipc / b);
+            uint64_t seq_ra = r.coreStats().seqRegAccesses.value();
             if (window == 1)
                 seq_ra_w1 = seq_ra;
             if (window == 3)
                 seq_ra_w3 = seq_ra;
         }
-        cells.push_back(std::to_string(seq_ra_w1));
-        cells.push_back(std::to_string(seq_ra_w3));
-        row(name, cells, 10, 12);
+        t.count(seq_ra_w1).count(seq_ra_w3).end();
     }
+    t.geomeanRow();
     std::printf("\n(wider windows catch more operands on the bypass, "
                 "cutting sequential accesses)\n");
     return 0;

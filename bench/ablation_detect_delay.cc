@@ -23,19 +23,22 @@ main()
     std::vector<sim::SweepJob> jobs;
     for (unsigned width : {4u, 8u}) {
         for (const auto &name : names) {
-            jobs.push_back(job(name, sim::baseMachine(width), budget));
-            for (unsigned d = 1; d <= 4; ++d) {
-                auto m = sim::withWakeup(
-                    sim::baseMachine(width),
-                    core::WakeupModel::TagElimination, 1024);
-                m.cfg.tagelim_detect_delay = d;
-                jobs.push_back(job(name, m, budget));
-            }
-            jobs.push_back(job(
-                name,
-                sim::withWakeup(sim::baseMachine(width),
-                                core::WakeupModel::Sequential, 1024),
-                budget));
+            jobs.push_back(
+                job(name, sim::Machine::base(width), budget));
+            for (unsigned d = 1; d <= 4; ++d)
+                jobs.push_back(
+                    job(name,
+                        sim::Machine::base(width)
+                            .wakeup(core::WakeupModel::TagElimination)
+                            .lap(1024)
+                            .detectDelay(d),
+                        budget));
+            jobs.push_back(
+                job(name,
+                    sim::Machine::base(width)
+                        .wakeup(core::WakeupModel::Sequential)
+                        .lap(1024),
+                    budget));
         }
     }
     auto res = runSweep(std::move(jobs));
@@ -43,24 +46,17 @@ main()
     size_t k = 0;
     for (unsigned width : {4u, 8u}) {
         std::printf("\n--- %u-wide (normalized IPC) ---\n", width);
-        row("bench",
-            {"te d=1", "te d=2", "te d=3", "te d=4", "seq-wkup"},
-            10, 11);
-        std::vector<std::vector<double>> cols(5);
+        Table t({"bench", "te d=1", "te d=2", "te d=3", "te d=4",
+                 "seq-wkup"},
+                10, 11);
         for (const auto &name : names) {
             double b = res[k++].ipc;
-            std::vector<std::string> cells;
-            for (unsigned col = 0; col < 5; ++col) {
-                double n = res[k++].ipc / b;
-                cells.push_back(fmt(n, 4));
-                cols[col].push_back(n);
-            }
-            row(name, cells, 10, 11);
+            t.begin(name);
+            for (unsigned col = 0; col < 5; ++col)
+                t.norm(res[k++].ipc / b);
+            t.end();
         }
-        std::vector<std::string> means;
-        for (auto &c : cols)
-            means.push_back(fmt(geomean(c), 4));
-        row("geomean", means, 10, 11);
+        t.geomeanRow();
     }
     return 0;
 }

@@ -24,30 +24,32 @@ main()
     const std::vector<unsigned> sizes = {128, 512, 1024, 4096};
     std::vector<sim::SweepJob> jobs;
     for (const auto &name : names) {
-        jobs.push_back(job(name, sim::baseMachine(4), budget));
+        jobs.push_back(job(name, sim::Machine::base(4), budget));
         for (unsigned entries : sizes)
-            jobs.push_back(job(
-                name,
-                sim::withWakeup(sim::baseMachine(4),
-                                core::WakeupModel::Sequential,
-                                entries),
+            jobs.push_back(
+                job(name,
+                    sim::Machine::base(4)
+                        .wakeup(core::WakeupModel::Sequential)
+                        .lap(entries),
+                    budget));
+        jobs.push_back(
+            job(name,
+                sim::Machine::base(4).wakeup(
+                    core::WakeupModel::SequentialNoPred),
                 budget));
-        jobs.push_back(job(
-            name,
-            sim::withWakeup(sim::baseMachine(4),
-                            core::WakeupModel::SequentialNoPred),
-            budget));
     }
     auto res = runSweep(std::move(jobs));
 
     size_t k = 0;
-    row("bench", {"128", "512", "1024", "4096", "no pred"}, 10, 11);
+    Table t({"bench", "128", "512", "1024", "4096", "no pred"}, 10,
+            11);
     for (const auto &name : names) {
         double b = res[k++].ipc;
-        std::vector<std::string> cells;
+        t.begin(name);
         for (size_t i = 0; i < sizes.size() + 1; ++i)
-            cells.push_back(fmt(res[k++].ipc / b, 4));
-        row(name, cells, 10, 11);
+            t.norm(res[k++].ipc / b);
+        t.end();
     }
+    t.geomeanRow();
     return 0;
 }

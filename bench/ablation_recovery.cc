@@ -23,52 +23,50 @@ main()
            budget);
 
     const auto names = workloads::benchmarkNames();
+    sim::Machine base = sim::Machine::base(4);
+    sim::Machine conv_sel =
+        sim::Machine::base(4).recovery(core::RecoveryModel::Selective);
+    sim::Machine sw_sel = sim::Machine::base(4)
+                              .wakeup(core::WakeupModel::Sequential)
+                              .lap(1024)
+                              .recovery(core::RecoveryModel::Selective);
+    sim::Machine te = sim::Machine::base(4)
+                          .wakeup(core::WakeupModel::TagElimination)
+                          .lap(1024);
     std::vector<sim::SweepJob> jobs;
     for (const auto &name : names) {
-        jobs.push_back(job(name, sim::baseMachine(4), budget));
-        jobs.push_back(job(
-            name,
-            sim::withRecovery(sim::baseMachine(4),
-                              core::RecoveryModel::Selective),
-            budget));
-        jobs.push_back(job(
-            name,
-            sim::withRecovery(
-                sim::withWakeup(sim::baseMachine(4),
-                                core::WakeupModel::Sequential, 1024),
-                core::RecoveryModel::Selective),
-            budget));
-        jobs.push_back(job(
-            name,
-            sim::withWakeup(sim::baseMachine(4),
-                            core::WakeupModel::TagElimination, 1024),
-            budget));
+        jobs.push_back(job(name, base, budget));
+        jobs.push_back(job(name, conv_sel, budget));
+        jobs.push_back(job(name, sw_sel, budget));
+        jobs.push_back(job(name, te, budget));
     }
     auto res = runSweep(std::move(jobs));
 
     auto squash_pct = [](const sim::SweepResult &r) {
-        const auto &st = r.sim->core().stats();
+        const auto &st = r.coreStats();
         return double(st.squashedIssues.value())
             / double(st.issued.value() ? st.issued.value() : 1);
     };
 
     size_t k = 0;
-    row("bench",
-        {"conv/nsel", "conv/sel", "seqw/sel", "te/nsel",
-         "te-squash%", "sw-squash%"},
-        10, 12);
+    Table t({"bench", "conv/nsel", "conv/sel", "seqw/sel", "te/nsel",
+             "te-squash%", "sw-squash%"});
     for (const auto &name : names) {
         double b = res[k].ipc;
-        const auto &conv_sel = res[k + 1];
-        const auto &sw_sel = res[k + 2];
-        const auto &te = res[k + 3];
+        const auto &conv_sel_r = res[k + 1];
+        const auto &sw_sel_r = res[k + 2];
+        const auto &te_r = res[k + 3];
         k += 4;
-        row(name,
-            {fmt(1.0, 3), fmt(conv_sel.ipc / b, 4),
-             fmt(sw_sel.ipc / b, 4), fmt(te.ipc / b, 4),
-             pct(squash_pct(te)), pct(squash_pct(sw_sel))},
-            10, 12);
+        t.begin(name)
+            .abs(1.0, 3)
+            .norm(conv_sel_r.ipc / b)
+            .norm(sw_sel_r.ipc / b)
+            .norm(te_r.ipc / b)
+            .pct(squash_pct(te_r))
+            .pct(squash_pct(sw_sel_r))
+            .end();
     }
+    t.geomeanRow();
     std::printf("\n(seqw/sel: sequential wakeup on selective "
                 "recovery — the composition tag elimination cannot "
                 "offer; squash%%: share of issue slots wasted)\n");

@@ -23,17 +23,18 @@ main()
     const auto names = workloads::benchmarkNames();
     std::vector<sim::SweepJob> jobs;
     for (unsigned width : {4u, 8u}) {
-        auto rn = sim::withRename(sim::baseMachine(width),
-                                  core::RenameModel::HalfPort);
-        // Everything halved: wakeup + register file + rename.
-        auto all = sim::withRename(
-            sim::withRegfile(
-                sim::withWakeup(sim::baseMachine(width),
-                                core::WakeupModel::Sequential, 1024),
-                core::RegfileModel::SequentialAccess),
+        sim::Machine base = sim::Machine::base(width);
+        sim::Machine rn = sim::Machine::base(width).rename(
             core::RenameModel::HalfPort);
+        // Everything halved: wakeup + register file + rename.
+        sim::Machine all =
+            sim::Machine::base(width)
+                .wakeup(core::WakeupModel::Sequential)
+                .lap(1024)
+                .regfile(core::RegfileModel::SequentialAccess)
+                .rename(core::RenameModel::HalfPort);
         for (const auto &name : names) {
-            jobs.push_back(job(name, sim::baseMachine(width), budget));
+            jobs.push_back(job(name, base, budget));
             jobs.push_back(job(name, rn, budget));
             jobs.push_back(job(name, all, budget));
         }
@@ -43,26 +44,23 @@ main()
     size_t k = 0;
     for (unsigned width : {4u, 8u}) {
         std::printf("\n--- %u-wide (normalized IPC) ---\n", width);
-        row("bench",
-            {"half-rename", "all-half", "splits/kinst"}, 10, 13);
-        std::vector<double> nrn, nall;
+        Table t({"bench", "half-rename", "all-half", "splits/kinst"},
+                10, 13);
         for (const auto &name : names) {
             double b = res[k].ipc;
             const auto &rn = res[k + 1];
             const auto &all = res[k + 2];
             k += 3;
-            nrn.push_back(rn.ipc / b);
-            nall.push_back(all.ipc / b);
-            const auto &st = rn.sim->core().stats();
+            const auto &st = rn.coreStats();
             double splits = 1000.0 * double(st.renameStalls.value())
                 / double(st.committed.value());
-            row(name,
-                {fmt(rn.ipc / b, 4), fmt(all.ipc / b, 4),
-                 fmt(splits, 2)},
-                10, 13);
+            t.begin(name)
+                .norm(rn.ipc / b)
+                .norm(all.ipc / b)
+                .abs(splits, 2)
+                .end();
         }
-        row("geomean",
-            {fmt(geomean(nrn), 4), fmt(geomean(nall), 4), ""}, 10, 13);
+        t.geomeanRow();
     }
     std::printf("\n(all-half: sequential wakeup + sequential register "
                 "access + half rename ports)\n");

@@ -85,7 +85,7 @@ sweepJobs()
     return unsigned(v);
 }
 
-/** Build one timing-run job for the sweep engine. */
+/** Build one timing-run job (ExperimentSpec) for the sweep engine. */
 inline sim::SweepJob
 job(const std::string &workload, const sim::Machine &m,
     uint64_t budget)
@@ -94,6 +94,7 @@ job(const std::string &workload, const sim::Machine &m,
     j.workload = workload;
     j.machine = m;
     j.max_insts = budget;
+    j.validate();
     return j;
 }
 
@@ -187,6 +188,108 @@ geomean(const std::vector<double> &v)
         logsum += std::log(x);
     return std::exp(logsum / double(v.size()));
 }
+
+/**
+ * Shared experiment-table formatter. Construction prints the header
+ * (the first entry labels the row-name column); each data row is a
+ * begin()..end() chain of typed cells:
+ *
+ *   Table t({"bench", "base IPC", "seq-wakeup"});
+ *   t.begin(name).abs(base_ipc, 3).norm(r.ipc / base_ipc).end();
+ *   t.geomeanRow();
+ *
+ * norm() cells are remembered per column so geomeanRow() can close
+ * the table with the geometric mean of every normalized column
+ * (other columns stay blank) — the bookkeeping every figure harness
+ * used to hand-roll.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers, int name_w = 10,
+                   int cell_w = 12)
+        : name_w_(name_w), cell_w_(cell_w),
+          samples_(headers.empty() ? 0 : headers.size() - 1)
+    {
+        std::vector<std::string> cells(
+            headers.begin() + (headers.empty() ? 0 : 1),
+            headers.end());
+        row(headers.empty() ? "" : headers.front(), cells, name_w_,
+            cell_w_);
+    }
+
+    /** Start a data row. */
+    Table &
+    begin(const std::string &name)
+    {
+        std::printf("%-*s", name_w_, name.c_str());
+        col_ = 0;
+        return *this;
+    }
+
+    /** Free-form text cell. */
+    Table &
+    text(const std::string &s)
+    {
+        std::printf("%*s", cell_w_, s.c_str());
+        ++col_;
+        return *this;
+    }
+
+    /** Absolute numeric cell (not part of the geomean). */
+    Table &
+    abs(double v, int prec = 3)
+    {
+        return text(fmt(v, prec));
+    }
+
+    /** Integer cell (not part of the geomean). */
+    Table &
+    count(uint64_t v)
+    {
+        return text(std::to_string(v));
+    }
+
+    /** Percentage cell (not part of the geomean). */
+    Table &
+    pct(double v, int prec = 1)
+    {
+        return text(benchutil::pct(v, prec));
+    }
+
+    /** Normalized cell, accumulated for geomeanRow(). */
+    Table &
+    norm(double v, int prec = 4)
+    {
+        if (col_ < samples_.size())
+            samples_[col_].push_back(v);
+        return abs(v, prec);
+    }
+
+    /** Finish the row. */
+    void end() { std::printf("\n"); }
+
+    /** Geomean row over every norm() column (others blank). */
+    void
+    geomeanRow(const std::string &label = "geomean", int prec = 4)
+    {
+        begin(label);
+        for (const auto &col : samples_) {
+            // Walk columns in order so blanks keep alignment.
+            if (col.empty())
+                text("");
+            else
+                abs(geomean(col), prec);
+        }
+        end();
+    }
+
+  private:
+    int name_w_;
+    int cell_w_;
+    size_t col_ = 0;
+    std::vector<std::vector<double>> samples_;
+};
 
 } // namespace hpa::benchutil
 

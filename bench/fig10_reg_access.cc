@@ -25,17 +25,17 @@ main()
     std::vector<sim::SweepJob> jobs;
     for (unsigned width : {4u, 8u})
         for (const auto &name : names)
-            jobs.push_back(job(name, sim::baseMachine(width), budget));
+            jobs.push_back(
+                job(name, sim::Machine::base(width), budget));
     auto res = runSweep(std::move(jobs));
 
     size_t k = 0;
     for (unsigned width : {4u, 8u}) {
         std::printf("\n--- %u-wide base machine ---\n", width);
-        row("bench",
-            {"b2b issue", "2 ready", "non-b2b", "2-port/all"},
-            10, 12);
+        Table t({"bench", "b2b issue", "2 ready", "non-b2b",
+                 "2-port/all"});
         for (const auto &name : names) {
-            const auto &st = res[k++].sim->core().stats();
+            const auto &st = res[k++].coreStats();
             double n = double(st.rfBackToBack.value()
                               + st.rfTwoReady.value()
                               + st.rfNonBackToBack.value());
@@ -44,11 +44,12 @@ main()
             double all = double(st.committed.value());
             double two_port = double(st.rfTwoReady.value()
                                      + st.rfNonBackToBack.value());
-            row(name,
-                {pct(st.rfBackToBack.value() / n),
-                 pct(st.rfTwoReady.value() / n),
-                 pct(st.rfNonBackToBack.value() / n),
-                 pct(two_port / all)});
+            t.begin(name)
+                .pct(st.rfBackToBack.value() / n)
+                .pct(st.rfTwoReady.value() / n)
+                .pct(st.rfNonBackToBack.value() / n)
+                .pct(two_port / all)
+                .end();
         }
     }
     std::printf("\n(last column: instructions requiring two register "

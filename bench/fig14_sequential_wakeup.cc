@@ -26,24 +26,22 @@ main()
     const auto names = workloads::benchmarkNames();
     std::vector<sim::SweepJob> jobs;
     for (unsigned width : {4u, 8u}) {
+        sim::Machine base = sim::Machine::base(width);
+        sim::Machine seqw = sim::Machine::base(width)
+                                .wakeup(core::WakeupModel::Sequential)
+                                .lap(1024);
+        sim::Machine te =
+            sim::Machine::base(width)
+                .wakeup(core::WakeupModel::TagElimination)
+                .lap(1024);
+        sim::Machine nopred =
+            sim::Machine::base(width).wakeup(
+                core::WakeupModel::SequentialNoPred);
         for (const auto &name : names) {
-            jobs.push_back(job(name, sim::baseMachine(width), budget));
-            jobs.push_back(job(
-                name,
-                sim::withWakeup(sim::baseMachine(width),
-                                core::WakeupModel::Sequential, 1024),
-                budget));
-            jobs.push_back(job(
-                name,
-                sim::withWakeup(sim::baseMachine(width),
-                                core::WakeupModel::TagElimination,
-                                1024),
-                budget));
-            jobs.push_back(job(
-                name,
-                sim::withWakeup(sim::baseMachine(width),
-                                core::WakeupModel::SequentialNoPred),
-                budget));
+            jobs.push_back(job(name, base, budget));
+            jobs.push_back(job(name, seqw, budget));
+            jobs.push_back(job(name, te, budget));
+            jobs.push_back(job(name, nopred, budget));
         }
     }
     auto res = runSweep(std::move(jobs));
@@ -51,25 +49,19 @@ main()
     size_t k = 0;
     for (unsigned width : {4u, 8u}) {
         std::printf("\n--- %u-wide (normalized IPC) ---\n", width);
-        row("bench",
-            {"base IPC", "seq-wakeup", "tag-elim", "seq-nopred"},
-            10, 12);
-        std::vector<double> nsw, nte, nnp;
+        Table t({"bench", "base IPC", "seq-wakeup", "tag-elim",
+                 "seq-nopred"});
         for (const auto &name : names) {
             double b = res[k].ipc;
-            double sw = res[k + 1].ipc / b;
-            double te = res[k + 2].ipc / b;
-            double np = res[k + 3].ipc / b;
+            t.begin(name)
+                .abs(b, 3)
+                .norm(res[k + 1].ipc / b)
+                .norm(res[k + 2].ipc / b)
+                .norm(res[k + 3].ipc / b)
+                .end();
             k += 4;
-            nsw.push_back(sw);
-            nte.push_back(te);
-            nnp.push_back(np);
-            row(name,
-                {fmt(b, 3), fmt(sw, 4), fmt(te, 4), fmt(np, 4)});
         }
-        row("geomean",
-            {"", fmt(geomean(nsw), 4), fmt(geomean(nte), 4),
-             fmt(geomean(nnp), 4)});
+        t.geomeanRow();
     }
     std::printf("\nPaper means: seq-wakeup 0.996/0.994, tag-elim "
                 "lower (worst 0.894), seq-nopred 0.984/0.974.\n");

@@ -26,23 +26,20 @@ main()
     const auto names = workloads::benchmarkNames();
     std::vector<sim::SweepJob> jobs;
     for (unsigned width : {4u, 8u}) {
+        sim::Machine base = sim::Machine::base(width);
+        sim::Machine seqrf =
+            sim::Machine::base(width).regfile(
+                core::RegfileModel::SequentialAccess);
+        sim::Machine extra = sim::Machine::base(width).regfile(
+            core::RegfileModel::ExtraStage);
+        sim::Machine xbar =
+            sim::Machine::base(width).regfile(
+                core::RegfileModel::HalfPortCrossbar);
         for (const auto &name : names) {
-            jobs.push_back(job(name, sim::baseMachine(width), budget));
-            jobs.push_back(job(
-                name,
-                sim::withRegfile(sim::baseMachine(width),
-                                 core::RegfileModel::SequentialAccess),
-                budget));
-            jobs.push_back(job(
-                name,
-                sim::withRegfile(sim::baseMachine(width),
-                                 core::RegfileModel::ExtraStage),
-                budget));
-            jobs.push_back(job(
-                name,
-                sim::withRegfile(sim::baseMachine(width),
-                                 core::RegfileModel::HalfPortCrossbar),
-                budget));
+            jobs.push_back(job(name, base, budget));
+            jobs.push_back(job(name, seqrf, budget));
+            jobs.push_back(job(name, extra, budget));
+            jobs.push_back(job(name, xbar, budget));
         }
     }
     auto res = runSweep(std::move(jobs));
@@ -50,25 +47,19 @@ main()
     size_t k = 0;
     for (unsigned width : {4u, 8u}) {
         std::printf("\n--- %u-wide (normalized IPC) ---\n", width);
-        row("bench",
-            {"base IPC", "seq RF", "1 extra stg", "reg+xbar"},
-            10, 12);
-        std::vector<double> nsq, nex, nxb;
+        Table t({"bench", "base IPC", "seq RF", "1 extra stg",
+                 "reg+xbar"});
         for (const auto &name : names) {
             double b = res[k].ipc;
-            double sq = res[k + 1].ipc / b;
-            double ex = res[k + 2].ipc / b;
-            double xb = res[k + 3].ipc / b;
+            t.begin(name)
+                .abs(b, 3)
+                .norm(res[k + 1].ipc / b)
+                .norm(res[k + 2].ipc / b)
+                .norm(res[k + 3].ipc / b)
+                .end();
             k += 4;
-            nsq.push_back(sq);
-            nex.push_back(ex);
-            nxb.push_back(xb);
-            row(name,
-                {fmt(b, 3), fmt(sq, 4), fmt(ex, 4), fmt(xb, 4)});
         }
-        row("geomean",
-            {"", fmt(geomean(nsq), 4), fmt(geomean(nex), 4),
-             fmt(geomean(nxb), 4)});
+        t.geomeanRow();
     }
     std::printf("\nPaper means: seq RF 0.989 (4-wide) / 0.993 "
                 "(8-wide); crossbar close to 1.0.\n");

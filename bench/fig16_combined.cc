@@ -26,16 +26,20 @@ main()
     const auto names = workloads::benchmarkNames();
     std::vector<sim::SweepJob> jobs;
     for (unsigned width : {4u, 8u}) {
-        auto seqw = sim::withWakeup(sim::baseMachine(width),
-                                    core::WakeupModel::Sequential,
-                                    1024);
-        auto comb = sim::withRegfile(
-            seqw, core::RegfileModel::SequentialAccess);
-        auto seqrf = sim::withRegfile(
-            sim::baseMachine(width),
-            core::RegfileModel::SequentialAccess);
+        sim::Machine base = sim::Machine::base(width);
+        sim::Machine seqw = sim::Machine::base(width)
+                                .wakeup(core::WakeupModel::Sequential)
+                                .lap(1024);
+        sim::Machine comb =
+            sim::Machine::base(width)
+                .wakeup(core::WakeupModel::Sequential)
+                .lap(1024)
+                .regfile(core::RegfileModel::SequentialAccess);
+        sim::Machine seqrf =
+            sim::Machine::base(width).regfile(
+                core::RegfileModel::SequentialAccess);
         for (const auto &name : names) {
-            jobs.push_back(job(name, sim::baseMachine(width), budget));
+            jobs.push_back(job(name, base, budget));
             jobs.push_back(job(name, comb, budget));
             jobs.push_back(job(name, seqw, budget));
             jobs.push_back(job(name, seqrf, budget));
@@ -46,20 +50,19 @@ main()
     size_t k = 0;
     for (unsigned width : {4u, 8u}) {
         std::printf("\n--- %u-wide (normalized IPC) ---\n", width);
-        row("bench",
-            {"base IPC", "combined", "seq-wkup", "seq-RF"}, 10, 12);
-        std::vector<double> ncomb;
+        Table t({"bench", "base IPC", "combined", "seq-wkup",
+                 "seq-RF"});
         for (const auto &name : names) {
             double b = res[k].ipc;
-            double comb = res[k + 1].ipc / b;
-            double sw = res[k + 2].ipc / b;
-            double sq = res[k + 3].ipc / b;
+            t.begin(name)
+                .abs(b, 3)
+                .norm(res[k + 1].ipc / b)
+                .abs(res[k + 2].ipc / b, 4)
+                .abs(res[k + 3].ipc / b, 4)
+                .end();
             k += 4;
-            ncomb.push_back(comb);
-            row(name,
-                {fmt(b, 3), fmt(comb, 4), fmt(sw, 4), fmt(sq, 4)});
         }
-        row("geomean", {"", fmt(geomean(ncomb), 4), "", ""});
+        t.geomeanRow();
     }
     std::printf("\nPaper: 2.2%% mean degradation, worst case 4.8%%; "
                 "combined slightly worse than the sum of parts.\n");

@@ -43,13 +43,15 @@ main()
             }
         });
 
-    row("bench", {"2-src fmt", "stores", "other"});
+    Table t({"bench", "2-src fmt", "stores", "other"});
     for (size_t i = 0; i < names.size(); ++i) {
         const Counts &c = counts[i];
-        double t = double(c.total);
-        row(names[i],
-            {pct(c.two / t), pct(c.stores / t),
-             pct((c.total - c.two - c.stores) / t)});
+        double total = double(c.total);
+        t.begin(names[i])
+            .pct(c.two / total)
+            .pct(c.stores / total)
+            .pct((c.total - c.two - c.stores) / total)
+            .end();
     }
     return 0;
 }

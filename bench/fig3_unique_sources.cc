@@ -51,14 +51,16 @@ main()
             }
         });
 
-    row("bench",
-        {"nops", "<2 unique", "2 unique", "2src/all"}, 10, 12);
+    Table t({"bench", "nops", "<2 unique", "2 unique", "2src/all"});
     for (size_t i = 0; i < names.size(); ++i) {
         const Counts &c = counts[i];
         double f = double(c.fmt2 ? c.fmt2 : 1);
-        row(names[i],
-            {pct(c.nops / f), pct(c.one / f), pct(c.two / f),
-             pct(double(c.two) / double(c.total))});
+        t.begin(names[i])
+            .pct(c.nops / f)
+            .pct(c.one / f)
+            .pct(c.two / f)
+            .pct(double(c.two) / double(c.total))
+            .end();
     }
     std::printf("\n(last column: true 2-source instructions as a "
                 "fraction of all dynamic instructions)\n");

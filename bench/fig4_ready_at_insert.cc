@@ -24,18 +24,21 @@ main()
     std::vector<sim::SweepJob> jobs;
     for (unsigned width : {4u, 8u})
         for (const auto &name : names)
-            jobs.push_back(job(name, sim::baseMachine(width), budget));
+            jobs.push_back(
+                job(name, sim::Machine::base(width), budget));
     auto res = runSweep(std::move(jobs));
 
     size_t k = 0;
     for (unsigned width : {4u, 8u}) {
         std::printf("\n--- %u-wide base machine ---\n", width);
-        row("bench", {"0 ready", "1 ready", "2 ready"});
+        Table t({"bench", "0 ready", "1 ready", "2 ready"});
         for (const auto &name : names) {
-            const auto &d =
-                res[k++].sim->core().stats().readyAtInsert;
-            row(name, {pct(d.fraction(0)), pct(d.fraction(1)),
-                       pct(d.fraction(2))});
+            const auto &d = res[k++].coreStats().readyAtInsert;
+            t.begin(name)
+                .pct(d.fraction(0))
+                .pct(d.fraction(1))
+                .pct(d.fraction(2))
+                .end();
         }
     }
     return 0;

@@ -24,29 +24,31 @@ main()
     std::vector<sim::SweepJob> jobs;
     for (unsigned width : {4u, 8u})
         for (const auto &name : names)
-            jobs.push_back(job(name, sim::baseMachine(width), budget));
+            jobs.push_back(
+                job(name, sim::Machine::base(width), budget));
     auto res = runSweep(std::move(jobs));
 
     size_t k = 0;
     for (unsigned width : {4u, 8u}) {
         std::printf("\n--- %u-wide base machine ---\n", width);
-        row("bench",
-            {"slack 0", "slack 1", "slack 2", "slack 3", "slack 4+",
-             "0/all-2src"},
-            10, 11);
+        Table t({"bench", "slack 0", "slack 1", "slack 2", "slack 3",
+                 "slack 4+", "0/all-2src"},
+                10, 11);
         for (const auto &name : names) {
-            const auto &st = res[k++].sim->core().stats();
+            const auto &st = res[k++].coreStats();
             const auto &d = st.wakeupSlack;
             // Simultaneous wakeups as a fraction of all 2-source
             // instructions (the paper's "<3% of instructions").
             double all2src = double(st.fmtTwoUnique.value()
                                     ? st.fmtTwoUnique.value() : 1);
-            row(name,
-                {pct(d.fraction(0)), pct(d.fraction(1)),
-                 pct(d.fraction(2)), pct(d.fraction(3)),
-                 pct(d.fraction(4)),
-                 pct(double(d.bucket(0)) / all2src)},
-                10, 11);
+            t.begin(name)
+                .pct(d.fraction(0))
+                .pct(d.fraction(1))
+                .pct(d.fraction(2))
+                .pct(d.fraction(3))
+                .pct(d.fraction(4))
+                .pct(double(d.bucket(0)) / all2src)
+                .end();
         }
     }
     return 0;

@@ -25,25 +25,26 @@ main()
     std::vector<sim::SweepJob> jobs;
     for (unsigned width : {4u, 8u})
         for (const auto &name : names)
-            jobs.push_back(job(name, sim::baseMachine(width), budget));
+            jobs.push_back(
+                job(name, sim::Machine::base(width), budget));
     auto res = runSweep(std::move(jobs));
 
     size_t k = 0;
     for (unsigned width : {4u, 8u}) {
         std::printf("\n--- %u-wide base machine ---\n", width);
-        row("bench",
-            {"128", "512", "1024", "4096", "simultaneous"}, 10, 13);
+        Table t({"bench", "128", "512", "1024", "4096",
+                 "simultaneous"},
+                10, 13);
         for (const auto &name : names) {
             const auto &mon = res[k++].sim->core().lapMonitor();
             double simul = mon.samples()
                 ? double(mon.simultaneous()) / double(mon.samples())
                 : 0.0;
-            std::vector<std::string> cells;
+            t.begin(name);
             for (unsigned i = 0;
                  i < core::LastArrivalMonitor::NUM_SIZES; ++i)
-                cells.push_back(pct(mon.accuracy(i)));
-            cells.push_back(pct(simul));
-            row(name, cells, 10, 13);
+                t.pct(mon.accuracy(i));
+            t.pct(simul).end();
         }
     }
     return 0;

@@ -6,11 +6,10 @@
  * hot path (ready-list select, indexed consumer/store lists) — IPC
  * measures the modeled machine, cycles/sec measures the simulator.
  *
- * The timing loop measures Core::run() only; workload assembly and
- * functional fast-forward are excluded.
+ * RunResult.wallSeconds measures Core::run() only; workload assembly
+ * and functional fast-forward are excluded. Runs serially (one
+ * worker) so per-run wall times are undistorted.
  */
-
-#include <chrono>
 
 #include "bench_util.hh"
 
@@ -25,42 +24,36 @@ main()
            "host-side figure of merit, not a paper experiment",
            budget);
 
-    WorkloadCache cache;
+    const auto names = workloads::benchmarkNames();
     for (unsigned width : {4u, 8u}) {
+        std::vector<sim::SweepJob> jobs;
+        for (const auto &name : names)
+            jobs.push_back(
+                job(name, sim::Machine::base(width), budget));
+        auto res = sim::SweepRunner(1).run(std::move(jobs));
+
         std::printf("\n--- %u-wide base machine ---\n", width);
-        row("bench",
-            {"sim cycles", "wall ms", "Mcycles/s", "Minsts/s"},
-            10, 12);
+        Table t({"bench", "sim cycles", "wall ms", "Mcycles/s",
+                 "Minsts/s"});
         double total_cycles = 0, total_secs = 0, total_insts = 0;
-        for (const auto &name : workloads::benchmarkNames()) {
-            const auto &w = cache.get(name);
-            uint64_t ff = 0;
-            auto it = w.program.symbols.find("steady");
-            if (it != w.program.symbols.end())
-                ff = it->second;
-            sim::Simulation s(w.program, sim::baseMachine(width).cfg,
-                              budget, ff);
-            auto t0 = std::chrono::steady_clock::now();
-            s.run();
-            auto t1 = std::chrono::steady_clock::now();
-            double secs =
-                std::chrono::duration<double>(t1 - t0).count();
-            double cycles = double(s.core().cycle());
-            double insts =
-                double(s.core().stats().committed.value());
-            total_cycles += cycles;
-            total_secs += secs;
-            total_insts += insts;
-            row(name,
-                {std::to_string(uint64_t(cycles)),
-                 fmt(1e3 * secs, 2), fmt(cycles / secs / 1e6, 3),
-                 fmt(insts / secs / 1e6, 3)});
+        for (size_t i = 0; i < names.size(); ++i) {
+            const auto &r = res[i];
+            total_cycles += double(r.cycles);
+            total_secs += r.wallSeconds;
+            total_insts += double(r.committed);
+            t.begin(names[i])
+                .count(r.cycles)
+                .abs(1e3 * r.wallSeconds, 2)
+                .abs(r.cyclesPerSec() / 1e6, 3)
+                .abs(double(r.committed) / r.wallSeconds / 1e6, 3)
+                .end();
         }
-        row("total",
-            {std::to_string(uint64_t(total_cycles)),
-             fmt(1e3 * total_secs, 2),
-             fmt(total_cycles / total_secs / 1e6, 3),
-             fmt(total_insts / total_secs / 1e6, 3)});
+        t.begin("total")
+            .count(uint64_t(total_cycles))
+            .abs(1e3 * total_secs, 2)
+            .abs(total_cycles / total_secs / 1e6, 3)
+            .abs(total_insts / total_secs / 1e6, 3)
+            .end();
     }
     return 0;
 }

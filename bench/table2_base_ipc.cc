@@ -24,19 +24,21 @@ main()
     const auto names = workloads::benchmarkNames();
     std::vector<sim::SweepJob> jobs;
     for (const auto &name : names) {
-        jobs.push_back(job(name, sim::baseMachine(4), budget));
-        jobs.push_back(job(name, sim::baseMachine(8), budget));
+        jobs.push_back(job(name, sim::Machine::base(4), budget));
+        jobs.push_back(job(name, sim::Machine::base(8), budget));
     }
     auto res = runSweep(std::move(jobs));
 
     size_t k = 0;
-    row("bench", {"insts", "IPC 4-wide", "IPC 8-wide"});
+    Table t({"bench", "insts", "IPC 4-wide", "IPC 8-wide"});
     for (const auto &name : names) {
         const auto &s4 = res[k++];
         const auto &s8 = res[k++];
-        row(name,
-            {std::to_string(s4.committed), fmt(s4.ipc, 2),
-             fmt(s8.ipc, 2)});
+        t.begin(name)
+            .count(s4.committed)
+            .abs(s4.ipc, 2)
+            .abs(s8.ipc, 2)
+            .end();
     }
     std::printf("\nPaper (Table 2, SPEC CINT2000): 4-wide IPC "
                 "0.71(mcf)..2.02(vortex), 8-wide 0.93..2.95.\n");

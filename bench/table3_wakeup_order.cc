@@ -25,15 +25,16 @@ main()
     std::vector<sim::SweepJob> jobs;
     for (unsigned width : {4u, 8u})
         for (const auto &name : names)
-            jobs.push_back(job(name, sim::baseMachine(width), budget));
+            jobs.push_back(
+                job(name, sim::Machine::base(width), budget));
     auto res = runSweep(std::move(jobs));
 
     size_t k = 0;
     for (unsigned width : {4u, 8u}) {
         std::printf("\n--- %u-wide base machine ---\n", width);
-        row("bench", {"same", "diff", "left last", "right last"});
+        Table t({"bench", "same", "diff", "left last", "right last"});
         for (const auto &name : names) {
-            const auto &st = res[k++].sim->core().stats();
+            const auto &st = res[k++].coreStats();
             double order = double(st.orderSame.value()
                                   + st.orderDiff.value());
             double lastn = double(st.leftLast.value()
@@ -42,11 +43,12 @@ main()
                 order = 1;
             if (lastn == 0)
                 lastn = 1;
-            row(name,
-                {pct(st.orderSame.value() / order),
-                 pct(st.orderDiff.value() / order),
-                 pct(st.leftLast.value() / lastn),
-                 pct(st.rightLast.value() / lastn)});
+            t.begin(name)
+                .pct(st.orderSame.value() / order)
+                .pct(st.orderDiff.value() / order)
+                .pct(st.leftLast.value() / lastn)
+                .pct(st.rightLast.value() / lastn)
+                .end();
         }
     }
     return 0;

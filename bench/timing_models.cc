@@ -23,12 +23,14 @@ main()
 
     model::WakeupDelayModel wd;
     std::printf("\nWakeup logic delay (ps), 0.18u, 4-wide:\n");
-    row("entries", {"conv (2 cmp)", "seq (1 cmp)", "speedup"}, 10, 14);
+    Table tw({"entries", "conv (2 cmp)", "seq (1 cmp)", "speedup"},
+             10, 14);
     for (unsigned n : {16u, 32u, 64u, 128u, 256u}) {
-        row(std::to_string(n),
-            {fmt(wd.delayPs(n, 2), 1), fmt(wd.delayPs(n, 1), 1),
-             pct(wd.speedup(n, 2, 1))},
-            10, 14);
+        tw.begin(std::to_string(n))
+            .abs(wd.delayPs(n, 2), 1)
+            .abs(wd.delayPs(n, 1), 1)
+            .pct(wd.speedup(n, 2, 1))
+            .end();
     }
     std::printf("Paper claim (64-entry, 4-wide): 466 ps -> 374 ps "
                 "(24.6%% speedup). Model: %.0f -> %.0f (%.1f%%).\n",
@@ -38,12 +40,12 @@ main()
     model::RegfileTimingModel rf;
     std::printf("\nRegister file access time (ns), 160 entries, "
                 "0.18u:\n");
-    row("ports", {"access ns", "rel. area"}, 10, 14);
+    Table tr({"ports", "access ns", "rel. area"}, 10, 14);
     for (unsigned p : {8u, 12u, 16u, 20u, 24u, 32u}) {
-        row(std::to_string(p),
-            {fmt(rf.accessNs(160, p), 3),
-             fmt(rf.area(160, p) / rf.area(160, 16), 3)},
-            10, 14);
+        tr.begin(std::to_string(p))
+            .abs(rf.accessNs(160, p), 3)
+            .abs(rf.area(160, p) / rf.area(160, 16), 3)
+            .end();
     }
     std::printf("Paper claim (8-wide, 24 -> 16 ports): 1.71 ns -> "
                 "1.36 ns (20.5%% drop). Model: %.2f -> %.2f "
@@ -53,8 +55,8 @@ main()
 
     std::printf("\nScaling with window size (sequential-wakeup gain "
                 "grows with the window):\n");
-    row("entries", {"gain"}, 10, 14);
+    Table ts({"entries", "gain"}, 10, 14);
     for (unsigned n : {32u, 64u, 128u, 256u})
-        row(std::to_string(n), {pct(wd.speedup(n, 2, 1))}, 10, 14);
+        ts.begin(std::to_string(n)).pct(wd.speedup(n, 2, 1)).end();
     return 0;
 }

@@ -9,7 +9,7 @@
 #include <iostream>
 
 #include "func/emulator.hh"
-#include "sim/simulation.hh"
+#include "sim/experiment.hh"
 
 namespace
 {
@@ -107,12 +107,13 @@ main()
               << "  stores:          " << stores << "\n\n";
 
     // 3. Timing under base vs. combined half-price machine.
-    sim::Simulation base(image, core::fourWideConfig());
+    sim::Simulation base(image, sim::Machine::base(4).build().cfg);
     base.run();
-    core::CoreConfig half_cfg = core::fourWideConfig();
-    half_cfg.wakeup = core::WakeupModel::Sequential;
-    half_cfg.regfile = core::RegfileModel::SequentialAccess;
-    sim::Simulation half(image, half_cfg);
+    sim::Machine half_m =
+        sim::Machine::base(4)
+            .wakeup(core::WakeupModel::Sequential)
+            .regfile(core::RegfileModel::SequentialAccess);
+    sim::Simulation half(image, half_m.cfg);
     half.run();
 
     std::cout << "base IPC " << base.ipc() << ", half-price IPC "

@@ -11,7 +11,7 @@
 #include <iostream>
 
 #include "model/timing_models.hh"
-#include "sim/simulation.hh"
+#include "sim/experiment.hh"
 
 namespace
 {
@@ -86,9 +86,9 @@ main()
         auto image = assembler::assemble(kernel);
         uint64_t base_cycles = 0;
         for (const Variant &v : variants) {
-            core::CoreConfig cfg = core::fourWideConfig();
-            cfg.regfile = v.model;
-            sim::Simulation s(image, cfg);
+            sim::Machine m =
+                sim::Machine::base(4).regfile(v.model);
+            sim::Simulation s(image, m.cfg);
             s.run();
             if (v.model == core::RegfileModel::TwoPort)
                 base_cycles = s.core().cycle();

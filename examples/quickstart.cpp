@@ -10,7 +10,7 @@
 
 #include <iostream>
 
-#include "sim/simulation.hh"
+#include "sim/experiment.hh"
 
 int
 main()
@@ -44,8 +44,8 @@ data:   .word 1, 2, 3, 4, 5, 6, 7, 8
 
     // 3. Pick a machine: the paper's 4-wide base configuration
     //    (Table 1), then run execution-driven timing simulation.
-    core::CoreConfig cfg = core::fourWideConfig();
-    sim::Simulation s(image, cfg);
+    sim::Machine base = sim::Machine::base(4);
+    sim::Simulation s(image, base.cfg);
     s.run();
 
     std::cout << "console bytes: "
@@ -55,15 +55,20 @@ data:   .word 1, 2, 3, 4, 5, 6, 7, 8
               << " cycles (IPC " << s.ipc() << ")\n\n";
 
     // 4. Try a half-price configuration: sequential wakeup +
-    //    sequential register access (Section 5.3).
-    cfg.wakeup = core::WakeupModel::Sequential;
-    cfg.regfile = core::RegfileModel::SequentialAccess;
-    sim::Simulation half(image, cfg);
+    //    sequential register access (Section 5.3). The builder
+    //    validates the combination and names the machine.
+    sim::Machine hp =
+        sim::Machine::base(4)
+            .wakeup(core::WakeupModel::Sequential)
+            .regfile(core::RegfileModel::SequentialAccess);
+    std::cout << "machine: " << hp.name << "\n";
+    sim::Simulation half(image, hp.cfg);
     half.run();
     std::cout << "half-price IPC: " << half.ipc() << " ("
               << 100.0 * half.ipc() / s.ipc() << "% of base)\n\n";
 
-    // 5. Full statistics report.
+    // 5. Full statistics report (or statsRegistry().toJson(os) for
+    //    the machine-readable "hpa.stats.v1" form).
     half.report(std::cout);
     return 0;
 }

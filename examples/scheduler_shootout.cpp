@@ -13,7 +13,7 @@
 #include <iostream>
 
 #include "model/timing_models.hh"
-#include "sim/simulation.hh"
+#include "sim/experiment.hh"
 #include "workloads/workloads.hh"
 
 int
@@ -49,8 +49,8 @@ main(int argc, char **argv)
     double base_ipc = 0;
 
     for (const Variant &v : variants) {
-        core::CoreConfig cfg = core::fourWideConfig();
-        cfg.wakeup = v.model;
+        sim::Machine m = sim::Machine::base(4).wakeup(v.model);
+        const core::CoreConfig &cfg = m.cfg;
         sim::Simulation s(w.program, cfg, budget, steady);
         s.run();
         if (v.model == core::WakeupModel::Conventional)

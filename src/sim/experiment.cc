@@ -1,0 +1,216 @@
+#include "sim/experiment.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hpa::sim
+{
+
+MachineBuilder
+Machine::base(unsigned width)
+{
+    return MachineBuilder::base(width);
+}
+
+MachineBuilder
+MachineBuilder::base(unsigned width)
+{
+    if (width != 4 && width != 8)
+        throw std::invalid_argument(
+            "machine width must be 4 or 8 (Table 1), got "
+            + std::to_string(width));
+    Machine m;
+    m.name = width == 8 ? "8-wide" : "4-wide";
+    m.cfg = width == 8 ? core::eightWideConfig()
+                       : core::fourWideConfig();
+    return MachineBuilder(std::move(m));
+}
+
+MachineBuilder
+MachineBuilder::from(Machine m)
+{
+    return MachineBuilder(std::move(m));
+}
+
+MachineBuilder &
+MachineBuilder::wakeup(core::WakeupModel w)
+{
+    m_.cfg.wakeup = w;
+    switch (w) {
+      case core::WakeupModel::Conventional:
+        m_.name += "/conv-wakeup";
+        break;
+      case core::WakeupModel::Sequential:
+        m_.name += "/seq-wakeup";
+        break;
+      case core::WakeupModel::SequentialNoPred:
+        m_.name += "/seq-wakeup-nopred";
+        break;
+      case core::WakeupModel::TagElimination:
+        m_.name += "/tag-elim";
+        break;
+    }
+    return *this;
+}
+
+MachineBuilder &
+MachineBuilder::regfile(core::RegfileModel r)
+{
+    m_.cfg.regfile = r;
+    switch (r) {
+      case core::RegfileModel::TwoPort:
+        m_.name += "/2r-port";
+        break;
+      case core::RegfileModel::SequentialAccess:
+        m_.name += "/seq-rf";
+        break;
+      case core::RegfileModel::ExtraStage:
+        m_.name += "/extra-rf-stage";
+        break;
+      case core::RegfileModel::HalfPortCrossbar:
+        m_.name += "/half-ports-xbar";
+        break;
+    }
+    return *this;
+}
+
+MachineBuilder &
+MachineBuilder::recovery(core::RecoveryModel r)
+{
+    m_.cfg.recovery = r;
+    m_.name += r == core::RecoveryModel::Selective ? "/selective"
+                                                   : "/non-selective";
+    return *this;
+}
+
+MachineBuilder &
+MachineBuilder::rename(core::RenameModel r)
+{
+    m_.cfg.rename = r;
+    m_.name += r == core::RenameModel::HalfPort ? "/half-rename"
+                                                : "/2r-rename";
+    return *this;
+}
+
+MachineBuilder &
+MachineBuilder::lap(unsigned entries)
+{
+    m_.cfg.lap_entries = entries;
+    lapSet_ = true;
+    return *this;
+}
+
+MachineBuilder &
+MachineBuilder::bypassWindow(unsigned cycles)
+{
+    m_.cfg.bypass_window = cycles;
+    return *this;
+}
+
+MachineBuilder &
+MachineBuilder::detectDelay(unsigned cycles)
+{
+    m_.cfg.tagelim_detect_delay = cycles;
+    detectSet_ = true;
+    return *this;
+}
+
+Machine
+MachineBuilder::build() const
+{
+    const core::CoreConfig &cfg = m_.cfg;
+    bool predictor_wakeup =
+        cfg.wakeup == core::WakeupModel::Sequential
+        || cfg.wakeup == core::WakeupModel::TagElimination;
+
+    if (lapSet_ && !predictor_wakeup)
+        throw std::invalid_argument(
+            "machine '" + m_.name
+            + "': lap() needs a predictor-based wakeup scheme "
+              "(Sequential or TagElimination)");
+    if (cfg.lap_entries == 0
+        || (cfg.lap_entries & (cfg.lap_entries - 1)))
+        throw std::invalid_argument(
+            "machine '" + m_.name
+            + "': predictor entries must be a power of 2, got "
+            + std::to_string(cfg.lap_entries));
+    if (detectSet_ && cfg.wakeup != core::WakeupModel::TagElimination)
+        throw std::invalid_argument(
+            "machine '" + m_.name
+            + "': detectDelay() only applies to tag elimination");
+    if (cfg.tagelim_detect_delay == 0)
+        throw std::invalid_argument(
+            "machine '" + m_.name
+            + "': tag-elimination detect delay must be >= 1 cycle");
+    if (cfg.bypass_window == 0)
+        throw std::invalid_argument(
+            "machine '" + m_.name
+            + "': bypass window must be >= 1 cycle");
+    return m_;
+}
+
+void
+ExperimentSpec::validate() const
+{
+    if (machine.name.empty() || machine.cfg.width == 0)
+        throw std::invalid_argument(
+            "experiment spec has no machine (use Machine::base())");
+    if (workload.empty())
+        throw std::invalid_argument(
+            "experiment spec has no workload");
+    const auto names = workloads::benchmarkNames();
+    if (std::find(names.begin(), names.end(), workload)
+        == names.end())
+        throw std::invalid_argument(
+            "unknown workload '" + workload
+            + "' (see workloads::benchmarkNames())");
+}
+
+const core::CoreStats &
+RunResult::coreStats() const
+{
+    return sim->core().stats();
+}
+
+stats::Registry
+RunResult::statsRegistry() const
+{
+    return sim->statsRegistry();
+}
+
+void
+RunResult::toJson(stats::json::JsonWriter &jw, bool with_stats,
+                  bool with_timing) const
+{
+    jw.beginObject()
+        .kv("schema", JSON_SCHEMA)
+        .kv("workload", spec.workload)
+        .kv("machine", spec.machine.name)
+        .kv("width", spec.machine.cfg.width)
+        .kv("max_insts", spec.max_insts)
+        .kv("max_cycles", spec.max_cycles)
+        .kv("fast_forward", spec.fast_forward)
+        .kv("ipc", ipc)
+        .kv("committed", committed)
+        .kv("cycles", cycles)
+        .kv("fast_forwarded", fastForwarded);
+    if (with_timing) {
+        jw.kv("wall_seconds", wallSeconds)
+            .kv("cycles_per_sec", cyclesPerSec(), 0);
+    }
+    if (with_stats && sim) {
+        jw.key("stats");
+        statsRegistry().toJson(jw);
+    }
+    jw.endObject();
+}
+
+void
+RunResult::toJson(std::ostream &os, bool with_stats,
+                  bool with_timing) const
+{
+    stats::json::JsonWriter jw(os);
+    toJson(jw, with_stats, with_timing);
+}
+
+} // namespace hpa::sim

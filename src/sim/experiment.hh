@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The declarative experiment API: machines are assembled by a
+ * fluent, validating MachineBuilder, a run is described by an
+ * ExperimentSpec, and every completed run returns a RunResult that
+ * carries the achieved IPC, the budgets actually consumed, the
+ * fast-forward count and the full statistics snapshot — emittable as
+ * schema-versioned JSON. This is the stable programmatic surface the
+ * tools, bench harnesses and sweep engine all drive the simulator
+ * through; the legacy withWakeup()/withRegfile()/withRecovery()/
+ * withRename() free functions are thin deprecated wrappers over the
+ * builder (see simulation.hh).
+ */
+
+#ifndef HPA_SIM_EXPERIMENT_HH
+#define HPA_SIM_EXPERIMENT_HH
+
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "sim/simulation.hh"
+#include "stats/json.hh"
+#include "workloads/workloads.hh"
+
+namespace hpa::sim
+{
+
+/**
+ * Fluent machine assembly with eager naming and deferred
+ * validation:
+ *
+ *   Machine m = Machine::base(4)
+ *                   .wakeup(core::WakeupModel::Sequential)
+ *                   .lap(1024)
+ *                   .regfile(core::RegfileModel::SequentialAccess)
+ *                   .build();
+ *
+ * Each setter updates the configuration and appends the same
+ * machine-name suffix the legacy withX() chain produced (the names
+ * key the golden IPC gate, so they are part of the stable surface).
+ * build() — or the implicit Machine conversion — validates the
+ * combination and throws std::invalid_argument on contradictions:
+ * a lap() table on a predictor-less wakeup scheme, a non-power-of-2
+ * predictor, a detectDelay() without tag elimination, a zero-cycle
+ * bypass window, or a width outside Table 1.
+ */
+class MachineBuilder
+{
+  public:
+    /** Start from a Table 1 base machine; width must be 4 or 8. */
+    static MachineBuilder base(unsigned width);
+
+    /** Start from an existing machine (legacy-wrapper entry point). */
+    static MachineBuilder from(Machine m);
+
+    MachineBuilder &wakeup(core::WakeupModel w);
+    MachineBuilder &regfile(core::RegfileModel r);
+    MachineBuilder &recovery(core::RecoveryModel r);
+    MachineBuilder &rename(core::RenameModel r);
+
+    /** Last-arrival predictor entries (power of 2); only meaningful
+     *  — and only accepted — with a predictor-based wakeup scheme
+     *  (Sequential or TagElimination). */
+    MachineBuilder &lap(unsigned entries);
+
+    /** Bypass-network window in cycles (>= 1, Section 4.2). */
+    MachineBuilder &bypassWindow(unsigned cycles);
+
+    /** Tag-elimination scoreboard detection delay (>= 1); requires
+     *  WakeupModel::TagElimination. */
+    MachineBuilder &detectDelay(unsigned cycles);
+
+    /** Validate the accumulated configuration and return it. */
+    Machine build() const;
+
+    /** Implicit finalization so a chain can be passed anywhere a
+     *  Machine is expected. */
+    operator Machine() const { return build(); }
+
+  private:
+    explicit MachineBuilder(Machine m) : m_(std::move(m)) {}
+
+    Machine m_;
+    bool lapSet_ = false;
+    bool detectSet_ = false;
+};
+
+/**
+ * A declarative run request: which workload, on which machine, under
+ * which budgets. This is the unit the sweep engine executes (the
+ * legacy name SweepJob aliases this type) and the unit serialized
+ * into run artifacts.
+ */
+struct ExperimentSpec
+{
+    /** Workload registry name (workloads::benchmarkNames()). */
+    std::string workload;
+    Machine machine;
+    /** Committed-instruction budget (0 = run to HALT). */
+    uint64_t max_insts = 0;
+    /** Cycle budget (0 = unbounded). */
+    uint64_t max_cycles = 0;
+    /** Fast-forward functionally to the kernel's `steady:` label. */
+    bool fast_forward = true;
+    workloads::Scale scale = workloads::Scale::Full;
+
+    /**
+     * Check the spec is runnable: the workload must be a registered
+     * benchmark and the machine must have been assembled (non-empty
+     * name, non-zero width). Throws std::invalid_argument.
+     */
+    void validate() const;
+};
+
+/**
+ * A completed experiment. The Simulation is kept alive so callers
+ * can reach the core, the LAP monitor, the emulator console, … —
+ * and so the statistics snapshot can be rendered in any format
+ * after the fact.
+ */
+struct RunResult
+{
+    ExperimentSpec spec;
+    std::unique_ptr<Simulation> sim;
+    double ipc = 0.0;
+    uint64_t committed = 0;
+    uint64_t cycles = 0;
+    /** Instructions functionally skipped before timing began. */
+    uint64_t fastForwarded = 0;
+    /** Wall-clock seconds of the timing run (excludes workload
+     *  assembly and functional fast-forward). */
+    double wallSeconds = 0.0;
+
+    /** Simulated cycles per wall second (host throughput). */
+    double
+    cyclesPerSec() const
+    {
+        return wallSeconds > 0 ? double(cycles) / wallSeconds : 0.0;
+    }
+
+    /** The core's statistics block (requires sim). */
+    const core::CoreStats &coreStats() const;
+
+    /** Full statistics snapshot: every core/memory/bpred stat plus
+     *  the IPC formula, as the text report registers them. */
+    stats::Registry statsRegistry() const;
+
+    /**
+     * Serialize onto @p jw as one "hpa.run.v1" object: the spec,
+     * the outcome metrics and (optionally) the full stats snapshot.
+     * Wall-clock fields are emitted only when @p with_timing — keep
+     * them out of committed reference artifacts, which must be
+     * reproducible byte-for-byte.
+     */
+    void toJson(stats::json::JsonWriter &jw, bool with_stats = true,
+                bool with_timing = false) const;
+
+    /** Standalone toJson() convenience: one document on @p os. */
+    void toJson(std::ostream &os, bool with_stats = true,
+                bool with_timing = false) const;
+
+    /** Schema tag of toJson() documents. */
+    static constexpr const char *JSON_SCHEMA = "hpa.run.v1";
+};
+
+} // namespace hpa::sim
+
+#endif // HPA_SIM_EXPERIMENT_HH

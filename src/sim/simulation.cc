@@ -1,81 +1,44 @@
 #include "sim/simulation.hh"
 
+#include "sim/experiment.hh"
+
 namespace hpa::sim
 {
 
 Machine
 baseMachine(unsigned width)
 {
-    Machine m;
-    if (width == 8) {
-        m.name = "8-wide";
-        m.cfg = core::eightWideConfig();
-    } else {
-        m.name = "4-wide";
-        m.cfg = core::fourWideConfig();
-    }
-    return m;
+    // Legacy semantics: any non-8 width silently means 4-wide.
+    return MachineBuilder::base(width == 8 ? 8 : 4).build();
 }
 
 Machine
 withWakeup(Machine m, core::WakeupModel w, unsigned lap_entries)
 {
-    m.cfg.wakeup = w;
+    m = MachineBuilder::from(std::move(m)).wakeup(w).build();
+    // Legacy semantics: the lap table size is applied regardless of
+    // the wakeup scheme (the builder's lap() would reject it for
+    // predictor-less schemes).
     m.cfg.lap_entries = lap_entries;
-    switch (w) {
-      case core::WakeupModel::Conventional:
-        m.name += "/conv-wakeup";
-        break;
-      case core::WakeupModel::Sequential:
-        m.name += "/seq-wakeup";
-        break;
-      case core::WakeupModel::SequentialNoPred:
-        m.name += "/seq-wakeup-nopred";
-        break;
-      case core::WakeupModel::TagElimination:
-        m.name += "/tag-elim";
-        break;
-    }
     return m;
 }
 
 Machine
 withRegfile(Machine m, core::RegfileModel r)
 {
-    m.cfg.regfile = r;
-    switch (r) {
-      case core::RegfileModel::TwoPort:
-        m.name += "/2r-port";
-        break;
-      case core::RegfileModel::SequentialAccess:
-        m.name += "/seq-rf";
-        break;
-      case core::RegfileModel::ExtraStage:
-        m.name += "/extra-rf-stage";
-        break;
-      case core::RegfileModel::HalfPortCrossbar:
-        m.name += "/half-ports-xbar";
-        break;
-    }
-    return m;
+    return MachineBuilder::from(std::move(m)).regfile(r).build();
 }
 
 Machine
 withRecovery(Machine m, core::RecoveryModel r)
 {
-    m.cfg.recovery = r;
-    m.name += r == core::RecoveryModel::Selective
-        ? "/selective" : "/non-selective";
-    return m;
+    return MachineBuilder::from(std::move(m)).recovery(r).build();
 }
 
 Machine
 withRename(Machine m, core::RenameModel r)
 {
-    m.cfg.rename = r;
-    m.name += r == core::RenameModel::HalfPort
-        ? "/half-rename" : "/2r-rename";
-    return m;
+    return MachineBuilder::from(std::move(m)).rename(r).build();
 }
 
 Simulation::Simulation(const assembler::Program &prog,
@@ -99,14 +62,21 @@ Simulation::run(uint64_t max_cycles)
     return core_->run(max_cycles);
 }
 
-void
-Simulation::report(std::ostream &os)
+stats::Registry
+Simulation::statsRegistry()
 {
     stats::Registry reg;
     core_->regStats(reg);
+    core::Core *c = core_.get();
     reg.add(stats::Formula("core.ipc", "committed per cycle",
-                           [this] { return core_->ipc(); }));
-    reg.dump(os);
+                           [c] { return c->ipc(); }));
+    return reg;
+}
+
+void
+Simulation::report(std::ostream &os)
+{
+    statsRegistry().dump(os);
 }
 
 double

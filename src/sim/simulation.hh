@@ -19,24 +19,57 @@
 namespace hpa::sim
 {
 
+class MachineBuilder;
+
 /** Named machine model variants used across the evaluation. */
 struct Machine
 {
     std::string name;
     core::CoreConfig cfg;
+
+    /**
+     * Start a fluent, validating builder chain from a Table 1 base
+     * machine (width 4 or 8; anything else throws):
+     *
+     *   Machine m = Machine::base(4)
+     *                   .wakeup(core::WakeupModel::Sequential)
+     *                   .lap(1024);
+     *
+     * See sim/experiment.hh for the full MachineBuilder interface.
+     */
+    static MachineBuilder base(unsigned width);
 };
 
-/** Base machines from Table 1. */
+/**
+ * Base machines from Table 1.
+ * @deprecated Use Machine::base(width), which rejects widths outside
+ *             Table 1 instead of silently defaulting to 4-wide.
+ */
 Machine baseMachine(unsigned width);
 
-/** Apply a wakeup scheme to a machine (Section 5.1). */
+/**
+ * Apply a wakeup scheme to a machine (Section 5.1).
+ * @deprecated Thin wrapper over MachineBuilder::wakeup()/lap(); new
+ *             code should use the builder, which validates that a
+ *             lap table is only configured with a predictor-based
+ *             wakeup scheme.
+ */
 Machine withWakeup(Machine m, core::WakeupModel w,
                    unsigned lap_entries = 1024);
-/** Apply a register-file scheme to a machine (Section 5.2). */
+/**
+ * Apply a register-file scheme to a machine (Section 5.2).
+ * @deprecated Thin wrapper over MachineBuilder::regfile().
+ */
 Machine withRegfile(Machine m, core::RegfileModel r);
-/** Apply a recovery scheme (Section 3.1 discussion). */
+/**
+ * Apply a recovery scheme (Section 3.1 discussion).
+ * @deprecated Thin wrapper over MachineBuilder::recovery().
+ */
 Machine withRecovery(Machine m, core::RecoveryModel r);
-/** Apply a rename-port scheme (Section 6 future-work extension). */
+/**
+ * Apply a rename-port scheme (Section 6 future-work extension).
+ * @deprecated Thin wrapper over MachineBuilder::rename().
+ */
 Machine withRename(Machine m, core::RenameModel r);
 
 /**
@@ -69,7 +102,16 @@ class Simulation
     func::Emulator &emulator() { return *emu_; }
     double ipc() const { return core_->ipc(); }
 
-    /** Dump a full statistics report. */
+    /**
+     * Every statistic of this run in one registry: the core's
+     * counters/distributions plus the core.ipc formula. The registry
+     * holds non-owning pointers into the core, so it must not
+     * outlive this Simulation. All renderings — the text report,
+     * JSON, CSV — are views over this registry.
+     */
+    stats::Registry statsRegistry();
+
+    /** Dump a full statistics report (statsRegistry() as text). */
     void report(std::ostream &os);
 
   private:

@@ -39,7 +39,7 @@ SweepRunner::runOne(const SweepJob &job,
     }
 
     SweepResult r;
-    r.job = job;
+    r.spec = job;
     r.sim = std::make_unique<Simulation>(w.program, job.machine.cfg,
                                          job.max_insts, ff);
     auto t0 = std::chrono::steady_clock::now();
@@ -49,6 +49,7 @@ SweepRunner::runOne(const SweepJob &job,
     r.ipc = r.sim->ipc();
     r.committed = r.sim->core().stats().committed.value();
     r.cycles = r.sim->core().cycle();
+    r.fastForwarded = r.sim->fastForwarded();
     return r;
 }
 
@@ -109,28 +110,29 @@ SweepRunner::run(std::vector<SweepJob> jobs)
 std::vector<Machine>
 reproductionMachines()
 {
+    using core::RegfileModel;
+    using core::WakeupModel;
     std::vector<Machine> ms;
     for (unsigned width : {4u, 8u}) {
-        ms.push_back(baseMachine(width));
-        ms.push_back(withWakeup(baseMachine(width),
-                                core::WakeupModel::Sequential, 1024));
-        ms.push_back(withWakeup(baseMachine(width),
-                                core::WakeupModel::TagElimination,
-                                1024));
-        ms.push_back(withWakeup(baseMachine(width),
-                                core::WakeupModel::SequentialNoPred));
-        ms.push_back(withRegfile(
-            baseMachine(width),
-            core::RegfileModel::SequentialAccess));
-        ms.push_back(withRegfile(baseMachine(width),
-                                 core::RegfileModel::ExtraStage));
-        ms.push_back(withRegfile(
-            baseMachine(width),
-            core::RegfileModel::HalfPortCrossbar));
-        ms.push_back(withRegfile(
-            withWakeup(baseMachine(width),
-                       core::WakeupModel::Sequential, 1024),
-            core::RegfileModel::SequentialAccess));
+        ms.push_back(Machine::base(width));
+        ms.push_back(Machine::base(width)
+                         .wakeup(WakeupModel::Sequential)
+                         .lap(1024));
+        ms.push_back(Machine::base(width)
+                         .wakeup(WakeupModel::TagElimination)
+                         .lap(1024));
+        ms.push_back(Machine::base(width)
+                         .wakeup(WakeupModel::SequentialNoPred));
+        ms.push_back(Machine::base(width)
+                         .regfile(RegfileModel::SequentialAccess));
+        ms.push_back(Machine::base(width)
+                         .regfile(RegfileModel::ExtraStage));
+        ms.push_back(Machine::base(width)
+                         .regfile(RegfileModel::HalfPortCrossbar));
+        ms.push_back(Machine::base(width)
+                         .wakeup(WakeupModel::Sequential)
+                         .lap(1024)
+                         .regfile(RegfileModel::SequentialAccess));
     }
     return ms;
 }

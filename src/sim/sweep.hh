@@ -17,48 +17,22 @@
 #include <string>
 #include <vector>
 
+#include "sim/experiment.hh"
 #include "sim/simulation.hh"
 #include "workloads/workloads.hh"
 
 namespace hpa::sim
 {
 
-/** One (workload, machine, budget) simulation request. */
-struct SweepJob
-{
-    /** Workload registry name (workloads::benchmarkNames()). */
-    std::string workload;
-    Machine machine;
-    /** Committed-instruction budget (0 = run to HALT). */
-    uint64_t max_insts = 0;
-    /** Cycle budget (0 = unbounded). */
-    uint64_t max_cycles = 0;
-    /** Fast-forward functionally to the kernel's `steady:` label. */
-    bool fast_forward = true;
-    workloads::Scale scale = workloads::Scale::Full;
-};
+/** One (workload, machine, budget) simulation request. Historical
+ *  name for ExperimentSpec (sim/experiment.hh). */
+using SweepJob = ExperimentSpec;
 
-/** A completed sweep job. The Simulation is kept alive so callers
- *  read IPC, CoreStats, the LAP monitor, … exactly as they would
- *  after a serial runSim(). */
-struct SweepResult
-{
-    SweepJob job;
-    std::unique_ptr<Simulation> sim;
-    double ipc = 0.0;
-    uint64_t committed = 0;
-    uint64_t cycles = 0;
-    /** Wall-clock seconds of the timing run (excludes workload
-     *  assembly and functional fast-forward). */
-    double wallSeconds = 0.0;
-
-    /** Simulated cycles per wall second (host throughput). */
-    double
-    cyclesPerSec() const
-    {
-        return wallSeconds > 0 ? double(cycles) / wallSeconds : 0.0;
-    }
-};
+/** A completed sweep job. Historical name for RunResult
+ *  (sim/experiment.hh); the Simulation is kept alive so callers read
+ *  IPC, CoreStats, the LAP monitor, … exactly as they would after a
+ *  serial runSim(). */
+using SweepResult = RunResult;
 
 /**
  * Fixed-size thread pool running sweep jobs. Results are ordered by

@@ -1,0 +1,439 @@
+#include "stats/json.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace hpa::stats::json
+{
+
+// --- Writer. ---
+
+void
+JsonWriter::separate(bool is_key)
+{
+    if (pendingKey_) {
+        // A value (or container) directly follows its key.
+        pendingKey_ = false;
+        return;
+    }
+    if (!stack_.empty()) {
+        if (hasItems_.back())
+            raw(",");
+        hasItems_.back() = true;
+        raw("\n");
+        indent();
+    }
+    (void)is_key;
+}
+
+void
+JsonWriter::indent()
+{
+    for (size_t i = 0; i < stack_.size(); ++i)
+        raw("  ");
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separate(false);
+    raw("{");
+    stack_.push_back(Scope::Object);
+    hasItems_.push_back(false);
+    wroteRoot_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    bool had = hasItems_.back();
+    stack_.pop_back();
+    hasItems_.pop_back();
+    if (had) {
+        raw("\n");
+        indent();
+    }
+    raw("}");
+    if (stack_.empty())
+        raw("\n");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separate(false);
+    raw("[");
+    stack_.push_back(Scope::Array);
+    hasItems_.push_back(false);
+    wroteRoot_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    bool had = hasItems_.back();
+    stack_.pop_back();
+    hasItems_.pop_back();
+    if (had) {
+        raw("\n");
+        indent();
+    }
+    raw("]");
+    if (stack_.empty())
+        raw("\n");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view k)
+{
+    separate(true);
+    os_ << '"' << escape(k) << "\": ";
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view v)
+{
+    separate(false);
+    os_ << '"' << escape(v) << '"';
+    wroteRoot_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    separate(false);
+    raw(v ? "true" : "false");
+    wroteRoot_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(uint64_t v)
+{
+    separate(false);
+    os_ << v;
+    wroteRoot_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int64_t v)
+{
+    separate(false);
+    os_ << v;
+    wroteRoot_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    separate(false);
+    if (!std::isfinite(v)) {
+        raw("null");
+    } else {
+        char buf[64];
+        auto [ptr, ec] =
+            std::to_chars(buf, buf + sizeof(buf), v);
+        *ptr = '\0';
+        // to_chars emits "1e+20" style without a decimal point for
+        // integral doubles; that is still valid JSON.
+        raw(buf);
+    }
+    wroteRoot_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v, int precision)
+{
+    separate(false);
+    if (!std::isfinite(v)) {
+        raw("null");
+    } else {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+        raw(buf);
+    }
+    wroteRoot_ = true;
+    return *this;
+}
+
+std::string
+escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += char(c);
+            }
+        }
+    }
+    return out;
+}
+
+// --- Validator: recursive-descent over the RFC 8259 grammar. ---
+
+namespace
+{
+
+struct Parser
+{
+    std::string_view text;
+    size_t pos = 0;
+    std::string err;
+    int depth = 0;
+    static constexpr int MAX_DEPTH = 256;
+
+    bool
+    fail(const std::string &why)
+    {
+        if (err.empty())
+            err = "offset " + std::to_string(pos) + ": " + why;
+        return false;
+    }
+
+    void
+    ws()
+    {
+        while (pos < text.size()
+               && (text[pos] == ' ' || text[pos] == '\t'
+                   || text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool eof() const { return pos >= text.size(); }
+    char peek() const { return text[pos]; }
+
+    bool
+    literal(std::string_view lit)
+    {
+        if (text.substr(pos, lit.size()) != lit)
+            return fail("bad literal");
+        pos += lit.size();
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (eof() || peek() != '"')
+            return fail("expected string");
+        ++pos;
+        while (!eof()) {
+            char c = text[pos];
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("unescaped control character in string");
+            if (c == '\\') {
+                ++pos;
+                if (eof())
+                    return fail("truncated escape");
+                char e = text[pos];
+                if (e == 'u') {
+                    for (int i = 1; i <= 4; ++i) {
+                        if (pos + i >= text.size()
+                            || !std::isxdigit(static_cast<unsigned char>(
+                                text[pos + i])))
+                            return fail("bad \\u escape");
+                    }
+                    pos += 4;
+                } else if (!std::strchr("\"\\/bfnrt", e)) {
+                    return fail("bad escape character");
+                }
+            }
+            ++pos;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    number()
+    {
+        size_t start = pos;
+        if (!eof() && peek() == '-')
+            ++pos;
+        if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+            return fail("bad number");
+        if (peek() == '0') {
+            ++pos;
+        } else {
+            while (!eof()
+                   && std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos;
+        }
+        if (!eof() && peek() == '.') {
+            ++pos;
+            if (eof()
+                || !std::isdigit(static_cast<unsigned char>(peek())))
+                return fail("bad fraction");
+            while (!eof()
+                   && std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos;
+        }
+        if (!eof() && (peek() == 'e' || peek() == 'E')) {
+            ++pos;
+            if (!eof() && (peek() == '+' || peek() == '-'))
+                ++pos;
+            if (eof()
+                || !std::isdigit(static_cast<unsigned char>(peek())))
+                return fail("bad exponent");
+            while (!eof()
+                   && std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos;
+        }
+        return pos > start;
+    }
+
+    bool
+    value()
+    {
+        if (++depth > MAX_DEPTH)
+            return fail("nesting too deep");
+        ws();
+        if (eof())
+            return fail("expected value");
+        bool ok;
+        switch (peek()) {
+          case '{': ok = object(); break;
+          case '[': ok = array(); break;
+          case '"': ok = string(); break;
+          case 't': ok = literal("true"); break;
+          case 'f': ok = literal("false"); break;
+          case 'n': ok = literal("null"); break;
+          default: ok = number(); break;
+        }
+        --depth;
+        return ok;
+    }
+
+    bool
+    object()
+    {
+        ++pos; // '{'
+        ws();
+        if (!eof() && peek() == '}') {
+            ++pos;
+            return true;
+        }
+        for (;;) {
+            ws();
+            if (!string())
+                return false;
+            ws();
+            if (eof() || peek() != ':')
+                return fail("expected ':'");
+            ++pos;
+            if (!value())
+                return false;
+            ws();
+            if (eof())
+                return fail("unterminated object");
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos; // '['
+        ws();
+        if (!eof() && peek() == ']') {
+            ++pos;
+            return true;
+        }
+        for (;;) {
+            if (!value())
+                return false;
+            ws();
+            if (eof())
+                return fail("unterminated array");
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+};
+
+} // namespace
+
+bool
+validate(std::string_view text, std::string *err)
+{
+    Parser p{text, 0, {}, 0};
+    if (!p.value()) {
+        if (err)
+            *err = p.err;
+        return false;
+    }
+    p.ws();
+    if (!p.eof()) {
+        if (err)
+            *err = "offset " + std::to_string(p.pos)
+                + ": trailing characters after JSON value";
+        return false;
+    }
+    return true;
+}
+
+std::string
+findStringField(std::string_view text, std::string_view key)
+{
+    std::string needle = "\"" + std::string(key) + "\"";
+    size_t k = text.find(needle);
+    if (k == std::string_view::npos)
+        return "";
+    size_t colon = text.find(':', k + needle.size());
+    if (colon == std::string_view::npos)
+        return "";
+    size_t q1 = text.find('"', colon + 1);
+    if (q1 == std::string_view::npos)
+        return "";
+    size_t q2 = text.find('"', q1 + 1);
+    if (q2 == std::string_view::npos)
+        return "";
+    return std::string(text.substr(q1 + 1, q2 - q1 - 1));
+}
+
+} // namespace hpa::stats::json

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Zero-dependency JSON support for the statistics framework: a
+ * streaming writer (used by every machine-readable artifact the
+ * simulator emits — stats snapshots, run summaries, sweep results,
+ * golden files) and a strict syntax validator used by tests and the
+ * `hpa_json_validate` schema gate. No DOM, no allocation beyond the
+ * nesting stack.
+ */
+
+#ifndef HPA_STATS_JSON_HH
+#define HPA_STATS_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpa::stats::json
+{
+
+/**
+ * Streaming JSON writer. Objects/arrays are opened and closed
+ * explicitly; the writer tracks nesting to place commas, newlines and
+ * two-space indentation, so emitters never hand-manage separators:
+ *
+ *   JsonWriter jw(os);
+ *   jw.beginObject()
+ *     .key("schema").value("hpa.stats.v1")
+ *     .key("runs").beginArray().value(1).value(2).endArray()
+ *     .endObject();
+ *
+ * Doubles default to shortest round-trip formatting; a fixed
+ * precision overload exists for human-scanned artifacts (golden
+ * files) where stable column widths matter.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; must be followed by a value or begin*(). */
+    JsonWriter &key(std::string_view k);
+
+    JsonWriter &value(std::string_view v);
+    JsonWriter &value(const char *v) { return value(std::string_view(v)); }
+    JsonWriter &value(bool v);
+    JsonWriter &value(uint64_t v);
+    JsonWriter &value(int64_t v);
+    JsonWriter &value(unsigned v) { return value(uint64_t(v)); }
+    JsonWriter &value(int v) { return value(int64_t(v)); }
+    /** Shortest-round-trip double (NaN/Inf are emitted as null). */
+    JsonWriter &value(double v);
+    /** Fixed-precision double, printf "%.*f" style. */
+    JsonWriter &value(double v, int precision);
+
+    /** key() + value() in one call. */
+    template <typename T>
+    JsonWriter &
+    kv(std::string_view k, T v)
+    {
+        return key(k).value(v);
+    }
+    JsonWriter &
+    kv(std::string_view k, double v, int precision)
+    {
+        return key(k).value(v, precision);
+    }
+
+    /** True once every opened scope has been closed again. */
+    bool complete() const { return stack_.empty() && wroteRoot_; }
+
+  private:
+    enum class Scope : uint8_t { Object, Array };
+
+    void separate(bool is_key);
+    void indent();
+    void raw(std::string_view s) { os_ << s; }
+
+    std::ostream &os_;
+    std::vector<Scope> stack_;
+    /** Whether anything was written in the current scope yet. */
+    std::vector<bool> hasItems_;
+    bool pendingKey_ = false;
+    bool wroteRoot_ = false;
+};
+
+/** Escape a string for embedding in a JSON document (no quotes). */
+std::string escape(std::string_view s);
+
+/**
+ * Strict whole-document syntax check (RFC 8259 grammar, UTF-8 not
+ * enforced). @return true when @p text is exactly one valid JSON
+ * value with only trailing whitespace; otherwise fills @p err with a
+ * byte offset and reason.
+ */
+bool validate(std::string_view text, std::string *err = nullptr);
+
+/**
+ * Extract the string value of a top-level-ish `"key": "value"` pair
+ * by naive scan (first occurrence). Returns empty when absent. Used
+ * by schema checks where the document was already validate()d.
+ */
+std::string findStringField(std::string_view text, std::string_view key);
+
+} // namespace hpa::stats::json
+
+#endif // HPA_STATS_JSON_HH

@@ -3,38 +3,211 @@
 #include <iomanip>
 #include <sstream>
 
+#include "stats/json.hh"
+
 namespace hpa::stats
 {
 
 void
-Registry::dump(std::ostream &os) const
+Registry::visit(Visitor &v) const
 {
-    auto row = [&os](const std::string &name, const std::string &value,
-                     const std::string &desc) {
+    for (const Counter *c : counters_)
+        v.counter(*c);
+    for (const Distribution *d : dists_)
+        v.distribution(*d);
+    for (const Formula &f : formulas_)
+        v.formula(f, f.value());
+}
+
+namespace
+{
+
+/** The human-readable "name value # desc" report. */
+struct TextDumper final : Registry::Visitor
+{
+    explicit TextDumper(std::ostream &os) : os(os) {}
+
+    void
+    row(const std::string &name, const std::string &value,
+        const std::string &desc)
+    {
         os << std::left << std::setw(40) << name << " "
            << std::setw(16) << value << " # " << desc << "\n";
-    };
+    }
 
-    for (const Counter *c : counters_)
-        row(c->name, std::to_string(c->value()), c->desc);
+    void
+    counter(const Counter &c) override
+    {
+        row(c.name, std::to_string(c.value()), c.desc);
+    }
 
-    for (const Distribution *d : dists_) {
-        row(d->name + ".total", std::to_string(d->total()), d->desc);
-        for (unsigned i = 0; i < d->numBuckets(); ++i) {
-            std::string bucket_name = d->name + "." + std::to_string(i)
-                + (i + 1 == d->numBuckets() ? "+" : "");
+    void
+    distribution(const Distribution &d) override
+    {
+        row(d.name + ".total", std::to_string(d.total()), d.desc);
+        for (unsigned i = 0; i < d.numBuckets(); ++i) {
+            std::string bucket_name = d.name + "." + std::to_string(i)
+                + (i + 1 == d.numBuckets() ? "+" : "");
             std::ostringstream val;
-            val << d->bucket(i) << " (" << std::fixed
-                << std::setprecision(2) << 100.0 * d->fraction(i) << "%)";
-            row(bucket_name, val.str(), d->desc);
+            val << d.bucket(i) << " (" << std::fixed
+                << std::setprecision(2) << 100.0 * d.fraction(i) << "%)";
+            row(bucket_name, val.str(), d.desc);
         }
     }
 
-    for (const Formula &f : formulas_) {
+    void
+    formula(const Formula &f, double value) override
+    {
         std::ostringstream val;
-        val << std::fixed << std::setprecision(4) << f.value();
+        val << std::fixed << std::setprecision(4) << value;
         row(f.name, val.str(), f.desc);
     }
+
+    std::ostream &os;
+};
+
+/** The hpa.stats.v1 object body. */
+struct JsonDumper final : Registry::Visitor
+{
+    explicit JsonDumper(json::JsonWriter &jw) : jw(jw) {}
+
+    void
+    counter(const Counter &c) override
+    {
+        jw.beginObject()
+            .kv("name", c.name)
+            .kv("desc", c.desc)
+            .kv("value", c.value())
+            .endObject();
+    }
+
+    void
+    distribution(const Distribution &d) override
+    {
+        jw.beginObject()
+            .kv("name", d.name)
+            .kv("desc", d.desc)
+            .kv("total", d.total())
+            .key("buckets")
+            .beginArray();
+        for (unsigned i = 0; i < d.numBuckets(); ++i)
+            jw.value(d.bucket(i));
+        jw.endArray();
+        // The last bucket collects all values >= numBuckets()-1.
+        jw.kv("overflow_bucket", uint64_t(d.numBuckets() - 1))
+            .endObject();
+    }
+
+    void
+    formula(const Formula &f, double value) override
+    {
+        jw.beginObject()
+            .kv("name", f.name)
+            .kv("desc", f.desc)
+            .kv("value", value)
+            .endObject();
+    }
+
+    json::JsonWriter &jw;
+};
+
+/** Column names / values for the CSV pair, in report order. */
+struct CsvDumper final : Registry::Visitor
+{
+    CsvDumper(std::ostream &os, bool header) : os(os), header(header) {}
+
+    void
+    cell(const std::string &name, const std::string &value)
+    {
+        if (!first)
+            os << ",";
+        first = false;
+        os << (header ? name : value);
+    }
+
+    void
+    counter(const Counter &c) override
+    {
+        cell(c.name, std::to_string(c.value()));
+    }
+
+    void
+    distribution(const Distribution &d) override
+    {
+        cell(d.name + ".total", std::to_string(d.total()));
+        for (unsigned i = 0; i < d.numBuckets(); ++i)
+            cell(d.name + "." + std::to_string(i)
+                     + (i + 1 == d.numBuckets() ? "+" : ""),
+                 std::to_string(d.bucket(i)));
+    }
+
+    void
+    formula(const Formula &f, double value) override
+    {
+        std::ostringstream val;
+        val << std::setprecision(17) << value;
+        cell(f.name, val.str());
+    }
+
+    std::ostream &os;
+    bool header;
+    bool first = true;
+};
+
+} // namespace
+
+void
+Registry::dump(std::ostream &os) const
+{
+    TextDumper d(os);
+    visit(d);
+}
+
+void
+Registry::toJson(json::JsonWriter &jw) const
+{
+    jw.beginObject().kv("schema", JSON_SCHEMA);
+    JsonDumper d(jw);
+
+    jw.key("counters").beginArray();
+    for (const Counter *c : counters_)
+        d.counter(*c);
+    jw.endArray();
+
+    jw.key("distributions").beginArray();
+    for (const Distribution *dist : dists_)
+        d.distribution(*dist);
+    jw.endArray();
+
+    jw.key("formulas").beginArray();
+    for (const Formula &f : formulas_)
+        d.formula(f, f.value());
+    jw.endArray();
+
+    jw.endObject();
+}
+
+void
+Registry::toJson(std::ostream &os) const
+{
+    json::JsonWriter jw(os);
+    toJson(jw);
+}
+
+void
+Registry::csvHeader(std::ostream &os) const
+{
+    CsvDumper d(os, true);
+    visit(d);
+    os << "\n";
+}
+
+void
+Registry::csvRow(std::ostream &os) const
+{
+    CsvDumper d(os, false);
+    visit(d);
+    os << "\n";
 }
 
 void

@@ -19,6 +19,11 @@
 namespace hpa::stats
 {
 
+namespace json
+{
+class JsonWriter;
+}
+
 /** A named 64-bit event counter. */
 class Counter
 {
@@ -127,12 +132,54 @@ class Formula
 class Registry
 {
   public:
+    /** Version tag stamped into every toJson() document. */
+    static constexpr const char *JSON_SCHEMA = "hpa.stats.v1";
+
+    /**
+     * Typed visitation over every registered statistic, in
+     * registration order (the order the text report uses). All
+     * serializers — the text report, toJson(), CSV — are built on
+     * this interface, so a new output format never needs friend
+     * access or a parallel traversal.
+     */
+    struct Visitor
+    {
+        virtual ~Visitor() = default;
+        virtual void counter(const Counter &) {}
+        virtual void distribution(const Distribution &) {}
+        /** The second argument is the formula evaluated once by the
+         *  caller. */
+        virtual void formula(const Formula &, double) {}
+    };
+
     void add(Counter *c) { counters_.push_back(c); }
     void add(Distribution *d) { dists_.push_back(d); }
     void add(Formula f) { formulas_.push_back(std::move(f)); }
 
+    /** Visit counters, then distributions, then formulas. */
+    void visit(Visitor &v) const;
+
     /** Render all registered statistics as "name value # desc" rows. */
     void dump(std::ostream &os) const;
+
+    /**
+     * Emit every registered statistic as a self-describing,
+     * schema-versioned (JSON_SCHEMA) JSON object onto @p jw — for
+     * embedding into a larger document (e.g. a run summary).
+     */
+    void toJson(json::JsonWriter &jw) const;
+
+    /** Standalone toJson(): one complete JSON document on @p os. */
+    void toJson(std::ostream &os) const;
+
+    /**
+     * One CSV header/data row pair over every statistic: counters by
+     * name, distributions as name.total plus one column per bucket
+     * (overflow suffixed '+'), formulas by name. Column order is
+     * registration order, matching the text report and toJson().
+     */
+    void csvHeader(std::ostream &os) const;
+    void csvRow(std::ostream &os) const;
 
     /** Reset every registered counter and distribution. */
     void reset();

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * hpa_sim command-line regression tests, in two layers: the factored
+ * parser (tools/sim_options.hh) is unit-tested directly, and the
+ * installed binary (path injected as HPA_SIM_BINARY by CMake) is
+ * shelled to pin down the observable contract — unknown options are
+ * rejected with a clear message and exit code 2, and --stats-json
+ * emits a well-formed schema-versioned document.
+ */
+
+#include <cstdio>
+#include <string>
+#include <sys/wait.h>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim_options.hh"
+#include "stats/json.hh"
+
+using namespace hpa;
+using tools::SimOptions;
+using tools::parseSimOptions;
+
+namespace
+{
+
+int
+parse(std::vector<std::string> args, SimOptions &opt, std::string &err)
+{
+    return parseSimOptions(args, opt, err);
+}
+
+/** Run a command, capture combined stdout+stderr and the exit code. */
+struct ShellResult
+{
+    int status = -1;
+    std::string out;
+};
+
+ShellResult
+shell(const std::string &cmd)
+{
+    ShellResult r;
+    FILE *p = popen((cmd + " 2>&1").c_str(), "r");
+    if (!p)
+        return r;
+    char buf[4096];
+    size_t n;
+    while ((n = fread(buf, 1, sizeof buf, p)) > 0)
+        r.out.append(buf, n);
+    int status = pclose(p);
+    r.status = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return r;
+}
+
+std::string
+simBinary()
+{
+    return HPA_SIM_BINARY;
+}
+
+} // namespace
+
+TEST(SimOptionsParse, Defaults)
+{
+    SimOptions o;
+    std::string err;
+    ASSERT_EQ(parse({}, o, err), 0);
+    EXPECT_EQ(o.width, 4u);
+    EXPECT_EQ(o.wakeup, core::WakeupModel::Conventional);
+    EXPECT_EQ(o.regfile, core::RegfileModel::TwoPort);
+    EXPECT_TRUE(o.fastforward);
+    EXPECT_FALSE(o.lap_set);
+    EXPECT_FALSE(o.machineReadableStdout());
+}
+
+TEST(SimOptionsParse, FullMachineLine)
+{
+    SimOptions o;
+    std::string err;
+    ASSERT_EQ(parse({"--bench", "gzip", "--width", "8", "--wakeup",
+                     "tag-elim", "--regfile", "half-xbar",
+                     "--recovery", "sel", "--rename", "half", "--lap",
+                     "512", "--bypass", "2", "--insts", "1000"},
+                    o, err),
+              0)
+        << err;
+    EXPECT_EQ(o.bench, "gzip");
+    EXPECT_EQ(o.width, 8u);
+    EXPECT_EQ(o.wakeup, core::WakeupModel::TagElimination);
+    EXPECT_EQ(o.regfile, core::RegfileModel::HalfPortCrossbar);
+    EXPECT_EQ(o.recovery, core::RecoveryModel::Selective);
+    EXPECT_EQ(o.rename, core::RenameModel::HalfPort);
+    EXPECT_TRUE(o.lap_set);
+    EXPECT_EQ(o.lap, 512u);
+    EXPECT_EQ(o.bypass, 2u);
+    EXPECT_EQ(o.insts, 1000u);
+}
+
+TEST(SimOptionsParse, UnknownOptionIsRejected)
+{
+    SimOptions o;
+    std::string err;
+    EXPECT_EQ(parse({"--frobnicate"}, o, err), 2);
+    EXPECT_NE(err.find("unknown option"), std::string::npos);
+    EXPECT_NE(err.find("--frobnicate"), std::string::npos);
+}
+
+TEST(SimOptionsParse, MalformedNumbersAreRejected)
+{
+    for (const char *bad : {"banana", "12x", "-5", ""}) {
+        SimOptions o;
+        std::string err;
+        EXPECT_EQ(parse({"--insts", bad}, o, err), 2)
+            << "accepted --insts " << bad;
+        EXPECT_NE(err.find("--insts"), std::string::npos);
+    }
+}
+
+TEST(SimOptionsParse, MissingValueIsRejected)
+{
+    SimOptions o;
+    std::string err;
+    EXPECT_EQ(parse({"--bench"}, o, err), 2);
+    EXPECT_EQ(parse({"--insts"}, o, err), 2);
+}
+
+TEST(SimOptionsParse, BadModelNamesAreRejected)
+{
+    SimOptions o;
+    std::string err;
+    EXPECT_EQ(parse({"--wakeup", "psychic"}, o, err), 2);
+    EXPECT_EQ(parse({"--recovery", "maybe"}, o, err), 2);
+    EXPECT_EQ(parse({"--rename", "quarter"}, o, err), 2);
+    EXPECT_EQ(parse({"--regfile", "3port"}, o, err), 2);
+}
+
+TEST(SimOptionsParse, StdoutTargetsSuppressSummary)
+{
+    SimOptions o;
+    std::string err;
+    ASSERT_EQ(parse({"--stats-json", "-"}, o, err), 0);
+    EXPECT_TRUE(o.machineReadableStdout());
+    SimOptions o2;
+    ASSERT_EQ(parse({"--stats-json", "out.json"}, o2, err), 0);
+    EXPECT_FALSE(o2.machineReadableStdout());
+}
+
+TEST(SimOptionsMachine, BuildsLegacyFiveComponentName)
+{
+    SimOptions o;
+    std::string err;
+    ASSERT_EQ(parse({"--wakeup", "seq", "--regfile", "seq"}, o, err),
+              0);
+    sim::Machine m = tools::machineFor(o);
+    EXPECT_EQ(m.name,
+              "4-wide/seq-wakeup/seq-rf/non-selective/2r-rename");
+}
+
+TEST(SimOptionsMachine, LapWithConventionalWakeupThrows)
+{
+    SimOptions o;
+    std::string err;
+    ASSERT_EQ(parse({"--lap", "512"}, o, err), 0);
+    EXPECT_THROW(tools::machineFor(o), std::invalid_argument);
+}
+
+TEST(SimOptionsMachine, WidthOutsideTable1Throws)
+{
+    SimOptions o;
+    std::string err;
+    ASSERT_EQ(parse({"--width", "6"}, o, err), 0);
+    EXPECT_THROW(tools::machineFor(o), std::invalid_argument);
+}
+
+TEST(SimCliBinary, UnknownOptionExitsTwo)
+{
+    auto r = shell(simBinary() + " --frobnicate");
+    EXPECT_EQ(r.status, 2);
+    EXPECT_NE(r.out.find("unknown option"), std::string::npos);
+}
+
+TEST(SimCliBinary, MalformedNumberExitsTwo)
+{
+    auto r = shell(simBinary() + " --bench gzip --insts banana");
+    EXPECT_EQ(r.status, 2);
+    EXPECT_NE(r.out.find("--insts"), std::string::npos);
+}
+
+TEST(SimCliBinary, StatsJsonOnStdoutIsSchemaVersioned)
+{
+    auto r = shell(simBinary()
+                   + " --bench gzip --insts 5000 --stats-json -");
+    ASSERT_EQ(r.status, 0) << r.out;
+    std::string err;
+    ASSERT_TRUE(stats::json::validate(r.out, &err))
+        << err << "\n" << r.out.substr(0, 400);
+    EXPECT_EQ(stats::json::findStringField(r.out, "schema"),
+              "hpa.stats.v1");
+}
+
+TEST(SimCliBinary, RunJsonCarriesSpecAndMetrics)
+{
+    auto r = shell(simBinary()
+                   + " --bench gzip --insts 5000 --json -");
+    ASSERT_EQ(r.status, 0) << r.out;
+    std::string err;
+    ASSERT_TRUE(stats::json::validate(r.out, &err)) << err;
+    EXPECT_EQ(stats::json::findStringField(r.out, "schema"),
+              "hpa.run.v1");
+    EXPECT_EQ(stats::json::findStringField(r.out, "workload"), "gzip");
+    EXPECT_NE(r.out.find("\"ipc\""), std::string::npos);
+    EXPECT_NE(r.out.find("\"stats\""), std::string::npos);
+}

@@ -1,10 +1,12 @@
-/** @file Tests for the simulation driver and Table 1 machine
- *  factories. */
+/** @file Tests for the simulation driver, Table 1 machine factories
+ *  and the declarative MachineBuilder/ExperimentSpec API. */
 
 #include <sstream>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
+#include "sim/experiment.hh"
 #include "sim/simulation.hh"
 
 namespace
@@ -87,6 +89,172 @@ TEST(Machines, RenameModifier)
 TEST(Machines, BypassWindowDefaultsToOneCycle)
 {
     EXPECT_EQ(baseMachine(4).cfg.bypass_window, 1u);
+}
+
+TEST(Builder, BaseRejectsWidthsOutsideTable1)
+{
+    EXPECT_THROW(Machine::base(0), std::invalid_argument);
+    EXPECT_THROW(Machine::base(5), std::invalid_argument);
+    EXPECT_THROW(Machine::base(16), std::invalid_argument);
+    EXPECT_NO_THROW(Machine::base(4).build());
+    EXPECT_NO_THROW(Machine::base(8).build());
+}
+
+TEST(Builder, DefaultsMatchTable1)
+{
+    Machine m4 = Machine::base(4);
+    EXPECT_EQ(m4.name, "4-wide");
+    EXPECT_EQ(m4.cfg.width, 4u);
+    EXPECT_EQ(m4.cfg.ruu_size, 64u);
+    EXPECT_EQ(m4.cfg.lsq_size, 32u);
+    EXPECT_EQ(m4.cfg.bypass_window, 1u);
+    Machine m8 = Machine::base(8);
+    EXPECT_EQ(m8.name, "8-wide");
+    EXPECT_EQ(m8.cfg.ruu_size, 128u);
+    EXPECT_EQ(m8.cfg.lsq_size, 64u);
+}
+
+TEST(Builder, ProducesSameMachinesAsLegacyFreeFunctions)
+{
+    Machine legacy = withRegfile(
+        withWakeup(baseMachine(4), core::WakeupModel::Sequential,
+                   1024),
+        core::RegfileModel::SequentialAccess);
+    Machine built = Machine::base(4)
+                        .wakeup(core::WakeupModel::Sequential)
+                        .lap(1024)
+                        .regfile(core::RegfileModel::SequentialAccess);
+    EXPECT_EQ(built.name, legacy.name);
+    EXPECT_EQ(built.name, "4-wide/seq-wakeup/seq-rf");
+    EXPECT_EQ(built.cfg.wakeup, legacy.cfg.wakeup);
+    EXPECT_EQ(built.cfg.regfile, legacy.cfg.regfile);
+    EXPECT_EQ(built.cfg.lap_entries, legacy.cfg.lap_entries);
+}
+
+TEST(Builder, AppendsEveryLegacyNameSuffix)
+{
+    EXPECT_EQ(Machine::base(8)
+                  .wakeup(core::WakeupModel::TagElimination)
+                  .build()
+                  .name,
+              "8-wide/tag-elim");
+    EXPECT_EQ(Machine::base(4)
+                  .wakeup(core::WakeupModel::SequentialNoPred)
+                  .build()
+                  .name,
+              "4-wide/seq-wakeup-nopred");
+    EXPECT_EQ(Machine::base(4)
+                  .regfile(core::RegfileModel::HalfPortCrossbar)
+                  .build()
+                  .name,
+              "4-wide/half-ports-xbar");
+    EXPECT_EQ(Machine::base(4)
+                  .recovery(core::RecoveryModel::Selective)
+                  .build()
+                  .name,
+              "4-wide/selective");
+    EXPECT_EQ(Machine::base(4)
+                  .rename(core::RenameModel::HalfPort)
+                  .build()
+                  .name,
+              "4-wide/half-rename");
+}
+
+TEST(Builder, LapRequiresPredictorBasedWakeup)
+{
+    // Conventional and SequentialNoPred have no last-arrival
+    // predictor, so a lap table is a configuration contradiction.
+    EXPECT_THROW(Machine::base(4).lap(1024).build(),
+                 std::invalid_argument);
+    EXPECT_THROW(Machine::base(4)
+                     .wakeup(core::WakeupModel::SequentialNoPred)
+                     .lap(1024)
+                     .build(),
+                 std::invalid_argument);
+    EXPECT_NO_THROW(Machine::base(4)
+                        .wakeup(core::WakeupModel::Sequential)
+                        .lap(1024)
+                        .build());
+    EXPECT_NO_THROW(Machine::base(4)
+                        .wakeup(core::WakeupModel::TagElimination)
+                        .lap(256)
+                        .build());
+}
+
+TEST(Builder, LapEntriesMustBePowerOfTwo)
+{
+    auto seq = [] {
+        return Machine::base(4).wakeup(core::WakeupModel::Sequential);
+    };
+    EXPECT_THROW(seq().lap(0).build(), std::invalid_argument);
+    EXPECT_THROW(seq().lap(1000).build(), std::invalid_argument);
+    EXPECT_NO_THROW(seq().lap(1).build());
+    EXPECT_NO_THROW(seq().lap(4096).build());
+}
+
+TEST(Builder, DetectDelayRequiresTagElimination)
+{
+    EXPECT_THROW(Machine::base(4).detectDelay(2).build(),
+                 std::invalid_argument);
+    EXPECT_THROW(Machine::base(4)
+                     .wakeup(core::WakeupModel::Sequential)
+                     .detectDelay(2)
+                     .build(),
+                 std::invalid_argument);
+    EXPECT_THROW(Machine::base(4)
+                     .wakeup(core::WakeupModel::TagElimination)
+                     .detectDelay(0)
+                     .build(),
+                 std::invalid_argument);
+    Machine m = Machine::base(4)
+                    .wakeup(core::WakeupModel::TagElimination)
+                    .detectDelay(2);
+    EXPECT_EQ(m.cfg.tagelim_detect_delay, 2u);
+}
+
+TEST(Builder, BypassWindowMustBeAtLeastOneCycle)
+{
+    EXPECT_THROW(Machine::base(4).bypassWindow(0).build(),
+                 std::invalid_argument);
+    Machine m = Machine::base(4).bypassWindow(3);
+    EXPECT_EQ(m.cfg.bypass_window, 3u);
+}
+
+TEST(Builder, ImplicitConversionValidates)
+{
+    // The implicit Machine conversion runs build(), so a bad chain
+    // throws even without an explicit build() call.
+    auto use = [](const Machine &m) { return m.cfg.width; };
+    EXPECT_THROW(use(Machine::base(4).lap(1024)),
+                 std::invalid_argument);
+    EXPECT_EQ(use(Machine::base(8)), 8u);
+}
+
+TEST(ExperimentSpecTest, ValidateChecksWorkloadAndMachine)
+{
+    ExperimentSpec spec;
+    spec.machine = Machine::base(4);
+    spec.workload = "gzip";
+    EXPECT_NO_THROW(spec.validate());
+
+    spec.workload = "no-such-benchmark";
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+    spec.workload = "gzip";
+    spec.machine = Machine{};
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(Simulation, StatsRegistryMatchesReport)
+{
+    auto p = assembler::assemble("li r1, 5\nhalt");
+    Simulation s(p, core::fourWideConfig());
+    s.run();
+    std::ostringstream from_report, from_registry;
+    s.report(from_report);
+    s.statsRegistry().dump(from_registry);
+    EXPECT_EQ(from_report.str(), from_registry.str());
+    EXPECT_NE(from_report.str().find("core.ipc"), std::string::npos);
 }
 
 TEST(Simulation, FastForwardSkipsInstructions)

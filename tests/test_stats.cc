@@ -1,9 +1,12 @@
-/** @file Unit tests for the statistics framework. */
+/** @file Unit tests for the statistics framework, the JSON
+ *  writer/validator, and the hpa.stats.v1 emitter. */
 
+#include <cstdio>
 #include <sstream>
 
 #include <gtest/gtest.h>
 
+#include "stats/json.hh"
 #include "stats/stats.hh"
 
 namespace
@@ -169,6 +172,235 @@ TEST(Registry, FormulaAppearsInDump)
     std::ostringstream os;
     reg.dump(os);
     EXPECT_NE(os.str().find("1.5000"), std::string::npos);
+}
+
+TEST(Registry, VisitSeesEveryStatInRegistrationOrder)
+{
+    Registry reg;
+    Counter c1("a", "d"), c2("b", "d");
+    Distribution d("dist", "d", 2);
+    reg.add(&c1);
+    reg.add(&c2);
+    reg.add(&d);
+    reg.add(Formula("f", "d", [] { return 2.0; }));
+
+    struct Recorder final : Registry::Visitor
+    {
+        void counter(const Counter &c) override { names.push_back(c.name); }
+        void distribution(const Distribution &dd) override
+        {
+            names.push_back(dd.name);
+        }
+        void formula(const Formula &f, double v) override
+        {
+            names.push_back(f.name);
+            value = v;
+        }
+        std::vector<std::string> names;
+        double value = 0;
+    } rec;
+    reg.visit(rec);
+    ASSERT_EQ(rec.names,
+              (std::vector<std::string>{"a", "b", "dist", "f"}));
+    EXPECT_DOUBLE_EQ(rec.value, 2.0);
+}
+
+// --- JSON writer / validator. ---
+
+TEST(JsonWriter, NestedDocumentValidates)
+{
+    std::ostringstream os;
+    json::JsonWriter jw(os);
+    jw.beginObject()
+        .kv("schema", "test.v1")
+        .kv("n", uint64_t(42))
+        .kv("x", 1.25)
+        .kv("flag", true)
+        .key("list")
+        .beginArray()
+        .value(1)
+        .value("two")
+        .beginObject()
+        .kv("deep", int64_t(-3))
+        .endObject()
+        .endArray()
+        .endObject();
+    EXPECT_TRUE(jw.complete());
+    std::string err;
+    EXPECT_TRUE(json::validate(os.str(), &err)) << err << "\n"
+                                                << os.str();
+    EXPECT_EQ(json::findStringField(os.str(), "schema"), "test.v1");
+}
+
+TEST(JsonWriter, EscapesStringsForRoundTrip)
+{
+    std::ostringstream os;
+    json::JsonWriter jw(os);
+    jw.beginObject()
+        .kv("quote\"back\\slash", "tab\tnew\nline\x01")
+        .endObject();
+    std::string err;
+    EXPECT_TRUE(json::validate(os.str(), &err)) << err;
+    EXPECT_NE(os.str().find("\\\""), std::string::npos);
+    EXPECT_NE(os.str().find("\\u0001"), std::string::npos);
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull)
+{
+    std::ostringstream os;
+    json::JsonWriter jw(os);
+    jw.beginArray().value(0.0 / 0.0).value(1e308 * 10).endArray();
+    EXPECT_TRUE(json::validate(os.str()));
+    EXPECT_NE(os.str().find("null"), std::string::npos);
+}
+
+TEST(JsonValidate, RejectsMalformedDocuments)
+{
+    for (const char *bad :
+         {"", "{", "{\"a\":}", "[1,]", "{\"a\":1,}", "{\"a\" 1}",
+          "[1] trailing", "nul", "\"unterminated", "{\"a\":01}",
+          "[\"bad\\escape\"]", "--1", "[1 2]"}) {
+        std::string err;
+        EXPECT_FALSE(json::validate(bad, &err)) << bad;
+        EXPECT_FALSE(err.empty()) << bad;
+    }
+}
+
+TEST(JsonValidate, AcceptsEdgeCaseValues)
+{
+    for (const char *good :
+         {"0", "-0.5e+10", "true", "null", "\"\"", "[]", "{}",
+          "[[[[1]]]]", "{\"u\": \"\\u00e9\"}", "  {\"a\": [1, 2]}  "}) {
+        std::string err;
+        EXPECT_TRUE(json::validate(good, &err)) << good << ": " << err;
+    }
+}
+
+// --- hpa.stats.v1 emitter round-trip. ---
+
+namespace
+{
+
+/** A registry with one of everything, as a core run would build. */
+struct SampleStats
+{
+    Counter hits{"cache.hits", "cache hits"};
+    Counter misses{"cache.misses", "cache misses"};
+    Distribution slack{"sched.slack", "wakeup slack", 2};
+    Registry reg;
+
+    SampleStats()
+    {
+        hits += 90;
+        misses += 10;
+        slack.sample(0, 3);
+        slack.sample(1, 1);
+        slack.sample(7, 4);
+        reg.add(&hits);
+        reg.add(&misses);
+        reg.add(&slack);
+        reg.add(Formula("cache.hit_rate", "hit fraction",
+                        [this] {
+                            return double(hits.value())
+                                / double(hits.value()
+                                         + misses.value());
+                        }));
+    }
+};
+
+} // namespace
+
+TEST(RegistryJson, DocumentIsValidAndSchemaVersioned)
+{
+    SampleStats s;
+    std::ostringstream os;
+    s.reg.toJson(os);
+    std::string err;
+    ASSERT_TRUE(json::validate(os.str(), &err)) << err;
+    EXPECT_EQ(json::findStringField(os.str(), "schema"),
+              Registry::JSON_SCHEMA);
+}
+
+TEST(RegistryJson, EveryRegisteredStatIsPresent)
+{
+    SampleStats s;
+    std::ostringstream os;
+    s.reg.toJson(os);
+    std::string out = os.str();
+    // Every counter, distribution and formula of the registry, with
+    // its exact value.
+    EXPECT_NE(out.find("\"cache.hits\""), std::string::npos);
+    EXPECT_NE(out.find("\"value\": 90"), std::string::npos);
+    EXPECT_NE(out.find("\"cache.misses\""), std::string::npos);
+    EXPECT_NE(out.find("\"sched.slack\""), std::string::npos);
+    EXPECT_NE(out.find("\"total\": 8"), std::string::npos);
+    // Buckets [3, 1, 4] with the overflow index flagged.
+    EXPECT_NE(out.find("3,\n"), std::string::npos);
+    EXPECT_NE(out.find("\"overflow_bucket\": 2"), std::string::npos);
+    EXPECT_NE(out.find("\"cache.hit_rate\""), std::string::npos);
+}
+
+TEST(RegistryJson, FormulaValuesMatchTheTextReport)
+{
+    SampleStats s;
+    std::ostringstream report, js;
+    s.reg.dump(report);
+    s.reg.toJson(js);
+
+    // The text report renders hit_rate at 4 decimals; the JSON value
+    // reformatted the same way must agree exactly.
+    std::string out = js.str();
+    size_t name = out.find("cache.hit_rate");
+    ASSERT_NE(name, std::string::npos);
+    size_t vkey = out.find("\"value\": ", name);
+    ASSERT_NE(vkey, std::string::npos);
+    double v = std::strtod(out.c_str() + vkey + 9, nullptr);
+    char formatted[32];
+    std::snprintf(formatted, sizeof(formatted), "%.4f", v);
+    EXPECT_NE(report.str().find(formatted), std::string::npos)
+        << "report lacks formula value " << formatted;
+    EXPECT_DOUBLE_EQ(v, 0.9);
+}
+
+TEST(RegistryJson, EmbedsIntoALargerDocument)
+{
+    SampleStats s;
+    std::ostringstream os;
+    json::JsonWriter jw(os);
+    jw.beginObject().kv("kind", "wrapper").key("stats");
+    s.reg.toJson(jw);
+    jw.endObject();
+    std::string err;
+    EXPECT_TRUE(json::validate(os.str(), &err)) << err;
+    EXPECT_TRUE(jw.complete());
+}
+
+TEST(RegistryCsv, HeaderAndRowAgreeColumnForColumn)
+{
+    SampleStats s;
+    std::ostringstream hdr, rowos;
+    s.reg.csvHeader(hdr);
+    s.reg.csvRow(rowos);
+
+    auto split = [](const std::string &line) {
+        std::vector<std::string> cells;
+        std::istringstream is(line);
+        std::string cell;
+        while (std::getline(is, cell, ','))
+            cells.push_back(cell);
+        return cells;
+    };
+    auto h = split(hdr.str());
+    auto r = split(rowos.str());
+    ASSERT_EQ(h.size(), r.size());
+    ASSERT_EQ(h.size(), 2u /*counters*/ + 1 /*total*/ + 3 /*buckets*/
+                  + 1 /*formula*/);
+    EXPECT_EQ(h.front(), "cache.hits");
+    EXPECT_EQ(r.front(), "90");
+    EXPECT_EQ(h[2], "sched.slack.total");
+    EXPECT_EQ(r[2], "8");
+    EXPECT_EQ(h[5], "sched.slack.2+");
+    EXPECT_EQ(r[5], "4");
 }
 
 } // namespace

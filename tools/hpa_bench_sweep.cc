@@ -3,26 +3,28 @@
  * Host-throughput benchmark of the full reproduction sweep: run
  * every (paper machine x benchmark) pair once serially and once on
  * the thread pool, verify the two produce identical IPC (the sweep
- * engine's determinism contract), and emit BENCH_sweep.json with
- * per-run IPC, wall time and simulated-cycles/sec plus the measured
- * serial-to-parallel speedup.
+ * engine's determinism contract), and emit BENCH_sweep.json
+ * ("hpa.bench-sweep.v1") with per-run IPC, wall time and
+ * simulated-cycles/sec plus the measured serial-to-parallel speedup.
  *
  *   hpa_bench_sweep [--insts N] [--jobs N] [--out FILE]
  *                   [--check GOLDEN] [--write-golden FILE]
  *
  * --check compares the sweep's IPC values against a golden JSON map
- * (tools/golden_sweep_ipc.json in the repo) and fails on any drift —
- * the cheap regression gate run by tools/run_full_sweep.sh.
+ * ("hpa.sweep-golden.v1", tools/golden_sweep_ipc.json in the repo)
+ * and fails with a per-cell diff on any drift — the cheap regression
+ * gate run by tools/run_full_sweep.sh.
  */
 
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <functional>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <map>
 #include <sstream>
@@ -30,6 +32,7 @@
 #include <vector>
 
 #include "sim/sweep.hh"
+#include "stats/json.hh"
 #include "workloads/workloads.hh"
 
 namespace
@@ -44,10 +47,25 @@ runKey(const sim::SweepJob &job)
     return job.machine.name + "|" + job.workload;
 }
 
+/** Strict decimal parse; exits with a clear message on garbage. */
+uint64_t
+parseU64(const std::string &opt, const std::string &text)
+{
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (errno != 0 || end == text.c_str() || *end != '\0') {
+        std::cerr << opt << " needs a non-negative integer, got '"
+                  << text << "'\n";
+        std::exit(2);
+    }
+    return v;
+}
+
 /**
  * Minimal parser for the golden file: extracts every `"key": number`
- * pair. The golden format is flat, so no general JSON machinery is
- * needed.
+ * pair (string-valued fields like "schema" are skipped naturally).
+ * The golden format is flat, so no general JSON machinery is needed.
  */
 std::map<std::string, double>
 parseGolden(const std::string &text)
@@ -105,9 +123,9 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         if (a == "--insts")
-            insts = std::stoull(need(i));
+            insts = parseU64(a, need(i));
         else if (a == "--jobs")
-            jobs = unsigned(std::stoul(need(i)));
+            jobs = unsigned(parseU64(a, need(i)));
         else if (a == "--out")
             out = need(i);
         else if (a == "--check")
@@ -132,6 +150,7 @@ main(int argc, char **argv)
             j.workload = n;
             j.machine = m;
             j.max_insts = insts;
+            j.validate();
             sweep.push_back(j);
         }
     }
@@ -194,48 +213,35 @@ main(int argc, char **argv)
             std::cerr << "cannot write " << out << "\n";
             return 1;
         }
-        char buf[256];
-        os << "{\n";
-        os << "  \"schema\": \"hpa-bench-sweep-v1\",\n";
-        std::snprintf(buf, sizeof(buf),
-                      "  \"insts_per_run\": %llu,\n"
-                      "  \"hardware_threads\": %u,\n"
-                      "  \"parallel_jobs\": %u,\n",
-                      static_cast<unsigned long long>(insts), hw,
-                      par_jobs);
-        os << buf;
-        std::snprintf(buf, sizeof(buf),
-                      "  \"serial_wall_seconds\": %.3f,\n"
-                      "  \"parallel_wall_seconds\": %.3f,\n"
-                      "  \"speedup\": %.3f,\n"
-                      "  \"scaling_efficiency\": %.3f,\n",
-                      t_serial, t_parallel, speedup, efficiency);
-        os << buf;
-        std::snprintf(buf, sizeof(buf),
-                      "  \"total_simulated_cycles\": %llu,\n"
-                      "  \"aggregate_cycles_per_sec\": %.0f,\n",
-                      static_cast<unsigned long long>(total_cycles),
-                      t_parallel > 0 ? double(total_cycles) / t_parallel
-                                     : 0.0);
-        os << buf;
-        os << "  \"runs\": [\n";
-        for (size_t i = 0; i < parallel.size(); ++i) {
-            const auto &r = parallel[i];
-            std::snprintf(
-                buf, sizeof(buf),
-                "    {\"machine\": \"%s\", \"workload\": \"%s\", "
-                "\"ipc\": %.6f, \"committed\": %llu, "
-                "\"cycles\": %llu, \"wall_seconds\": %.4f, "
-                "\"cycles_per_sec\": %.0f}%s\n",
-                r.job.machine.name.c_str(), r.job.workload.c_str(),
-                r.ipc,
-                static_cast<unsigned long long>(r.committed),
-                static_cast<unsigned long long>(r.cycles),
-                r.wallSeconds, r.cyclesPerSec(),
-                i + 1 < parallel.size() ? "," : "");
-            os << buf;
+        stats::json::JsonWriter jw(os);
+        jw.beginObject()
+            .kv("schema", "hpa.bench-sweep.v1")
+            .kv("insts_per_run", insts)
+            .kv("hardware_threads", hw)
+            .kv("parallel_jobs", par_jobs)
+            .kv("serial_wall_seconds", t_serial, 3)
+            .kv("parallel_wall_seconds", t_parallel, 3)
+            .kv("speedup", speedup, 3)
+            .kv("scaling_efficiency", efficiency, 3)
+            .kv("total_simulated_cycles", total_cycles)
+            .kv("aggregate_cycles_per_sec",
+                t_parallel > 0 ? double(total_cycles) / t_parallel
+                               : 0.0,
+                0)
+            .key("runs")
+            .beginArray();
+        for (const auto &r : parallel) {
+            jw.beginObject()
+                .kv("machine", r.spec.machine.name)
+                .kv("workload", r.spec.workload)
+                .kv("ipc", r.ipc, 6)
+                .kv("committed", r.committed)
+                .kv("cycles", r.cycles)
+                .kv("wall_seconds", r.wallSeconds, 4)
+                .kv("cycles_per_sec", r.cyclesPerSec(), 0)
+                .endObject();
         }
-        os << "  ]\n}\n";
+        jw.endArray().endObject();
         std::printf("wrote %s\n", out.c_str());
     }
 
@@ -245,19 +251,13 @@ main(int argc, char **argv)
             std::cerr << "cannot write " << write_golden << "\n";
             return 1;
         }
-        char buf[128];
-        os << "{\n";
-        std::snprintf(buf, sizeof(buf),
-                      "  \"insts_per_run\": %llu,\n",
-                      static_cast<unsigned long long>(insts));
-        os << buf;
-        for (size_t i = 0; i < parallel.size(); ++i) {
-            std::snprintf(buf, sizeof(buf), "  \"%s\": %.6f%s\n",
-                          runKey(sweep[i]).c_str(), parallel[i].ipc,
-                          i + 1 < parallel.size() ? "," : "");
-            os << buf;
-        }
-        os << "}\n";
+        stats::json::JsonWriter jw(os);
+        jw.beginObject()
+            .kv("schema", "hpa.sweep-golden.v1")
+            .kv("insts_per_run", insts);
+        for (size_t i = 0; i < parallel.size(); ++i)
+            jw.kv(runKey(sweep[i]), parallel[i].ipc, 6);
+        jw.endObject();
         std::printf("wrote %s\n", write_golden.c_str());
     }
 
@@ -291,10 +291,13 @@ main(int argc, char **argv)
             ++checked;
             // Golden stores 6 decimals; allow the rounding slack.
             if (std::fabs(parallel[i].ipc - it->second) > 5e-7) {
-                std::fprintf(stderr,
-                             "IPC DRIFT %s: golden %.6f got %.6f\n",
-                             runKey(sweep[i]).c_str(), it->second,
-                             parallel[i].ipc);
+                std::fprintf(
+                    stderr,
+                    "IPC DRIFT machine=%s workload=%s "
+                    "expected=%.6f got=%.6f\n",
+                    sweep[i].machine.name.c_str(),
+                    sweep[i].workload.c_str(), it->second,
+                    parallel[i].ipc);
                 ++drift;
             }
         }

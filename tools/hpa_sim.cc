@@ -2,24 +2,32 @@
  * @file
  * Command-line driver for the half-price architecture simulator:
  * run any SPEC substitute benchmark or a user-supplied HPA-ISA
- * assembly file on any machine configuration and print IPC and,
- * optionally, the full statistics report.
+ * assembly file on any machine configuration, print IPC and,
+ * optionally, emit the text report or schema-versioned JSON/CSV.
  *
  *   hpa_sim --bench gzip --width 4 --wakeup seq --regfile seq
+ *   hpa_sim --bench gzip --insts 200000 --stats-json out.json
  *   hpa_sim --asm kernel.s --insts 1000000 --report
  *   hpa_sim --list
+ *
+ * Argument parsing and machine assembly live in sim_options.hh so
+ * the regression tests exercise them directly.
  */
 
 #include <chrono>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 
+#include "sim/experiment.hh"
 #include "sim/simulation.hh"
 #include "sim/sweep.hh"
 #include "workloads/workloads.hh"
+
+#include "sim_options.hh"
 
 namespace
 {
@@ -46,7 +54,8 @@ machine:
   --regfile MODEL     2port (default) | seq | extra-stage | half-xbar
   --recovery MODEL    nonsel (default) | sel
   --rename MODEL      2port (default) | half
-  --lap N             last-arrival predictor entries (default 1024)
+  --lap N             last-arrival predictor entries (default 1024;
+                      requires a predictor-based --wakeup)
   --bypass N          bypass window in cycles (default 1)
 
 run control:
@@ -56,23 +65,14 @@ run control:
   --no-fastforward    do not skip to the workload's steady: label
   --report            dump the full statistics report
   --help              this text
-)";
-}
 
-bool
-parseWakeup(const std::string &v, core::WakeupModel &out)
-{
-    if (v == "conv")
-        out = core::WakeupModel::Conventional;
-    else if (v == "seq")
-        out = core::WakeupModel::Sequential;
-    else if (v == "seq-nopred")
-        out = core::WakeupModel::SequentialNoPred;
-    else if (v == "tag-elim")
-        out = core::WakeupModel::TagElimination;
-    else
-        return false;
-    return true;
+structured output (FILE may be '-' for stdout; writing any document
+to stdout suppresses the human-readable summary):
+  --json FILE         the whole run — spec, metrics, full stats —
+                      as one "hpa.run.v1" JSON document
+  --stats-json FILE   just the statistics registry, "hpa.stats.v1"
+  --stats-csv FILE    the statistics as a CSV header/data row pair
+)";
 }
 
 /**
@@ -135,19 +135,21 @@ runSweepMode(unsigned jobs, uint64_t insts, uint64_t cycles)
     return 0;
 }
 
+/** Run @p emit against @p path ('-' = stdout). */
 bool
-parseRegfile(const std::string &v, core::RegfileModel &out)
+writeDocument(const std::string &path,
+              const std::function<void(std::ostream &)> &emit)
 {
-    if (v == "2port")
-        out = core::RegfileModel::TwoPort;
-    else if (v == "seq")
-        out = core::RegfileModel::SequentialAccess;
-    else if (v == "extra-stage")
-        out = core::RegfileModel::ExtraStage;
-    else if (v == "half-xbar")
-        out = core::RegfileModel::HalfPortCrossbar;
-    else
+    if (path == "-") {
+        emit(std::cout);
+        return true;
+    }
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "cannot open " << path << " for writing\n";
         return false;
+    }
+    emit(out);
     return true;
 }
 
@@ -156,103 +158,42 @@ parseRegfile(const std::string &v, core::RegfileModel &out)
 int
 main(int argc, char **argv)
 {
-    std::string bench;
-    std::string asm_file;
-    unsigned width = 4;
-    core::WakeupModel wakeup = core::WakeupModel::Conventional;
-    core::RegfileModel regfile = core::RegfileModel::TwoPort;
-    core::RecoveryModel recovery = core::RecoveryModel::NonSelective;
-    core::RenameModel rename = core::RenameModel::TwoPort;
-    unsigned lap = 1024;
-    unsigned bypass = 1;
-    uint64_t insts = 0;
-    uint64_t cycles = 0;
-    bool fastforward = true;
-    bool report = false;
-    bool sweep = false;
-    unsigned jobs = 0;
-
-    auto need = [&](int &i) -> std::string {
-        if (i + 1 >= argc) {
-            std::cerr << argv[i] << " needs a value\n";
-            std::exit(2);
+    tools::SimOptions opt;
+    std::string err;
+    if (parseSimOptions(std::vector<std::string>(argv + 1, argv + argc),
+                        opt, err)
+        != 0) {
+        std::cerr << err << "\n";
+        usage(std::cerr);
+        return 2;
+    }
+    if (opt.help) {
+        usage(std::cout);
+        return 0;
+    }
+    if (opt.list) {
+        for (const auto &n : workloads::benchmarkNames()) {
+            auto w = workloads::make(n, workloads::Scale::Test);
+            std::cout << n << " — " << w.description << "\n";
         }
-        return argv[++i];
-    };
-
-    for (int i = 1; i < argc; ++i) {
-        std::string a = argv[i];
-        if (a == "--help" || a == "-h") {
-            usage(std::cout);
-            return 0;
-        } else if (a == "--list") {
-            for (const auto &n : workloads::benchmarkNames()) {
-                auto w = workloads::make(n, workloads::Scale::Test);
-                std::cout << n << " — " << w.description << "\n";
-            }
-            return 0;
-        } else if (a == "--sweep") {
-            sweep = true;
-        } else if (a == "--jobs") {
-            jobs = unsigned(std::stoul(need(i)));
-        } else if (a == "--bench") {
-            bench = need(i);
-        } else if (a == "--asm") {
-            asm_file = need(i);
-        } else if (a == "--width") {
-            width = unsigned(std::stoul(need(i)));
-        } else if (a == "--wakeup") {
-            if (!parseWakeup(need(i), wakeup)) {
-                std::cerr << "bad --wakeup value\n";
-                return 2;
-            }
-        } else if (a == "--regfile") {
-            if (!parseRegfile(need(i), regfile)) {
-                std::cerr << "bad --regfile value\n";
-                return 2;
-            }
-        } else if (a == "--recovery") {
-            std::string v = need(i);
-            recovery = v == "sel" ? core::RecoveryModel::Selective
-                                  : core::RecoveryModel::NonSelective;
-        } else if (a == "--rename") {
-            rename = need(i) == std::string("half")
-                ? core::RenameModel::HalfPort
-                : core::RenameModel::TwoPort;
-        } else if (a == "--lap") {
-            lap = unsigned(std::stoul(need(i)));
-        } else if (a == "--bypass") {
-            bypass = unsigned(std::stoul(need(i)));
-        } else if (a == "--insts") {
-            insts = std::stoull(need(i));
-        } else if (a == "--cycles") {
-            cycles = std::stoull(need(i));
-        } else if (a == "--no-fastforward") {
-            fastforward = false;
-        } else if (a == "--report") {
-            report = true;
-        } else {
-            std::cerr << "unknown option: " << a << "\n";
-            usage(std::cerr);
-            return 2;
-        }
+        return 0;
     }
 
-    if (sweep) {
-        if (!bench.empty() || !asm_file.empty()) {
+    if (opt.sweep) {
+        if (!opt.bench.empty() || !opt.asm_file.empty()) {
             std::cerr << "--sweep runs every benchmark; drop "
                          "--bench/--asm\n";
             return 2;
         }
         try {
-            return runSweepMode(jobs, insts, cycles);
+            return runSweepMode(opt.jobs, opt.insts, opt.cycles);
         } catch (const std::exception &e) {
             std::cerr << "error: " << e.what() << "\n";
             return 1;
         }
     }
 
-    if (bench.empty() == asm_file.empty()) {
+    if (opt.bench.empty() == opt.asm_file.empty()) {
         std::cerr << "exactly one of --bench or --asm is required\n";
         usage(std::cerr);
         return 2;
@@ -261,54 +202,88 @@ main(int argc, char **argv)
     try {
         assembler::Program image;
         std::string name;
-        if (!bench.empty()) {
-            auto w = workloads::make(bench, workloads::Scale::Full);
+        if (!opt.bench.empty()) {
+            auto w = workloads::make(opt.bench, workloads::Scale::Full);
             image = std::move(w.program);
             name = w.name + " — " + w.description;
         } else {
-            std::ifstream in(asm_file);
+            std::ifstream in(opt.asm_file);
             if (!in) {
-                std::cerr << "cannot open " << asm_file << "\n";
+                std::cerr << "cannot open " << opt.asm_file << "\n";
                 return 1;
             }
             std::ostringstream text;
             text << in.rdbuf();
             image = assembler::assemble(text.str());
-            name = asm_file;
+            name = opt.asm_file;
         }
 
-        sim::Machine m = sim::baseMachine(width);
-        m = sim::withWakeup(m, wakeup, lap);
-        m = sim::withRegfile(m, regfile);
-        m = sim::withRecovery(m, recovery);
-        m = sim::withRename(m, rename);
-        m.cfg.bypass_window = bypass;
+        sim::RunResult r;
+        r.spec.workload =
+            !opt.bench.empty() ? opt.bench : opt.asm_file;
+        r.spec.machine = tools::machineFor(opt);
+        r.spec.max_insts = opt.insts;
+        r.spec.max_cycles = opt.cycles;
+        r.spec.fast_forward = opt.fastforward;
 
         uint64_t ff = 0;
-        if (fastforward && image.symbols.count("steady"))
+        if (opt.fastforward && image.symbols.count("steady"))
             ff = image.symbols.at("steady");
 
-        sim::Simulation s(image, m.cfg, insts, ff);
-        s.run(cycles);
+        r.sim = std::make_unique<sim::Simulation>(
+            image, r.spec.machine.cfg, opt.insts, ff);
+        auto t0 = std::chrono::steady_clock::now();
+        r.sim->run(opt.cycles);
+        r.wallSeconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+        r.ipc = r.sim->ipc();
+        r.committed = r.sim->core().stats().committed.value();
+        r.cycles = r.sim->core().cycle();
+        r.fastForwarded = r.sim->fastForwarded();
 
-        std::cout << "workload: " << name << "\n"
-                  << "machine:  " << m.name << "\n";
-        if (ff)
-            std::cout << "fast-forwarded " << s.fastForwarded()
-                      << " instructions\n";
-        std::cout << "committed " << s.core().stats().committed.value()
-                  << " instructions in " << s.core().cycle()
-                  << " cycles: IPC " << s.ipc() << "\n";
-        if (!s.emulator().console().empty()) {
-            std::cout << "console: ";
-            for (unsigned char c : s.emulator().console())
-                std::cout << (std::isprint(c) ? char(c) : '.');
-            std::cout << "\n";
+        if (!opt.machineReadableStdout()) {
+            std::cout << "workload: " << name << "\n"
+                      << "machine:  " << r.spec.machine.name << "\n";
+            if (ff)
+                std::cout << "fast-forwarded " << r.fastForwarded
+                          << " instructions\n";
+            std::cout << "committed " << r.committed
+                      << " instructions in " << r.cycles
+                      << " cycles: IPC " << r.ipc << "\n";
+            if (!r.sim->emulator().console().empty()) {
+                std::cout << "console: ";
+                for (unsigned char c : r.sim->emulator().console())
+                    std::cout << (std::isprint(c) ? char(c) : '.');
+                std::cout << "\n";
+            }
+            if (opt.report) {
+                std::cout << "\n";
+                r.sim->report(std::cout);
+            }
         }
-        if (report) {
-            std::cout << "\n";
-            s.report(std::cout);
-        }
+
+        bool ok = true;
+        if (!opt.json_out.empty())
+            ok &= writeDocument(opt.json_out, [&](std::ostream &os) {
+                r.toJson(os, /*with_stats=*/true,
+                         /*with_timing=*/false);
+            });
+        if (!opt.stats_json_out.empty())
+            ok &= writeDocument(
+                opt.stats_json_out,
+                [&](std::ostream &os) {
+                    r.statsRegistry().toJson(os);
+                });
+        if (!opt.stats_csv_out.empty())
+            ok &= writeDocument(
+                opt.stats_csv_out, [&](std::ostream &os) {
+                    auto reg = r.statsRegistry();
+                    reg.csvHeader(os);
+                    reg.csvRow(os);
+                });
+        if (!ok)
+            return 1;
     } catch (const std::exception &e) {
         std::cerr << "error: " << e.what() << "\n";
         return 1;

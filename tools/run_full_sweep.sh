@@ -2,9 +2,11 @@
 # Build the simulator, run the full reproduction sweep (every paper
 # machine x every benchmark) once serially and once on the thread
 # pool, and check the resulting IPC matrix against the checked-in
-# golden. Writes BENCH_sweep.json (per-run IPC, wall time,
-# simulated-cycles/sec, and the measured serial-to-parallel speedup)
-# in the repo root.
+# golden ("hpa.sweep-golden.v1"; any drift is reported per cell as
+# machine, workload, expected and got). Writes BENCH_sweep.json
+# ("hpa.bench-sweep.v1": per-run IPC, wall time, simulated-
+# cycles/sec, and the measured serial-to-parallel speedup) in the
+# repo root, then validates both documents with hpa_json_validate.
 #
 # Usage: tools/run_full_sweep.sh
 #   HPA_INSTS  committed-instruction budget per run (default 50000 —
@@ -12,6 +14,10 @@
 #              skip the golden comparison)
 #   HPA_JOBS   worker threads for the parallel pass (default: one
 #              per hardware thread)
+#
+# To refresh the golden after an intentional model change:
+#   ./build/tools/hpa_bench_sweep --insts 50000 \
+#       --write-golden tools/golden_sweep_ipc.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,7 +26,8 @@ JOBS="${HPA_JOBS:-0}"
 GOLDEN=tools/golden_sweep_ipc.json
 
 cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build build -j"$(nproc)" --target hpa_bench_sweep
+cmake --build build -j"$(nproc)" --target hpa_bench_sweep \
+    --target hpa_json_validate
 
 CHECK=(--check "$GOLDEN")
 if [ "$INSTS" != 50000 ]; then
@@ -31,5 +38,9 @@ fi
 
 ./build/tools/hpa_bench_sweep --insts "$INSTS" --jobs "$JOBS" \
     --out BENCH_sweep.json "${CHECK[@]}"
+
+./build/tools/hpa_json_validate --schema hpa.sweep-golden.v1 "$GOLDEN"
+./build/tools/hpa_json_validate --schema hpa.bench-sweep.v1 \
+    BENCH_sweep.json
 
 echo "full sweep OK: BENCH_sweep.json written"

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * hpa_sim command-line surface, factored out of main() so the
+ * regression tests can drive the parser as a plain function: an
+ * options struct, a strict argv parser (unknown options, missing
+ * values and malformed numbers all produce a one-line error and
+ * exit code 2), and the translation from parsed options to a
+ * builder-assembled sim::Machine.
+ */
+
+#ifndef HPA_TOOLS_SIM_OPTIONS_HH
+#define HPA_TOOLS_SIM_OPTIONS_HH
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace hpa::tools
+{
+
+/** Everything hpa_sim accepts on the command line. */
+struct SimOptions
+{
+    std::string bench;
+    std::string asm_file;
+    unsigned width = 4;
+    core::WakeupModel wakeup = core::WakeupModel::Conventional;
+    core::RegfileModel regfile = core::RegfileModel::TwoPort;
+    core::RecoveryModel recovery = core::RecoveryModel::NonSelective;
+    core::RenameModel rename = core::RenameModel::TwoPort;
+    unsigned lap = 1024;
+    bool lap_set = false;
+    unsigned bypass = 1;
+    uint64_t insts = 0;
+    uint64_t cycles = 0;
+    bool fastforward = true;
+    bool report = false;
+    bool sweep = false;
+    bool list = false;
+    bool help = false;
+    unsigned jobs = 0;
+    /** Output files; "-" means stdout. Empty means not requested. */
+    std::string json_out;
+    std::string stats_json_out;
+    std::string stats_csv_out;
+
+    /** True when a machine-readable document goes to stdout — the
+     *  human summary is suppressed so the stream stays parseable. */
+    bool
+    machineReadableStdout() const
+    {
+        return json_out == "-" || stats_json_out == "-"
+            || stats_csv_out == "-";
+    }
+};
+
+/** Strict unsigned parse: the whole token must be a base-10 number
+ *  that fits @p out. */
+inline bool
+parseNumber(const std::string &text, uint64_t &out)
+{
+    if (text.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (errno != 0 || end != text.c_str() + text.size()
+        || text[0] == '-')
+        return false;
+    out = v;
+    return true;
+}
+
+inline bool
+parseWakeupModel(const std::string &v, core::WakeupModel &out)
+{
+    if (v == "conv")
+        out = core::WakeupModel::Conventional;
+    else if (v == "seq")
+        out = core::WakeupModel::Sequential;
+    else if (v == "seq-nopred")
+        out = core::WakeupModel::SequentialNoPred;
+    else if (v == "tag-elim")
+        out = core::WakeupModel::TagElimination;
+    else
+        return false;
+    return true;
+}
+
+inline bool
+parseRegfileModel(const std::string &v, core::RegfileModel &out)
+{
+    if (v == "2port")
+        out = core::RegfileModel::TwoPort;
+    else if (v == "seq")
+        out = core::RegfileModel::SequentialAccess;
+    else if (v == "extra-stage")
+        out = core::RegfileModel::ExtraStage;
+    else if (v == "half-xbar")
+        out = core::RegfileModel::HalfPortCrossbar;
+    else
+        return false;
+    return true;
+}
+
+inline bool
+parseRecoveryModel(const std::string &v, core::RecoveryModel &out)
+{
+    if (v == "sel")
+        out = core::RecoveryModel::Selective;
+    else if (v == "nonsel")
+        out = core::RecoveryModel::NonSelective;
+    else
+        return false;
+    return true;
+}
+
+inline bool
+parseRenameModel(const std::string &v, core::RenameModel &out)
+{
+    if (v == "half")
+        out = core::RenameModel::HalfPort;
+    else if (v == "2port")
+        out = core::RenameModel::TwoPort;
+    else
+        return false;
+    return true;
+}
+
+/**
+ * Parse argv[1..argc) into @p opt. Returns 0 on success; on any
+ * error returns 2 with a one-line description in @p err (the
+ * caller prints it and the usage text). --help and --list are
+ * reported as flags, not handled here.
+ */
+inline int
+parseSimOptions(const std::vector<std::string> &args, SimOptions &opt,
+                std::string &err)
+{
+    auto fail = [&](std::string msg) {
+        err = std::move(msg);
+        return 2;
+    };
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        auto need = [&](std::string *v) {
+            if (i + 1 >= args.size())
+                return false;
+            *v = args[++i];
+            return true;
+        };
+        auto needNumber = [&](uint64_t *v) {
+            std::string text;
+            if (!need(&text) || !parseNumber(text, *v)) {
+                err = a + " expects an unsigned integer"
+                    + (text.empty() ? "" : ", got '" + text + "'");
+                return false;
+            }
+            return true;
+        };
+        uint64_t n = 0;
+        std::string v;
+        if (a == "--help" || a == "-h") {
+            opt.help = true;
+        } else if (a == "--list") {
+            opt.list = true;
+        } else if (a == "--sweep") {
+            opt.sweep = true;
+        } else if (a == "--jobs") {
+            if (!needNumber(&n))
+                return 2;
+            opt.jobs = unsigned(n);
+        } else if (a == "--bench") {
+            if (!need(&opt.bench))
+                return fail("--bench needs a value");
+        } else if (a == "--asm") {
+            if (!need(&opt.asm_file))
+                return fail("--asm needs a value");
+        } else if (a == "--width") {
+            if (!needNumber(&n))
+                return 2;
+            opt.width = unsigned(n);
+        } else if (a == "--wakeup") {
+            if (!need(&v) || !parseWakeupModel(v, opt.wakeup))
+                return fail("--wakeup expects conv | seq | "
+                            "seq-nopred | tag-elim");
+        } else if (a == "--regfile") {
+            if (!need(&v) || !parseRegfileModel(v, opt.regfile))
+                return fail("--regfile expects 2port | seq | "
+                            "extra-stage | half-xbar");
+        } else if (a == "--recovery") {
+            if (!need(&v) || !parseRecoveryModel(v, opt.recovery))
+                return fail("--recovery expects nonsel | sel");
+        } else if (a == "--rename") {
+            if (!need(&v) || !parseRenameModel(v, opt.rename))
+                return fail("--rename expects 2port | half");
+        } else if (a == "--lap") {
+            if (!needNumber(&n))
+                return 2;
+            opt.lap = unsigned(n);
+            opt.lap_set = true;
+        } else if (a == "--bypass") {
+            if (!needNumber(&n))
+                return 2;
+            opt.bypass = unsigned(n);
+        } else if (a == "--insts") {
+            if (!needNumber(&opt.insts))
+                return 2;
+        } else if (a == "--cycles") {
+            if (!needNumber(&opt.cycles))
+                return 2;
+        } else if (a == "--no-fastforward") {
+            opt.fastforward = false;
+        } else if (a == "--report") {
+            opt.report = true;
+        } else if (a == "--json") {
+            if (!need(&opt.json_out))
+                return fail("--json needs a file (or '-')");
+        } else if (a == "--stats-json") {
+            if (!need(&opt.stats_json_out))
+                return fail("--stats-json needs a file (or '-')");
+        } else if (a == "--stats-csv") {
+            if (!need(&opt.stats_csv_out))
+                return fail("--stats-csv needs a file (or '-')");
+        } else {
+            return fail("unknown option: " + a);
+        }
+    }
+    return 0;
+}
+
+/**
+ * Assemble the machine the options describe. Every model setter is
+ * applied (in the legacy withX() order) so the machine name keeps
+ * its historical five-component form; lap() is only forwarded when
+ * --lap was given, because the builder rejects a predictor table on
+ * predictor-less wakeup schemes. Throws std::invalid_argument on
+ * invalid combinations (bad width, --lap with --wakeup conv, ...).
+ */
+inline sim::Machine
+machineFor(const SimOptions &opt)
+{
+    auto b = sim::Machine::base(opt.width)
+                 .wakeup(opt.wakeup)
+                 .regfile(opt.regfile)
+                 .recovery(opt.recovery)
+                 .rename(opt.rename)
+                 .bypassWindow(opt.bypass);
+    if (opt.lap_set)
+        b.lap(opt.lap);
+    return b.build();
+}
+
+} // namespace hpa::tools
+
+#endif // HPA_TOOLS_SIM_OPTIONS_HH

@@ -102,11 +102,15 @@ job(const std::string &workload, const sim::Machine &m,
  * Run a batch of jobs on the sweep engine with HPA_JOBS worker
  * threads; result[i] corresponds to jobs[i], independent of which
  * thread ran it, so harnesses consume results in submission order.
+ * The figure harnesses cannot plot partial data, so any failed cell
+ * aborts the harness (requireAllOk) with every failure listed.
  */
 inline std::vector<sim::SweepResult>
 runSweep(std::vector<sim::SweepJob> jobs)
 {
-    return sim::SweepRunner(sweepJobs()).run(std::move(jobs));
+    auto results = sim::SweepRunner(sweepJobs()).run(std::move(jobs));
+    sim::requireAllOk(results);
+    return results;
 }
 
 /**
@@ -189,6 +193,15 @@ geomean(const std::vector<double> &v)
     return std::exp(logsum / double(v.size()));
 }
 
+/** A ratio fit for norm()/geomean: finite and positive. A zero-IPC
+ *  (invalid) run would otherwise put -inf into the geomean's log
+ *  sum and poison the whole column. */
+inline bool
+finiteRatio(double v)
+{
+    return std::isfinite(v) && v > 0.0;
+}
+
 /**
  * Shared experiment-table formatter. Construction prints the header
  * (the first entry labels the row-name column); each data row is a
@@ -257,10 +270,15 @@ class Table
         return text(benchutil::pct(v, prec));
     }
 
-    /** Normalized cell, accumulated for geomeanRow(). */
+    /** Normalized cell, accumulated for geomeanRow(). A non-finite
+     *  or non-positive ratio (zero-IPC baseline or failed run)
+     *  prints "n/a" and stays out of the geomean instead of
+     *  poisoning it with NaN/Inf. */
     Table &
     norm(double v, int prec = 4)
     {
+        if (!finiteRatio(v))
+            return text("n/a");
         if (col_ < samples_.size())
             samples_[col_].push_back(v);
         return abs(v, prec);

@@ -46,19 +46,31 @@
 #include <vector>
 
 #include "isa/decode.hh"
+#include "sim/error.hh"
 
 namespace hpa::assembler
 {
 
-/** Assembly failure with source line context. */
-class AsmError : public std::runtime_error
+/** Assembly failure with source line context. Part of the SimError
+ *  taxonomy (kind Workload): a kernel that does not assemble is a
+ *  workload-construction failure, not a simulator bug. */
+class AsmError : public std::runtime_error, public SimError
 {
   public:
     AsmError(unsigned line, const std::string &msg)
         : std::runtime_error("asm line " + std::to_string(line) + ": "
                              + msg),
+          SimError(ErrorKind::Workload,
+                   "asm line " + std::to_string(line) + ": " + msg,
+                   {}),
           line(line)
     {}
+
+    const char *
+    what() const noexcept override
+    {
+        return std::runtime_error::what();
+    }
 
     unsigned line;
 };

@@ -123,6 +123,24 @@ struct CoreConfig
      */
     unsigned bypass_window = 1;
 
+    // --- Robustness knobs (see DESIGN.md "Error handling"). ---
+
+    /**
+     * No-forward-progress watchdog: if the window is non-empty and no
+     * instruction commits for this many cycles, the core throws
+     * hpa::Deadlock with a pipeline-state dump. 0 disables.
+     */
+    uint64_t watchdog_cycles = 100000;
+
+    /**
+     * Periodic scheduler cross-validation: every N cycles the
+     * incrementally maintained ready/issued/store lists are re-derived
+     * from the window by brute force and compared; a mismatch throws
+     * hpa::InvariantViolation naming the diverged list. The pass is
+     * O(window) — costless when 0 (the default, one compare/cycle).
+     */
+    uint64_t check_interval = 0;
+
     // Functional units (Table 1, 4-wide column).
     unsigned num_int_alu = 4;
     unsigned num_fp_alu = 2;

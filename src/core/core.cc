@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <sstream>
 #include <stdexcept>
 
 namespace hpa::core
@@ -141,7 +143,11 @@ void
 Core::readyRemove(unsigned slot)
 {
     auto it = seqPos(readyList_, window_, window_[slot].seq);
-    assert(it != readyList_.end() && *it == slot);
+    HPA_CHECK_CTX(it != readyList_.end() && *it == slot,
+                  "ready-list entry missing for slot "
+                      + std::to_string(slot) + " (seq "
+                      + std::to_string(window_[slot].seq) + ")",
+                  invariantContext());
     readyList_.erase(it);
 }
 
@@ -156,12 +162,36 @@ void
 Core::issuedRemove(unsigned slot)
 {
     auto it = seqPos(issuedList_, window_, window_[slot].seq);
-    assert(it != issuedList_.end() && *it == slot);
+    HPA_CHECK_CTX(it != issuedList_.end() && *it == slot,
+                  "issued-list entry missing for slot "
+                      + std::to_string(slot) + " (seq "
+                      + std::to_string(window_[slot].seq) + ")",
+                  invariantContext());
     issuedList_.erase(it);
 }
 
-bool
-Core::readyListConsistent() const
+namespace
+{
+
+std::string
+listText(const char *name, const std::vector<unsigned> &have,
+         const std::vector<unsigned> &want)
+{
+    std::ostringstream os;
+    os << name << " diverged: have {";
+    for (size_t i = 0; i < have.size(); ++i)
+        os << (i ? " " : "") << have[i];
+    os << "} want {";
+    for (size_t i = 0; i < want.size(); ++i)
+        os << (i ? " " : "") << want[i];
+    os << "}";
+    return os.str();
+}
+
+} // namespace
+
+std::string
+Core::sideListDivergence() const
 {
     std::vector<unsigned> want_ready, want_issued, want_stores;
     unsigned idx = head_;
@@ -177,16 +207,105 @@ Core::readyListConsistent() const
         }
         idx = (idx + 1) % cfg_.ruu_size;
     }
-    if (want_ready != readyList_ || want_issued != issuedList_)
-        return false;
+    if (want_ready != readyList_)
+        return listText("ready list", readyList_, want_ready);
+    if (want_issued != issuedList_)
+        return listText("issued list", issuedList_, want_issued);
     if (want_stores.size() != storeSlots_.size()
         || !std::equal(want_stores.begin(), want_stores.end(),
                        storeSlots_.begin()))
-        return false;
+        return listText(
+            "store list",
+            std::vector<unsigned>(storeSlots_.begin(),
+                                  storeSlots_.end()),
+            want_stores);
     for (unsigned slot : readyList_)
         if (!window_[slot].inReadyList)
-            return false;
-    return true;
+            return "slot " + std::to_string(slot)
+                + " is in the ready list but its inReadyList flag "
+                  "is clear";
+    return {};
+}
+
+bool
+Core::readyListConsistent() const
+{
+    return sideListDivergence().empty();
+}
+
+void
+Core::crossValidate() const
+{
+    std::string diverged = sideListDivergence();
+    if (!diverged.empty())
+        throw hpa::InvariantViolation(
+            "scheduler cross-validation: " + diverged,
+            invariantContext());
+}
+
+hpa::SimContext
+Core::invariantContext() const
+{
+    hpa::SimContext ctx;
+    ctx.cycle = cycle_;
+    ctx.committed = stats_.committed.value();
+    ctx.lastCommitCycle = lastCommitCycle_;
+    ctx.dump = dumpPipelineState();
+    return ctx;
+}
+
+std::string
+Core::dumpPipelineState() const
+{
+    std::ostringstream os;
+    os << "pipeline state @cycle " << cycle_ << ": committed="
+       << stats_.committed.value()
+       << " last_commit_cycle=" << lastCommitCycle_ << " window="
+       << windowCount_ << "/" << cfg_.ruu_size << " head=" << head_
+       << " tail=" << tail_ << " lsq=" << lsqCount_
+       << " fetchq=" << fetchQueue_.size()
+       << " ready=" << readyList_.size()
+       << " issued=" << issuedList_.size()
+       << " stores=" << storeSlots_.size()
+       << " event_cycles=" << events_.size() << "\n";
+    os << "  slot      seq         pc  disp  issue  compl  "
+          "state  disasm\n";
+    // The oldest entries explain a stall: dump the head of the
+    // window (the commit blocker is always window_[head_]).
+    const unsigned MAX_ROWS = 16;
+    unsigned idx = head_;
+    for (unsigned n = 0; n < windowCount_ && n < MAX_ROWS; ++n) {
+        const DynInst &di = window_[idx];
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "  %4u %8llu %10llx", idx,
+                      static_cast<unsigned long long>(di.seq),
+                      static_cast<unsigned long long>(di.rec.pc));
+        os << buf;
+        auto cyc = [&](uint64_t c) {
+            char b[16];
+            if (c == NO_CYCLE)
+                std::snprintf(b, sizeof b, " %5s", "-");
+            else
+                std::snprintf(b, sizeof b, " %5llu",
+                              static_cast<unsigned long long>(c));
+            os << b;
+        };
+        cyc(di.dispatchCycle);
+        cyc(di.issueCycle);
+        cyc(di.completeCycle);
+        std::string state;
+        state += di.issued ? 'I' : '.';
+        state += di.completed ? 'C' : '.';
+        state += di.inReadyList ? 'R' : '.';
+        state += di.loadMissReplay ? 'M' : '.';
+        os << "  " << state << "   "
+           << di.rec.inst.disassemble() << "\n";
+        idx = (idx + 1) % cfg_.ruu_size;
+    }
+    if (windowCount_ > MAX_ROWS)
+        os << "  ... " << (windowCount_ - MAX_ROWS)
+           << " younger entries elided\n";
+    return os.str();
 }
 
 void
@@ -220,8 +339,38 @@ Core::tick()
     dispatch();
     fetch();
 
-    if (windowCount_ > 0 && cycle_ - lastCommitCycle_ > 100000)
-        throw std::logic_error("core deadlock: no commit in 100k cycles");
+    tickGuards();
+}
+
+/** Everything rare-but-checked-every-cycle: the deadlock watchdog,
+ *  the periodic scheduler cross-validation, the cooperative
+ *  wall-clock deadline and the test-only fault injections. At
+ *  default settings this is four predictable compares per cycle. */
+void
+Core::tickGuards()
+{
+    if (cycle_ == corruptAt_) {
+        // Test hook: append a duplicate (or, on an empty list, a
+        // phantom) slot — guaranteed to diverge from the re-derived
+        // list whatever the window holds.
+        readyList_.push_back(readyList_.empty() ? head_
+                                                : readyList_.front());
+    }
+
+    if (cfg_.check_interval && cycle_ % cfg_.check_interval == 0)
+        crossValidate();
+
+    if (cfg_.watchdog_cycles && windowCount_ > 0
+        && cycle_ - lastCommitCycle_ > cfg_.watchdog_cycles)
+        throw hpa::Deadlock(
+            "no commit in " + std::to_string(cfg_.watchdog_cycles)
+                + " cycles with a non-empty window",
+            invariantContext());
+
+    if (hasDeadline_ && (cycle_ & 0xFFF) == 0
+        && std::chrono::steady_clock::now() > deadline_)
+        throw hpa::Timeout("wall-clock budget exceeded",
+                           invariantContext());
 }
 
 // --------------------------------------------------------------------
@@ -252,6 +401,8 @@ Core::commitFormatStats(const DynInst &di)
 void
 Core::commit()
 {
+    if (cycle_ > blockCommitAfter_)
+        return; // test hook: simulate a wedged commit stage
     unsigned budget = cfg_.width;
     while (budget > 0 && windowCount_ > 0) {
         DynInst &di = window_[head_];
@@ -272,8 +423,12 @@ Core::commit()
         consumers_[head_].clear();
         di.inWindow = false;
         if (di.isStore()) {
-            assert(!storeSlots_.empty()
-                   && storeSlots_.front() == head_);
+            HPA_CHECK_CTX(!storeSlots_.empty()
+                              && storeSlots_.front() == head_,
+                          "committing store at head slot "
+                              + std::to_string(head_)
+                              + " not at front of the store list",
+                          invariantContext());
             storeSlots_.pop_front();
         }
         if (di.rec.inst.isMemRef())
@@ -294,7 +449,10 @@ Core::commit()
 void
 Core::scheduleEvent(uint64_t when, Event ev)
 {
-    assert(when > cycle_);
+    HPA_CHECK_CTX(when > cycle_,
+                  "event scheduled for cycle " + std::to_string(when)
+                      + ", not in the future",
+                  invariantContext());
     events_[when].push_back(ev);
 }
 
@@ -592,7 +750,11 @@ void
 Core::handleLoadMiss(const Event &ev)
 {
     DynInst &load = window_[ev.slot];
-    assert(load.isLoad() && load.loadMissReplay);
+    HPA_CHECK_CTX(load.isLoad() && load.loadMissReplay,
+                  "load-miss event for slot "
+                      + std::to_string(ev.slot)
+                      + " that is not a replaying load",
+                  invariantContext());
 
     uint64_t assumed_total = 1 + hier_.assumedLoadLatency();
     uint64_t first = load.issueCycle + assumed_total;
@@ -930,7 +1092,13 @@ Core::setupOperands(DynInst &di, int slot)
         bool ready_now = true;
         if (pr.seq != NO_SEQ) {
             DynInst &p = window_[pr.slot];
-            assert(p.seq == pr.seq && p.inWindow);
+            HPA_CHECK_CTX(p.seq == pr.seq && p.inWindow,
+                          "stale producer map entry for reg "
+                              + std::to_string(unsigned(op.reg))
+                              + ": slot " + std::to_string(pr.slot)
+                              + " no longer holds seq "
+                              + std::to_string(pr.seq),
+                          invariantContext());
             consumers_[pr.slot].push_back(
                 Consumer{slot, uint8_t(i), di.seq});
             op.producerSeq = pr.seq;

@@ -23,6 +23,7 @@
 #ifndef HPA_CORE_CORE_HH
 #define HPA_CORE_CORE_HH
 
+#include <chrono>
 #include <deque>
 #include <functional>
 #include <map>
@@ -37,6 +38,7 @@
 #include "core/inst_source.hh"
 #include "core/last_arrival.hh"
 #include "mem/hierarchy.hh"
+#include "sim/error.hh"
 #include "stats/stats.hh"
 
 namespace hpa::core
@@ -178,6 +180,53 @@ class Core
      */
     bool readyListConsistent() const;
 
+    /**
+     * Like readyListConsistent(), but on mismatch throws
+     * hpa::InvariantViolation naming the diverged list and carrying
+     * a pipeline-state dump. This is the periodic release-mode
+     * cross-validation pass run by tick() every
+     * CoreConfig::check_interval cycles.
+     */
+    void crossValidate() const;
+
+    /**
+     * Pipeview-style snapshot of the pipeline state: cycle, commit
+     * progress, window occupancy and the oldest in-flight window
+     * entries with their per-stage timestamps. Attached to
+     * Deadlock/InvariantViolation context dumps.
+     */
+    std::string dumpPipelineState() const;
+
+    /**
+     * Cooperative wall-clock budget: once set, the run loop checks
+     * the deadline every few thousand cycles and throws hpa::Timeout
+     * when it has passed. @p seconds is measured from now.
+     */
+    void
+    setWallDeadline(double seconds)
+    {
+        deadline_ = std::chrono::steady_clock::now()
+            + std::chrono::duration_cast<
+                  std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(seconds));
+        hasDeadline_ = true;
+    }
+
+    // --- Test-only fault injection (sim/sweep fault hooks). ---
+
+    /** At @p cycle, corrupt the incremental ready list (append a
+     *  duplicate/phantom slot) — the periodic cross-validation must
+     *  then report an InvariantViolation. Test-only. */
+    void testCorruptSchedulerAt(uint64_t cycle) { corruptAt_ = cycle; }
+
+    /** After @p cycle, commit() retires nothing — forward progress
+     *  stops and the watchdog must report a Deadlock. Test-only. */
+    void
+    testBlockCommitAfter(uint64_t cycle)
+    {
+        blockCommitAfter_ = cycle;
+    }
+
   private:
     // --- Event machinery. ---
     enum class EventKind : uint8_t
@@ -222,6 +271,17 @@ class Core
     // --- Helpers. ---
     DynInst &inst(int slot) { return window_[slot]; }
     bool windowFull() const { return windowCount_ == cfg_.ruu_size; }
+
+    /** SimContext for a failure raised now: cycle, commit progress
+     *  and the pipeline-state dump. */
+    hpa::SimContext invariantContext() const;
+    /** Re-derive the ready/issued/store lists from the window and
+     *  describe the first divergence (empty string = consistent). */
+    std::string sideListDivergence() const;
+    /** Watchdog / deadline / cross-check / fault-injection hooks;
+     *  everything rare-but-per-cycle, kept out of tick()'s hot
+     *  path body. */
+    void tickGuards();
 
     void setupOperands(DynInst &di, int slot);
     void applyWakePlacement(DynInst &di);
@@ -312,6 +372,15 @@ class Core
     std::unordered_map<uint64_t, uint8_t> orderHistory_;
 
     uint64_t lastCommitCycle_ = 0;
+
+    /** Wall-clock deadline (setWallDeadline); checked every 4096
+     *  cycles when armed. */
+    std::chrono::steady_clock::time_point deadline_{};
+    bool hasDeadline_ = false;
+
+    /** Test-only fault injection (NO_CYCLE = disarmed). */
+    uint64_t corruptAt_ = NO_CYCLE;
+    uint64_t blockCommitAfter_ = NO_CYCLE;
 
     std::function<void(const DynInst &, uint64_t)> commitListener_;
 };

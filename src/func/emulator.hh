@@ -16,6 +16,7 @@
 #include "asm/assembler.hh"
 #include "func/memory.hh"
 #include "isa/static_inst.hh"
+#include "sim/error.hh"
 
 namespace hpa::func
 {
@@ -32,13 +33,22 @@ struct ExecRecord
     uint64_t effAddr = 0;
 };
 
-/** Raised on illegal instructions or runaway execution. */
-class EmulationError : public std::runtime_error
+/** Raised on illegal instructions or runaway execution. Part of the
+ *  SimError taxonomy (kind Workload): a kernel that faults during
+ *  architectural execution is a workload failure. */
+class EmulationError : public std::runtime_error, public SimError
 {
   public:
     explicit EmulationError(const std::string &msg)
-        : std::runtime_error(msg)
+        : std::runtime_error(msg),
+          SimError(ErrorKind::Workload, msg, {})
     {}
+
+    const char *
+    what() const noexcept override
+    {
+        return std::runtime_error::what();
+    }
 };
 
 /**

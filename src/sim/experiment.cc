@@ -1,10 +1,25 @@
 #include "sim/experiment.hh"
 
 #include <algorithm>
-#include <stdexcept>
+
+#include "sim/error.hh"
 
 namespace hpa::sim
 {
+
+const char *
+statusName(RunStatus status)
+{
+    switch (status) {
+      case RunStatus::Ok:
+        return "ok";
+      case RunStatus::Failed:
+        return "failed";
+      case RunStatus::TimedOut:
+        return "timed_out";
+    }
+    return "?";
+}
 
 MachineBuilder
 Machine::base(unsigned width)
@@ -16,7 +31,7 @@ MachineBuilder
 MachineBuilder::base(unsigned width)
 {
     if (width != 4 && width != 8)
-        throw std::invalid_argument(
+        throw ConfigError(
             "machine width must be 4 or 8 (Table 1), got "
             + std::to_string(width));
     Machine m;
@@ -124,26 +139,26 @@ MachineBuilder::build() const
         || cfg.wakeup == core::WakeupModel::TagElimination;
 
     if (lapSet_ && !predictor_wakeup)
-        throw std::invalid_argument(
+        throw ConfigError(
             "machine '" + m_.name
             + "': lap() needs a predictor-based wakeup scheme "
               "(Sequential or TagElimination)");
     if (cfg.lap_entries == 0
         || (cfg.lap_entries & (cfg.lap_entries - 1)))
-        throw std::invalid_argument(
+        throw ConfigError(
             "machine '" + m_.name
             + "': predictor entries must be a power of 2, got "
             + std::to_string(cfg.lap_entries));
     if (detectSet_ && cfg.wakeup != core::WakeupModel::TagElimination)
-        throw std::invalid_argument(
+        throw ConfigError(
             "machine '" + m_.name
             + "': detectDelay() only applies to tag elimination");
     if (cfg.tagelim_detect_delay == 0)
-        throw std::invalid_argument(
+        throw ConfigError(
             "machine '" + m_.name
             + "': tag-elimination detect delay must be >= 1 cycle");
     if (cfg.bypass_window == 0)
-        throw std::invalid_argument(
+        throw ConfigError(
             "machine '" + m_.name
             + "': bypass window must be >= 1 cycle");
     return m_;
@@ -153,17 +168,21 @@ void
 ExperimentSpec::validate() const
 {
     if (machine.name.empty() || machine.cfg.width == 0)
-        throw std::invalid_argument(
+        throw ConfigError(
             "experiment spec has no machine (use Machine::base())");
     if (workload.empty())
-        throw std::invalid_argument(
+        throw ConfigError(
             "experiment spec has no workload");
     const auto names = workloads::benchmarkNames();
     if (std::find(names.begin(), names.end(), workload)
-        == names.end())
-        throw std::invalid_argument(
-            "unknown workload '" + workload
-            + "' (see workloads::benchmarkNames())");
+        == names.end()) {
+        SimContext ctx;
+        ctx.machine = machine.name;
+        ctx.workload = workload;
+        throw ConfigError("unknown workload '" + workload
+                              + "' (see workloads::benchmarkNames())",
+                          ctx);
+    }
 }
 
 const core::CoreStats &
@@ -190,10 +209,18 @@ RunResult::toJson(stats::json::JsonWriter &jw, bool with_stats,
         .kv("max_insts", spec.max_insts)
         .kv("max_cycles", spec.max_cycles)
         .kv("fast_forward", spec.fast_forward)
+        .kv("status", statusName(outcome.status))
+        .kv("valid", valid())
+        .kv("steady_missing", outcome.steadyMissing)
+        .kv("attempts", outcome.attempts)
         .kv("ipc", ipc)
         .kv("committed", committed)
         .kv("cycles", cycles)
         .kv("fast_forwarded", fastForwarded);
+    if (!outcome.ok()) {
+        jw.kv("error_kind", kindName(outcome.errorKind))
+            .kv("error", outcome.error);
+    }
     if (with_timing) {
         jw.kv("wall_seconds", wallSeconds)
             .kv("cycles_per_sec", cyclesPerSec(), 0);

@@ -19,12 +19,71 @@
 #include <ostream>
 #include <string>
 
+#include "sim/error.hh"
 #include "sim/simulation.hh"
 #include "stats/json.hh"
 #include "workloads/workloads.hh"
 
 namespace hpa::sim
 {
+
+/** How one experiment (sweep cell) finished. */
+enum class RunStatus
+{
+    Ok,       ///< ran to its budget/HALT, metrics are meaningful
+    Failed,   ///< raised an error (config/workload/invariant/deadlock)
+    TimedOut, ///< exceeded its wall-clock budget
+};
+
+/** Stable lower-case tag for JSON/CLI output ("ok", ...). */
+const char *statusName(RunStatus status);
+
+/**
+ * Test-only fault injection, threaded through ExperimentSpec so the
+ * robustness tests can exercise the whole isolation pipeline — core
+ * guard, sweep catch, CLI/JSON reporting — end to end. None in all
+ * production specs.
+ */
+enum class FaultKind
+{
+    None,
+    /** Request a workload name the registry rejects at run time. */
+    PoisonWorkload,
+    /** Corrupt the scheduler ready list at fault_cycle; the periodic
+     *  cross-validation pass must trip an InvariantViolation. */
+    InvariantTrip,
+    /** Stop commit after fault_cycle; the watchdog must trip a
+     *  Deadlock. */
+    BlockCommit,
+    /** Fail (WorkloadError) on the first attempt only — exercises
+     *  max_retries recovery. */
+    FlakyOnce,
+};
+
+/**
+ * How one run actually ended: status, the error (kind + one-line
+ * text + context) when it did not end well, how many attempts it
+ * took, and data-quality caveats that are not errors (a requested
+ * fast-forward with no `steady:` symbol).
+ */
+struct RunOutcome
+{
+    RunStatus status = RunStatus::Ok;
+    /** Meaningful only when !ok(). */
+    ErrorKind errorKind = ErrorKind::Workload;
+    /** One-line "[kind] message @context" (SimError::oneLine()), or
+     *  the exception's what() for untyped errors. */
+    std::string error;
+    /** Failure context (cycle, committed, machine, workload, dump). */
+    SimContext context;
+    /** Attempts consumed (1 = first try; > 1 means retries). */
+    unsigned attempts = 1;
+    /** fast_forward was requested but the kernel has no `steady:`
+     *  symbol — the run timed the initialization code too. */
+    bool steadyMissing = false;
+
+    bool ok() const { return status == RunStatus::Ok; }
+};
 
 /**
  * Fluent machine assembly with eager naming and deferred
@@ -105,10 +164,23 @@ struct ExperimentSpec
     bool fast_forward = true;
     workloads::Scale scale = workloads::Scale::Full;
 
+    /** Per-run wall-clock budget in seconds (0 = unbounded). The
+     *  core checks it cooperatively and raises hpa::Timeout. */
+    double wall_budget_seconds = 0.0;
+    /** Extra attempts after a failed/timed-out run before the cell
+     *  is reported failed (0 = no retries). */
+    unsigned max_retries = 0;
+
+    /** Test-only fault injection (FaultKind::None in production). */
+    FaultKind fault = FaultKind::None;
+    /** Cycle at which InvariantTrip/BlockCommit faults arm. */
+    uint64_t fault_cycle = 1000;
+
     /**
      * Check the spec is runnable: the workload must be a registered
      * benchmark and the machine must have been assembled (non-empty
-     * name, non-zero width). Throws std::invalid_argument.
+     * name, non-zero width). Throws hpa::ConfigError (a
+     * std::invalid_argument).
      */
     void validate() const;
 };
@@ -131,6 +203,18 @@ struct RunResult
     /** Wall-clock seconds of the timing run (excludes workload
      *  assembly and functional fast-forward). */
     double wallSeconds = 0.0;
+    /** How the run ended; a failed cell keeps its spec and outcome
+     *  but may have no sim and zeroed metrics. */
+    RunOutcome outcome;
+
+    /** Metrics are meaningful: the run succeeded and actually
+     *  simulated cycles. Failed/zero-cycle cells report ipc = 0.0
+     *  with valid() = false instead of NaN/Inf. */
+    bool
+    valid() const
+    {
+        return outcome.ok() && cycles > 0;
+    }
 
     /** Simulated cycles per wall second (host throughput). */
     double
@@ -147,8 +231,10 @@ struct RunResult
     stats::Registry statsRegistry() const;
 
     /**
-     * Serialize onto @p jw as one "hpa.run.v1" object: the spec,
-     * the outcome metrics and (optionally) the full stats snapshot.
+     * Serialize onto @p jw as one "hpa.run.v2" object: the spec,
+     * the status/error outcome, the metrics and (optionally) the
+     * full stats snapshot. v2 adds status, valid, steady_missing,
+     * attempts and — on failed cells — error_kind/error over v1.
      * Wall-clock fields are emitted only when @p with_timing — keep
      * them out of committed reference artifacts, which must be
      * reproducible byte-for-byte.
@@ -161,7 +247,7 @@ struct RunResult
                 bool with_timing = false) const;
 
     /** Schema tag of toJson() documents. */
-    static constexpr const char *JSON_SCHEMA = "hpa.run.v1";
+    static constexpr const char *JSON_SCHEMA = "hpa.run.v2";
 };
 
 } // namespace hpa::sim

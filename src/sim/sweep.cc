@@ -24,24 +24,55 @@ SweepRunner::resolveJobs(unsigned requested)
     return hw > 0 ? hw : 1;
 }
 
-SweepResult
-SweepRunner::runOne(const SweepJob &job,
-                    workloads::WorkloadCache &cache)
+namespace
 {
-    const workloads::Workload &w =
-        cache.get(job.workload, job.scale);
+
+/**
+ * One attempt of one job: build (or fetch) the workload, construct a
+ * fresh Simulation, arm any injected fault, run, and record metrics
+ * into @p r. Throws on any failure; the caller owns isolation.
+ */
+void
+runAttempt(const SweepJob &job, unsigned attempt,
+           workloads::WorkloadCache &cache, SweepResult &r)
+{
+    if (job.fault == FaultKind::FlakyOnce && attempt == 1) {
+        SimContext ctx;
+        ctx.machine = job.machine.name;
+        ctx.workload = job.workload;
+        throw WorkloadError(
+            "injected transient workload fault (FlakyOnce)", ctx);
+    }
+
+    // PoisonWorkload goes through the real registry path so the
+    // whole lookup-failure plumbing is exercised, not a shortcut.
+    const std::string name = job.fault == FaultKind::PoisonWorkload
+        ? job.workload + "!poisoned"
+        : job.workload;
+    const workloads::Workload &w = cache.get(name, job.scale);
 
     uint64_t ff = 0;
     if (job.fast_forward) {
         auto it = w.program.symbols.find("steady");
         if (it != w.program.symbols.end())
             ff = it->second;
+        else
+            r.outcome.steadyMissing = true;
     }
 
-    SweepResult r;
-    r.spec = job;
-    r.sim = std::make_unique<Simulation>(w.program, job.machine.cfg,
+    core::CoreConfig cfg = job.machine.cfg;
+    if (job.fault == FaultKind::InvariantTrip && cfg.check_interval == 0)
+        cfg.check_interval = 1;
+
+    r.sim = std::make_unique<Simulation>(w.program, cfg,
                                          job.max_insts, ff);
+    if (job.wall_budget_seconds > 0)
+        r.sim->core().setWallDeadline(job.wall_budget_seconds);
+    if (job.fault == FaultKind::InvariantTrip)
+        r.sim->core().testCorruptSchedulerAt(job.fault_cycle);
+    if (job.fault == FaultKind::BlockCommit)
+        r.sim->core().testBlockCommitAfter(job.fault_cycle);
+
     auto t0 = std::chrono::steady_clock::now();
     r.sim->run(job.max_cycles);
     auto t1 = std::chrono::steady_clock::now();
@@ -50,7 +81,70 @@ SweepRunner::runOne(const SweepJob &job,
     r.committed = r.sim->core().stats().committed.value();
     r.cycles = r.sim->core().cycle();
     r.fastForwarded = r.sim->fastForwarded();
-    return r;
+}
+
+} // namespace
+
+SweepResult
+SweepRunner::runOne(const SweepJob &job,
+                    workloads::WorkloadCache &cache)
+{
+    SweepResult r;
+    r.spec = job;
+    for (unsigned attempt = 1;; ++attempt) {
+        r.outcome = RunOutcome{};
+        r.outcome.attempts = attempt;
+        try {
+            runAttempt(job, attempt, cache, r);
+            return r;
+        } catch (const std::exception &e) {
+            // Discard the partial attempt so a failed cell carries
+            // no half-simulated state, only its spec and outcome.
+            r.sim.reset();
+            r.ipc = 0.0;
+            r.committed = r.cycles = r.fastForwarded = 0;
+            r.wallSeconds = 0.0;
+
+            RunOutcome &o = r.outcome;
+            const auto *se = dynamic_cast<const SimError *>(&e);
+            if (se) {
+                o.status = se->kind() == ErrorKind::Timeout
+                    ? RunStatus::TimedOut
+                    : RunStatus::Failed;
+                o.errorKind = se->kind();
+                o.error = se->oneLine();
+                o.context = se->context();
+            } else {
+                o.status = RunStatus::Failed;
+                o.errorKind = ErrorKind::Workload;
+                o.error = e.what();
+            }
+            // The core knows cycles, not names; file them in here.
+            o.context.machine = job.machine.name;
+            o.context.workload = job.workload;
+            if (attempt > job.max_retries)
+                return r;
+        }
+    }
+}
+
+void
+requireAllOk(const std::vector<SweepResult> &results)
+{
+    std::string detail;
+    size_t failed = 0;
+    for (const SweepResult &r : results) {
+        if (r.outcome.ok())
+            continue;
+        ++failed;
+        detail += "\n  " + r.spec.workload + " @ "
+            + r.spec.machine.name + ": " + r.outcome.error;
+    }
+    if (failed) {
+        throw WorkloadError(std::to_string(failed) + " of "
+                            + std::to_string(results.size())
+                            + " sweep cells failed:" + detail);
+    }
 }
 
 void

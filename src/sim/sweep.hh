@@ -52,10 +52,23 @@ class SweepRunner
 
     unsigned jobs() const { return jobs_; }
 
-    /** Run all jobs; result[i] corresponds to jobs[i]. */
+    /**
+     * Run all jobs; result[i] corresponds to jobs[i]. Jobs are fault
+     * isolated: a job that throws (invariant violation, deadlock,
+     * timeout, bad workload) or exhausts its retries is returned as a
+     * Failed/TimedOut cell — with the error kind, one-line text and
+     * failure context in its RunOutcome — and never disturbs the
+     * other cells, whose results stay bit-identical to a fault-free
+     * run. Callers that still want all-or-nothing semantics wrap the
+     * result in requireAllOk().
+     */
     std::vector<SweepResult> run(std::vector<SweepJob> jobs);
 
-    /** Run one job synchronously on the calling thread. */
+    /**
+     * Run one job synchronously on the calling thread, including its
+     * retry loop and fault injection. Never throws for per-run
+     * failures — they are filed into the returned RunOutcome.
+     */
     static SweepResult runOne(const SweepJob &job,
                               workloads::WorkloadCache &cache);
 
@@ -75,6 +88,15 @@ class SweepRunner
     unsigned jobs_;
     workloads::WorkloadCache *cache_;
 };
+
+/**
+ * All-or-nothing view of a sweep: throws hpa::WorkloadError listing
+ * every failed cell (workload, machine, one-line error) when any
+ * result is not ok. Harnesses that cannot use partial results — the
+ * figure generators, the golden gate's serial path — call this right
+ * after SweepRunner::run().
+ */
+void requireAllOk(const std::vector<SweepResult> &results);
 
 /**
  * The machine configurations of the paper's main IPC figures

@@ -1,5 +1,4 @@
-#include <stdexcept>
-
+#include "sim/error.hh"
 #include "workloads/workloads.hh"
 
 namespace hpa::workloads
@@ -42,7 +41,9 @@ make(const std::string &name, Scale scale)
         return makeVortex(scale);
     if (name == "vpr")
         return makeVpr(scale);
-    throw std::invalid_argument("unknown workload: " + name);
+    SimContext ctx;
+    ctx.workload = name;
+    throw ConfigError("unknown workload: " + name, ctx);
 }
 
 std::vector<Workload>

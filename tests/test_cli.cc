@@ -8,6 +8,7 @@
  * emits a well-formed schema-versioned document.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <sys/wait.h>
@@ -208,8 +209,69 @@ TEST(SimCliBinary, RunJsonCarriesSpecAndMetrics)
     std::string err;
     ASSERT_TRUE(stats::json::validate(r.out, &err)) << err;
     EXPECT_EQ(stats::json::findStringField(r.out, "schema"),
-              "hpa.run.v1");
+              "hpa.run.v2");
     EXPECT_EQ(stats::json::findStringField(r.out, "workload"), "gzip");
+    EXPECT_EQ(stats::json::findStringField(r.out, "status"), "ok");
+    EXPECT_NE(r.out.find("\"valid\": true"), std::string::npos);
     EXPECT_NE(r.out.find("\"ipc\""), std::string::npos);
     EXPECT_NE(r.out.find("\"stats\""), std::string::npos);
+}
+
+TEST(SimOptionsParse, RobustnessKnobsReachTheConfig)
+{
+    SimOptions o;
+    std::string err;
+    ASSERT_EQ(parse({"--watchdog", "5000", "--check-interval", "256"},
+                    o, err),
+              0)
+        << err;
+    EXPECT_TRUE(o.watchdog_set);
+    sim::Machine m = tools::machineFor(o);
+    EXPECT_EQ(m.cfg.watchdog_cycles, 5000u);
+    EXPECT_EQ(m.cfg.check_interval, 256u);
+
+    // Unset knobs keep the CoreConfig defaults.
+    SimOptions d;
+    ASSERT_EQ(parse({}, d, err), 0);
+    sim::Machine md = tools::machineFor(d);
+    EXPECT_EQ(md.cfg.watchdog_cycles, 100000u);
+    EXPECT_EQ(md.cfg.check_interval, 0u);
+
+    // --watchdog 0 is an explicit disable, not "unset".
+    SimOptions z;
+    ASSERT_EQ(parse({"--watchdog", "0"}, z, err), 0);
+    EXPECT_EQ(tools::machineFor(z).cfg.watchdog_cycles, 0u);
+}
+
+TEST(SimCliBinary, UnknownWorkloadExitsTwoWithOneLineConfigError)
+{
+    auto r = shell(simBinary() + " --bench frobnozzle");
+    EXPECT_EQ(r.status, 2);
+    EXPECT_NE(r.out.find("[config]"), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("unknown workload"), std::string::npos)
+        << r.out;
+    // One line, no usage dump: the message is the whole output.
+    EXPECT_EQ(std::count(r.out.begin(), r.out.end(), '\n'), 1)
+        << r.out;
+}
+
+TEST(SimCliBinary, MissingSteadySymbolWarnsAndLandsInJson)
+{
+    // A kernel without a steady: label — fast-forward is requested
+    // by default but has nowhere to go.
+    std::string asm_path = "test_cli_no_steady.s";
+    {
+        FILE *f = fopen(asm_path.c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        fputs("start:  add r1, #1, r1\n        halt\n", f);
+        fclose(f);
+    }
+    auto r = shell(simBinary() + " --asm " + asm_path + " --json -");
+    EXPECT_EQ(r.status, 0) << r.out;
+    EXPECT_NE(r.out.find("no steady: symbol"), std::string::npos)
+        << r.out;
+    EXPECT_NE(r.out.find("\"steady_missing\": true"),
+              std::string::npos)
+        << r.out;
+    remove(asm_path.c_str());
 }

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Error-taxonomy and release-mode invariant tests: the SimError
+ * mixin stays catchable as the matching std exception, HPA_CHECK
+ * throws InvariantViolation with file/line/condition context and
+ * evaluates its message lazily, and the core's runtime guards — the
+ * no-forward-progress watchdog, the periodic scheduler
+ * cross-validation and the cooperative wall-clock deadline — each
+ * turn the corresponding injected fault into the right typed error
+ * with a usable pipeline-state dump.
+ */
+
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/core.hh"
+#include "sim/error.hh"
+#include "sim/experiment.hh"
+#include "sim/simulation.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace hpa;
+
+TEST(ErrorTaxonomy, KindAndStatusNamesAreStable)
+{
+    // These tags appear in v2 JSON artifacts; they are frozen.
+    EXPECT_STREQ(kindName(ErrorKind::Config), "config");
+    EXPECT_STREQ(kindName(ErrorKind::Workload), "workload");
+    EXPECT_STREQ(kindName(ErrorKind::Invariant), "invariant");
+    EXPECT_STREQ(kindName(ErrorKind::Deadlock), "deadlock");
+    EXPECT_STREQ(kindName(ErrorKind::Timeout), "timeout");
+    EXPECT_STREQ(sim::statusName(sim::RunStatus::Ok), "ok");
+    EXPECT_STREQ(sim::statusName(sim::RunStatus::Failed), "failed");
+    EXPECT_STREQ(sim::statusName(sim::RunStatus::TimedOut),
+                 "timed_out");
+}
+
+TEST(ErrorTaxonomy, ConcreteErrorsMatchTheirStdBase)
+{
+    // The mixin contract: pre-taxonomy call sites that catch the
+    // standard exception types keep working unchanged.
+    EXPECT_THROW(throw ConfigError("x"), std::invalid_argument);
+    EXPECT_THROW(throw WorkloadError("x"), std::runtime_error);
+    EXPECT_THROW(throw InvariantViolation("x"), std::logic_error);
+    EXPECT_THROW(throw Deadlock("x"), std::runtime_error);
+    EXPECT_THROW(throw Timeout("x"), std::runtime_error);
+}
+
+TEST(ErrorTaxonomy, CatchAsSimErrorYieldsKindMessageAndContext)
+{
+    SimContext ctx;
+    ctx.workload = "frobnozzle";
+    try {
+        throw ConfigError("unknown workload: frobnozzle", ctx);
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Config);
+        EXPECT_EQ(e.message(), "unknown workload: frobnozzle");
+        EXPECT_EQ(e.context().workload, "frobnozzle");
+        std::string line = e.oneLine();
+        EXPECT_NE(line.find("[config]"), std::string::npos) << line;
+        EXPECT_NE(line.find("workload=frobnozzle"),
+                  std::string::npos)
+            << line;
+        // One line means one line — the dump never leaks in here.
+        EXPECT_EQ(line.find('\n'), std::string::npos) << line;
+    }
+}
+
+TEST(ErrorTaxonomy, WhatCarriesKindTagThroughStdCatch)
+{
+    SimContext ctx;
+    ctx.cycle = 12345;
+    try {
+        throw Deadlock("no commit in 100 cycles", ctx);
+    } catch (const std::exception &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("[deadlock]"), std::string::npos) << what;
+        EXPECT_NE(what.find("cycle=12345"), std::string::npos) << what;
+    }
+}
+
+TEST(HpaCheck, FailureThrowsWithFileLineAndConditionText)
+{
+    try {
+        HPA_CHECK(1 + 1 == 3, "arithmetic is broken");
+        FAIL() << "HPA_CHECK did not throw";
+    } catch (const InvariantViolation &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Invariant);
+        std::string what = e.what();
+        EXPECT_NE(what.find("1 + 1 == 3"), std::string::npos) << what;
+        EXPECT_NE(what.find("arithmetic is broken"),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find("test_error.cc"), std::string::npos)
+            << what;
+    }
+}
+
+TEST(HpaCheck, MessageIsOnlyEvaluatedOnFailure)
+{
+    int evaluations = 0;
+    auto expensive = [&] {
+        ++evaluations;
+        return std::string("should never be built");
+    };
+    HPA_CHECK(true, expensive());
+    EXPECT_EQ(evaluations, 0);
+    EXPECT_THROW(HPA_CHECK(false, expensive()), InvariantViolation);
+    EXPECT_EQ(evaluations, 1);
+}
+
+/** A small timing run on a real workload with one fault injected. */
+class CoreGuards : public ::testing::Test
+{
+  protected:
+    sim::Simulation
+    makeSim(const core::CoreConfig &cfg, uint64_t max_insts)
+    {
+        const workloads::Workload &w =
+            workloads::globalCache().get("gzip");
+        return sim::Simulation(w.program, cfg, max_insts, 0);
+    }
+};
+
+TEST_F(CoreGuards, WatchdogTurnsBlockedCommitIntoDeadlock)
+{
+    core::CoreConfig cfg = core::fourWideConfig();
+    cfg.watchdog_cycles = 2000;
+    auto s = makeSim(cfg, 50000);
+    s.core().testBlockCommitAfter(100);
+    try {
+        s.run();
+        FAIL() << "expected hpa::Deadlock";
+    } catch (const Deadlock &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Deadlock);
+        // Tripped after the threshold, with attribution and a dump.
+        EXPECT_GT(e.context().cycle, 2000u);
+        EXPECT_LE(e.context().lastCommitCycle, 101u);
+        ASSERT_FALSE(e.context().dump.empty());
+        EXPECT_NE(e.context().dump.find("window"), std::string::npos)
+            << e.context().dump;
+    }
+}
+
+TEST_F(CoreGuards, WatchdogZeroDisablesTheCheck)
+{
+    core::CoreConfig cfg = core::fourWideConfig();
+    cfg.watchdog_cycles = 0;
+    auto s = makeSim(cfg, 5000);
+    s.core().testBlockCommitAfter(100);
+    // Without the watchdog the run only ends on the cycle budget.
+    uint64_t committed = s.run(30000);
+    EXPECT_EQ(committed, s.core().stats().committed.value());
+    EXPECT_GE(s.core().cycle(), 30000u);
+}
+
+TEST_F(CoreGuards, CrossValidationCatchesACorruptedReadyList)
+{
+    core::CoreConfig cfg = core::fourWideConfig();
+    cfg.check_interval = 64;
+    auto s = makeSim(cfg, 50000);
+    s.core().testCorruptSchedulerAt(512);
+    try {
+        s.run();
+        FAIL() << "expected hpa::InvariantViolation";
+    } catch (const InvariantViolation &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Invariant);
+        EXPECT_NE(std::string(e.what()).find("cross-validation"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_GE(e.context().cycle, 512u);
+    }
+}
+
+TEST_F(CoreGuards, CleanRunsPassPeriodicCrossValidation)
+{
+    // The paranoid mode on a healthy core must be silent — this is
+    // the guard against the checker itself drifting from the
+    // scheduler's incremental bookkeeping.
+    core::CoreConfig cfg = core::fourWideConfig();
+    cfg.check_interval = 1;
+    auto s = makeSim(cfg, 20000);
+    EXPECT_NO_THROW(s.run());
+    EXPECT_GT(s.core().cycle(), 0u);
+}
+
+TEST_F(CoreGuards, ExpiredWallDeadlineRaisesTimeout)
+{
+    core::CoreConfig cfg = core::fourWideConfig();
+    auto s = makeSim(cfg, 200000);
+    s.core().setWallDeadline(0.0);
+    // The deadline is polled every 4096 cycles; a 200k-inst gzip run
+    // lasts well past the first poll.
+    EXPECT_THROW(s.run(), Timeout);
+}
+
+} // namespace

@@ -123,6 +123,151 @@ TEST(SweepDeterminism, EightWorkersMatchSerialForEveryPair)
     }
 }
 
+/** The small grid the fault-isolation tests run: two machines by
+ *  four workloads, tiny budget. */
+std::vector<sim::SweepJob>
+smallGrid(uint64_t budget = 5000)
+{
+    std::vector<sim::SweepJob> jobs;
+    std::vector<sim::Machine> machines = {
+        sim::Machine::base(4),
+        sim::Machine::base(4).wakeup(core::WakeupModel::Sequential)
+            .lap(1024),
+    };
+    auto names = workloads::benchmarkNames();
+    for (const auto &m : machines)
+        for (size_t i = 0; i < 4; ++i) {
+            sim::SweepJob j;
+            j.workload = names[i];
+            j.machine = m;
+            j.max_insts = budget;
+            jobs.push_back(j);
+        }
+    return jobs;
+}
+
+TEST(SweepFaultIsolation, FailedAndHungCellsLeaveTheRestIntact)
+{
+    // The acceptance scenario: one cell trips an invariant, one cell
+    // deadlocks — every other cell must be bit-identical to the
+    // fault-free sweep, and both failures must carry their kind and
+    // context.
+    workloads::WorkloadCache cache;
+    auto clean_jobs = smallGrid();
+    auto clean = sim::SweepRunner(4, &cache).run(clean_jobs);
+
+    auto jobs = smallGrid();
+    jobs[2].fault = sim::FaultKind::InvariantTrip;
+    jobs[2].fault_cycle = 500;
+    jobs[5].fault = sim::FaultKind::BlockCommit;
+    jobs[5].fault_cycle = 200;
+    jobs[5].machine.cfg.watchdog_cycles = 2000;
+    auto res = sim::SweepRunner(4, &cache).run(jobs);
+    ASSERT_EQ(res.size(), clean.size());
+
+    for (size_t i = 0; i < res.size(); ++i) {
+        if (i == 2 || i == 5)
+            continue;
+        std::string what =
+            jobs[i].machine.name + "|" + jobs[i].workload;
+        EXPECT_TRUE(res[i].outcome.ok()) << what;
+        EXPECT_TRUE(res[i].valid()) << what;
+        EXPECT_EQ(res[i].ipc, clean[i].ipc) << what;
+        EXPECT_EQ(res[i].cycles, clean[i].cycles) << what;
+        EXPECT_EQ(res[i].committed, clean[i].committed) << what;
+    }
+
+    EXPECT_EQ(res[2].outcome.status, sim::RunStatus::Failed);
+    EXPECT_EQ(res[2].outcome.errorKind, ErrorKind::Invariant);
+    EXPECT_FALSE(res[2].valid());
+    EXPECT_EQ(res[2].sim, nullptr);
+    EXPECT_EQ(res[2].outcome.context.workload, jobs[2].workload);
+    EXPECT_NE(res[2].outcome.error.find("[invariant]"),
+              std::string::npos)
+        << res[2].outcome.error;
+
+    EXPECT_EQ(res[5].outcome.status, sim::RunStatus::Failed);
+    EXPECT_EQ(res[5].outcome.errorKind, ErrorKind::Deadlock);
+    EXPECT_FALSE(res[5].valid());
+    EXPECT_GT(res[5].outcome.context.cycle, 2000u);
+    EXPECT_FALSE(res[5].outcome.context.dump.empty());
+}
+
+TEST(SweepFaultIsolation, PoisonedWorkloadReportsConfigError)
+{
+    workloads::WorkloadCache cache;
+    auto jobs = smallGrid(2000);
+    jobs[0].fault = sim::FaultKind::PoisonWorkload;
+    auto res = sim::SweepRunner(2, &cache).run(jobs);
+    EXPECT_EQ(res[0].outcome.status, sim::RunStatus::Failed);
+    EXPECT_EQ(res[0].outcome.errorKind, ErrorKind::Config);
+    EXPECT_NE(res[0].outcome.error.find("unknown workload"),
+              std::string::npos)
+        << res[0].outcome.error;
+    for (size_t i = 1; i < res.size(); ++i)
+        EXPECT_TRUE(res[i].outcome.ok()) << i;
+}
+
+TEST(SweepFaultIsolation, RetriesRecoverTransientFaults)
+{
+    workloads::WorkloadCache cache;
+    auto jobs = smallGrid(2000);
+
+    // Without retries the flaky cell fails on its single attempt...
+    jobs[1].fault = sim::FaultKind::FlakyOnce;
+    auto res = sim::SweepRunner(2, &cache).run(jobs);
+    EXPECT_EQ(res[1].outcome.status, sim::RunStatus::Failed);
+    EXPECT_EQ(res[1].outcome.attempts, 1u);
+
+    // ...with one retry it succeeds on the second, and the result is
+    // indistinguishable from an untroubled cell apart from the
+    // attempt count.
+    jobs[1].max_retries = 1;
+    auto retried = sim::SweepRunner(2, &cache).run(jobs);
+    EXPECT_TRUE(retried[1].outcome.ok());
+    EXPECT_EQ(retried[1].outcome.attempts, 2u);
+    EXPECT_TRUE(retried[1].valid());
+    EXPECT_GT(retried[1].cycles, 0u);
+}
+
+TEST(SweepFaultIsolation, WallBudgetTimesOutRunawayCells)
+{
+    workloads::WorkloadCache cache;
+    auto jobs = smallGrid(200000);
+    jobs[3].wall_budget_seconds = 1e-9;
+    auto res = sim::SweepRunner(2, &cache).run(jobs);
+    EXPECT_EQ(res[3].outcome.status, sim::RunStatus::TimedOut);
+    EXPECT_EQ(res[3].outcome.errorKind, ErrorKind::Timeout);
+    for (size_t i = 0; i < res.size(); ++i) {
+        if (i != 3) {
+            EXPECT_TRUE(res[i].outcome.ok()) << i;
+        }
+    }
+}
+
+TEST(RequireAllOk, ThrowsListingEveryFailedCell)
+{
+    workloads::WorkloadCache cache;
+    auto jobs = smallGrid(2000);
+    jobs[0].fault = sim::FaultKind::PoisonWorkload;
+    auto res = sim::SweepRunner(2, &cache).run(jobs);
+    try {
+        sim::requireAllOk(res);
+        FAIL() << "expected hpa::WorkloadError";
+    } catch (const WorkloadError &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("1 of 8 sweep cells failed"),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find(jobs[0].workload), std::string::npos)
+            << what;
+    }
+
+    // A clean sweep sails through.
+    auto clean = sim::SweepRunner(2, &cache).run(smallGrid(2000));
+    EXPECT_NO_THROW(sim::requireAllOk(clean));
+}
+
 TEST(InstBudgetEnv, AcceptsOnlyPositiveIntegers)
 {
     setenv("HPA_INSTS", "12345", 1);

@@ -4,16 +4,24 @@
  * every (paper machine x benchmark) pair once serially and once on
  * the thread pool, verify the two produce identical IPC (the sweep
  * engine's determinism contract), and emit BENCH_sweep.json
- * ("hpa.bench-sweep.v1") with per-run IPC, wall time and
+ * ("hpa.bench-sweep.v2") with per-run status, IPC, wall time and
  * simulated-cycles/sec plus the measured serial-to-parallel speedup.
  *
  *   hpa_bench_sweep [--insts N] [--jobs N] [--out FILE]
  *                   [--check GOLDEN] [--write-golden FILE]
+ *                   [--inject KIND@INDEX]
  *
  * --check compares the sweep's IPC values against a golden JSON map
  * ("hpa.sweep-golden.v1", tools/golden_sweep_ipc.json in the repo)
  * and fails with a per-cell diff on any drift — the cheap regression
  * gate run by tools/run_full_sweep.sh.
+ *
+ * Failed cells are fault-isolated: they appear in the JSON with
+ * status/error_kind/error, are excluded from the determinism and
+ * golden comparisons, and turn the exit status non-zero — the
+ * artifact with every surviving cell is still written. --inject
+ * (test only; KIND = poison | invariant | hang | flaky) plants a
+ * fault in one job so this path can be exercised end to end.
  */
 
 #include <algorithm>
@@ -112,6 +120,7 @@ main(int argc, char **argv)
     std::string out = "BENCH_sweep.json";
     std::string check;
     std::string write_golden;
+    std::vector<std::pair<sim::FaultKind, size_t>> injections;
 
     auto need = [&](int &i) -> std::string {
         if (i + 1 >= argc) {
@@ -132,11 +141,36 @@ main(int argc, char **argv)
             check = need(i);
         else if (a == "--write-golden")
             write_golden = need(i);
-        else {
+        else if (a == "--inject") {
+            std::string v = need(i);
+            size_t at = v.find('@');
+            std::string kind = v.substr(0, at);
+            sim::FaultKind f;
+            if (kind == "poison")
+                f = sim::FaultKind::PoisonWorkload;
+            else if (kind == "invariant")
+                f = sim::FaultKind::InvariantTrip;
+            else if (kind == "hang")
+                f = sim::FaultKind::BlockCommit;
+            else if (kind == "flaky")
+                f = sim::FaultKind::FlakyOnce;
+            else {
+                std::cerr << "--inject expects "
+                             "poison|invariant|hang|flaky@INDEX\n";
+                return 2;
+            }
+            if (at == std::string::npos) {
+                std::cerr << "--inject needs an @INDEX\n";
+                return 2;
+            }
+            injections.emplace_back(
+                f, parseU64(a, v.substr(at + 1)));
+        } else {
             std::cerr << "unknown option: " << a << "\n"
                       << "usage: hpa_bench_sweep [--insts N] "
                          "[--jobs N] [--out FILE] [--check GOLDEN] "
-                         "[--write-golden FILE]\n";
+                         "[--write-golden FILE] "
+                         "[--inject KIND@INDEX]\n";
             return 2;
         }
     }
@@ -153,6 +187,17 @@ main(int argc, char **argv)
             j.validate();
             sweep.push_back(j);
         }
+    }
+    for (auto [fault, idx] : injections) {
+        if (idx >= sweep.size()) {
+            std::cerr << "--inject index " << idx << " out of range "
+                      << "(0.." << sweep.size() - 1 << ")\n";
+            return 2;
+        }
+        sweep[idx].fault = fault;
+        // A hung cell waits out the watchdog; keep that snappy.
+        if (fault == sim::FaultKind::BlockCommit)
+            sweep[idx].machine.cfg.watchdog_cycles = 20000;
     }
 
     unsigned hw = sim::SweepRunner::resolveJobs(0);
@@ -176,9 +221,25 @@ main(int argc, char **argv)
     double t_parallel = wallSeconds(
         [&] { parallel = sim::SweepRunner(par_jobs).run(sweep); });
 
-    // Determinism contract: parallel results bit-identical to serial.
+    // Determinism contract: parallel results bit-identical to serial
+    // — including which cells failed and why (error kinds are
+    // deterministic; only the wall-clock fields may differ).
     size_t mismatches = 0;
     for (size_t i = 0; i < sweep.size(); ++i) {
+        if (serial[i].outcome.status != parallel[i].outcome.status
+            || serial[i].outcome.errorKind
+                   != parallel[i].outcome.errorKind) {
+            std::fprintf(stderr,
+                         "DETERMINISM MISMATCH %s: serial status %s "
+                         "parallel status %s\n",
+                         runKey(sweep[i]).c_str(),
+                         sim::statusName(serial[i].outcome.status),
+                         sim::statusName(parallel[i].outcome.status));
+            ++mismatches;
+            continue;
+        }
+        if (!serial[i].outcome.ok())
+            continue;
         if (serial[i].ipc != parallel[i].ipc
             || serial[i].cycles != parallel[i].cycles
             || serial[i].committed != parallel[i].committed) {
@@ -194,6 +255,11 @@ main(int argc, char **argv)
         std::fprintf(stderr, "%zu mismatching runs\n", mismatches);
         return 1;
     }
+
+    std::vector<const sim::SweepResult *> failed;
+    for (const auto &r : parallel)
+        if (!r.outcome.ok())
+            failed.push_back(&r);
 
     double speedup = t_parallel > 0 ? t_serial / t_parallel : 0.0;
     double efficiency =
@@ -215,7 +281,7 @@ main(int argc, char **argv)
         }
         stats::json::JsonWriter jw(os);
         jw.beginObject()
-            .kv("schema", "hpa.bench-sweep.v1")
+            .kv("schema", "hpa.bench-sweep.v2")
             .kv("insts_per_run", insts)
             .kv("hardware_threads", hw)
             .kv("parallel_jobs", par_jobs)
@@ -228,18 +294,27 @@ main(int argc, char **argv)
                 t_parallel > 0 ? double(total_cycles) / t_parallel
                                : 0.0,
                 0)
+            .kv("ok_runs", uint64_t(parallel.size() - failed.size()))
+            .kv("failed_runs", uint64_t(failed.size()))
             .key("runs")
             .beginArray();
         for (const auto &r : parallel) {
             jw.beginObject()
                 .kv("machine", r.spec.machine.name)
                 .kv("workload", r.spec.workload)
+                .kv("status", sim::statusName(r.outcome.status))
+                .kv("valid", r.valid())
+                .kv("steady_missing", r.outcome.steadyMissing)
                 .kv("ipc", r.ipc, 6)
                 .kv("committed", r.committed)
                 .kv("cycles", r.cycles)
                 .kv("wall_seconds", r.wallSeconds, 4)
-                .kv("cycles_per_sec", r.cyclesPerSec(), 0)
-                .endObject();
+                .kv("cycles_per_sec", r.cyclesPerSec(), 0);
+            if (!r.outcome.ok()) {
+                jw.kv("error_kind", kindName(r.outcome.errorKind))
+                    .kv("error", r.outcome.error);
+            }
+            jw.endObject();
         }
         jw.endArray().endObject();
         std::printf("wrote %s\n", out.c_str());
@@ -256,7 +331,8 @@ main(int argc, char **argv)
             .kv("schema", "hpa.sweep-golden.v1")
             .kv("insts_per_run", insts);
         for (size_t i = 0; i < parallel.size(); ++i)
-            jw.kv(runKey(sweep[i]), parallel[i].ipc, 6);
+            if (parallel[i].outcome.ok())
+                jw.kv(runKey(sweep[i]), parallel[i].ipc, 6);
         jw.endObject();
         std::printf("wrote %s\n", write_golden.c_str());
     }
@@ -285,6 +361,10 @@ main(int argc, char **argv)
 
         size_t drift = 0, checked = 0;
         for (size_t i = 0; i < sweep.size(); ++i) {
+            // Failed cells carry no IPC to compare; they are
+            // reported (and fail the gate) via the failure list.
+            if (!parallel[i].outcome.ok())
+                continue;
             auto it = golden.find(runKey(sweep[i]));
             if (it == golden.end())
                 continue;
@@ -314,6 +394,19 @@ main(int argc, char **argv)
         }
         std::printf("golden check: %zu runs match %s\n", checked,
                     check.c_str());
+    }
+
+    if (!failed.empty()) {
+        std::fprintf(stderr,
+                     "\n%zu of %zu runs failed (artifact %s still "
+                     "carries every surviving cell):\n",
+                     failed.size(), parallel.size(), out.c_str());
+        for (const auto *r : failed)
+            std::fprintf(stderr, "  %s @ %s: %s\n",
+                         r->spec.workload.c_str(),
+                         r->spec.machine.name.c_str(),
+                         r->outcome.error.c_str());
+        return 1;
     }
     return 0;
 }

@@ -3,9 +3,11 @@
  * Schema gate for the simulator's machine-readable artifacts:
  * check that a document is well-formed JSON (RFC 8259) and, when
  * --schema is given, that its "schema" field carries the expected
- * version tag. Reads a file, stdin ("-"), or the stdout of a child
- * command (--exec) so ctest can gate an emitter without a shell
- * pipeline:
+ * version tag — and, for the schemas this repo emits, that every
+ * required field is present (so a truncated or hand-edited artifact
+ * cannot slip through on the version tag alone). Reads a file,
+ * stdin ("-"), or the stdout of a child command (--exec) so ctest
+ * can gate an emitter without a shell pipeline:
  *
  *   hpa_json_validate --schema hpa.stats.v1 stats.json
  *   hpa_json_validate --schema hpa.stats.v1 \
@@ -16,13 +18,54 @@
 
 #include <cstdio>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "stats/json.hh"
 
 namespace
 {
+
+/**
+ * Required keys per known schema tag. Presence-only (the document
+ * already passed the full syntax validator); unknown tags get the
+ * version check alone.
+ */
+const std::map<std::string, std::vector<std::string>> &
+requiredFields()
+{
+    static const std::map<std::string, std::vector<std::string>> req =
+        {
+            {"hpa.run.v2",
+             {"workload", "machine", "status", "valid",
+              "steady_missing", "attempts", "ipc", "committed",
+              "cycles"}},
+            {"hpa.bench-sweep.v2",
+             {"insts_per_run", "ok_runs", "failed_runs", "runs",
+              "status", "valid"}},
+            {"hpa.sweep-golden.v1", {"insts_per_run"}},
+        };
+    return req;
+}
+
+/** Check every required key for @p schema appears as a JSON key. */
+bool
+checkRequired(const std::string &schema, const std::string &text,
+              std::string &missing)
+{
+    auto it = requiredFields().find(schema);
+    if (it == requiredFields().end())
+        return true;
+    for (const auto &key : it->second) {
+        if (text.find("\"" + key + "\"") == std::string::npos) {
+            missing = key;
+            return false;
+        }
+    }
+    return true;
+}
 
 void
 usage(std::ostream &os)
@@ -126,6 +169,13 @@ main(int argc, char **argv)
             std::cerr << "schema mismatch: expected \"" << schema
                       << "\", document has \""
                       << (got.empty() ? "<none>" : got) << "\"\n";
+            return 1;
+        }
+        std::string missing;
+        if (!checkRequired(schema, text, missing)) {
+            std::cerr << "schema " << schema
+                      << ": required field \"" << missing
+                      << "\" is missing\n";
             return 1;
         }
     }

@@ -66,12 +66,23 @@ run control:
   --report            dump the full statistics report
   --help              this text
 
+robustness:
+  --watchdog N        fail the run with a deadlock report when no
+                      instruction commits for N cycles (default
+                      100000; 0 disables)
+  --check-interval N  cross-validate the scheduler's incremental
+                      bookkeeping against the window every N cycles
+                      (default 0 = off)
+
 structured output (FILE may be '-' for stdout; writing any document
 to stdout suppresses the human-readable summary):
-  --json FILE         the whole run — spec, metrics, full stats —
-                      as one "hpa.run.v1" JSON document
+  --json FILE         the whole run — spec, metrics, status, full
+                      stats — as one "hpa.run.v2" JSON document
   --stats-json FILE   just the statistics registry, "hpa.stats.v1"
   --stats-csv FILE    the statistics as a CSV header/data row pair
+
+exit status: 0 success; 1 runtime failure (including failed sweep
+cells — partial results are still printed); 2 usage/config errors.
 )";
 }
 
@@ -79,28 +90,31 @@ to stdout suppresses the human-readable summary):
  * The full reproduction sweep: every benchmark on every machine of
  * the paper's main figures, run on the SweepRunner thread pool.
  * Deterministic — the IPC matrix is identical at any --jobs value.
+ * Failed cells print as FAIL, are listed with their error kind and
+ * context after the matrix, and turn the exit status non-zero; the
+ * surviving cells are unaffected.
  */
 int
-runSweepMode(unsigned jobs, uint64_t insts, uint64_t cycles)
+runSweepMode(const tools::SimOptions &opt)
 {
-    if (insts == 0)
-        insts = 200000;
+    uint64_t insts = opt.insts ? opt.insts : 200000;
     auto machines = sim::reproductionMachines();
     auto names = workloads::benchmarkNames();
 
     std::vector<sim::SweepJob> sweep;
-    for (const auto &m : machines) {
+    for (auto &m : machines) {
+        tools::applyRobustnessKnobs(opt, m.cfg);
         for (const auto &n : names) {
             sim::SweepJob j;
             j.workload = n;
             j.machine = m;
             j.max_insts = insts;
-            j.max_cycles = cycles;
+            j.max_cycles = opt.cycles;
             sweep.push_back(j);
         }
     }
 
-    sim::SweepRunner runner(jobs);
+    sim::SweepRunner runner(opt.jobs);
     std::cout << sweep.size() << " runs (" << machines.size()
               << " machines x " << names.size() << " benchmarks), "
               << runner.jobs() << " worker thread(s), " << insts
@@ -118,11 +132,19 @@ runSweepMode(unsigned jobs, uint64_t insts, uint64_t cycles)
     std::cout << "\n";
     size_t k = 0;
     uint64_t total_cycles = 0;
+    std::vector<const sim::SweepResult *> failed;
+    bool steady_missing = false;
     for (const auto &m : machines) {
         std::cout << std::left << std::setw(26) << m.name;
         for (size_t i = 0; i < names.size(); ++i, ++k) {
-            std::cout << std::right << std::setw(8) << std::fixed
-                      << std::setprecision(2) << res[k].ipc;
+            if (!res[k].outcome.ok()) {
+                failed.push_back(&res[k]);
+                std::cout << std::right << std::setw(8) << "FAIL";
+            } else {
+                std::cout << std::right << std::setw(8) << std::fixed
+                          << std::setprecision(2) << res[k].ipc;
+            }
+            steady_missing |= res[k].outcome.steadyMissing;
             total_cycles += res[k].cycles;
         }
         std::cout << "\n";
@@ -132,6 +154,19 @@ runSweepMode(unsigned jobs, uint64_t insts, uint64_t cycles)
               << " Mcycles simulated in " << wall << " s wall ("
               << std::setprecision(2) << total_cycles / 1e6 / wall
               << " Mcycles/s aggregate)\n";
+    if (steady_missing)
+        std::cerr << "warning: some kernels have no steady: symbol; "
+                     "their timing includes initialization\n";
+    if (!failed.empty()) {
+        std::cerr << "\n" << failed.size() << " of " << res.size()
+                  << " runs failed (remaining cells are complete and "
+                     "deterministic):\n";
+        for (const auto *r : failed)
+            std::cerr << "  " << r->spec.workload << " @ "
+                      << r->spec.machine.name << ": "
+                      << r->outcome.error << "\n";
+        return 1;
+    }
     return 0;
 }
 
@@ -186,7 +221,7 @@ main(int argc, char **argv)
             return 2;
         }
         try {
-            return runSweepMode(opt.jobs, opt.insts, opt.cycles);
+            return runSweepMode(opt);
         } catch (const std::exception &e) {
             std::cerr << "error: " << e.what() << "\n";
             return 1;
@@ -227,8 +262,16 @@ main(int argc, char **argv)
         r.spec.fast_forward = opt.fastforward;
 
         uint64_t ff = 0;
-        if (opt.fastforward && image.symbols.count("steady"))
-            ff = image.symbols.at("steady");
+        if (opt.fastforward) {
+            if (image.symbols.count("steady")) {
+                ff = image.symbols.at("steady");
+            } else {
+                r.outcome.steadyMissing = true;
+                std::cerr << "warning: no steady: symbol in "
+                          << r.spec.workload
+                          << "; timing includes initialization\n";
+            }
+        }
 
         r.sim = std::make_unique<sim::Simulation>(
             image, r.spec.machine.cfg, opt.insts, ff);
@@ -284,6 +327,14 @@ main(int argc, char **argv)
                 });
         if (!ok)
             return 1;
+    } catch (const SimError &e) {
+        // Typed failures: one line with the machine-readable kind;
+        // config mistakes exit 2 like other usage errors, and any
+        // attached pipeline dump goes to stderr for postmortems.
+        std::cerr << "error: " << e.oneLine() << "\n";
+        if (!e.context().dump.empty())
+            std::cerr << e.context().dump;
+        return e.kind() == ErrorKind::Config ? 2 : 1;
     } catch (const std::exception &e) {
         std::cerr << "error: " << e.what() << "\n";
         return 1;

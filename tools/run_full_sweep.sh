@@ -4,7 +4,7 @@
 # pool, and check the resulting IPC matrix against the checked-in
 # golden ("hpa.sweep-golden.v1"; any drift is reported per cell as
 # machine, workload, expected and got). Writes BENCH_sweep.json
-# ("hpa.bench-sweep.v1": per-run IPC, wall time, simulated-
+# ("hpa.bench-sweep.v2": per-run status/IPC, wall time, simulated-
 # cycles/sec, and the measured serial-to-parallel speedup) in the
 # repo root, then validates both documents with hpa_json_validate.
 #
@@ -40,7 +40,7 @@ fi
     --out BENCH_sweep.json "${CHECK[@]}"
 
 ./build/tools/hpa_json_validate --schema hpa.sweep-golden.v1 "$GOLDEN"
-./build/tools/hpa_json_validate --schema hpa.bench-sweep.v1 \
+./build/tools/hpa_json_validate --schema hpa.bench-sweep.v2 \
     BENCH_sweep.json
 
 echo "full sweep OK: BENCH_sweep.json written"

@@ -43,6 +43,13 @@ struct SimOptions
     bool list = false;
     bool help = false;
     unsigned jobs = 0;
+    /** --watchdog N: deadlock watchdog threshold in cycles
+     *  (0 disables). Unset keeps the CoreConfig default. */
+    uint64_t watchdog = 0;
+    bool watchdog_set = false;
+    /** --check-interval N: scheduler cross-validation every N cycles
+     *  (0 = off, the default). */
+    uint64_t check_interval = 0;
     /** Output files; "-" means stdout. Empty means not requested. */
     std::string json_out;
     std::string stats_json_out;
@@ -213,6 +220,13 @@ parseSimOptions(const std::vector<std::string> &args, SimOptions &opt,
         } else if (a == "--cycles") {
             if (!needNumber(&opt.cycles))
                 return 2;
+        } else if (a == "--watchdog") {
+            if (!needNumber(&opt.watchdog))
+                return 2;
+            opt.watchdog_set = true;
+        } else if (a == "--check-interval") {
+            if (!needNumber(&opt.check_interval))
+                return 2;
         } else if (a == "--no-fastforward") {
             opt.fastforward = false;
         } else if (a == "--report") {
@@ -233,13 +247,27 @@ parseSimOptions(const std::vector<std::string> &args, SimOptions &opt,
     return 0;
 }
 
+/** Apply --watchdog / --check-interval onto a core configuration
+ *  (sweep mode applies them to every reproduction machine). */
+inline void
+applyRobustnessKnobs(const SimOptions &opt, core::CoreConfig &cfg)
+{
+    if (opt.watchdog_set)
+        cfg.watchdog_cycles = opt.watchdog;
+    if (opt.check_interval)
+        cfg.check_interval = opt.check_interval;
+}
+
 /**
  * Assemble the machine the options describe. Every model setter is
  * applied (in the legacy withX() order) so the machine name keeps
  * its historical five-component form; lap() is only forwarded when
  * --lap was given, because the builder rejects a predictor table on
- * predictor-less wakeup schemes. Throws std::invalid_argument on
- * invalid combinations (bad width, --lap with --wakeup conv, ...).
+ * predictor-less wakeup schemes. Throws hpa::ConfigError (a
+ * std::invalid_argument) on invalid combinations (bad width, --lap
+ * with --wakeup conv, ...). The robustness knobs (--watchdog,
+ * --check-interval) are applied after build(); they do not alter
+ * the machine name.
  */
 inline sim::Machine
 machineFor(const SimOptions &opt)
@@ -252,7 +280,9 @@ machineFor(const SimOptions &opt)
                  .bypassWindow(opt.bypass);
     if (opt.lap_set)
         b.lap(opt.lap);
-    return b.build();
+    sim::Machine m = b.build();
+    applyRobustnessKnobs(opt, m.cfg);
+    return m;
 }
 
 } // namespace hpa::tools

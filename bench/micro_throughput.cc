@@ -9,22 +9,54 @@
  * RunResult.wallSeconds measures Core::run() only; workload assembly
  * and functional fast-forward are excluded. Runs serially (one
  * worker) so per-run wall times are undistorted.
+ *
+ * `--json FILE` additionally writes the measurements as one
+ * "hpa.micro-throughput.v1" document so CI (the `perf` ctest label)
+ * and tools/compare_bench.py can track throughput over time.
  */
 
+#include <fstream>
+#include <string>
+
 #include "bench_util.hh"
+#include "stats/json.hh"
 
 using namespace hpa;
 using namespace hpa::benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string json_out;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--json" && i + 1 < argc) {
+            json_out = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: micro_throughput [--json FILE]\n");
+            return 2;
+        }
+    }
+
     uint64_t budget = instBudget();
     banner("Micro: simulator throughput (simulated cycles/sec)",
            "host-side figure of merit, not a paper experiment",
            budget);
 
+    struct Sample
+    {
+        unsigned width;
+        std::string bench;
+        uint64_t cycles;
+        uint64_t committed;
+        double wallSeconds;
+        double cyclesPerSec;
+    };
+    std::vector<Sample> samples;
+
     const auto names = workloads::benchmarkNames();
+    double grand_cycles = 0, grand_secs = 0;
     for (unsigned width : {4u, 8u}) {
         std::vector<sim::SweepJob> jobs;
         for (const auto &name : names)
@@ -41,6 +73,9 @@ main()
             total_cycles += double(r.cycles);
             total_secs += r.wallSeconds;
             total_insts += double(r.committed);
+            samples.push_back(Sample{width, names[i], r.cycles,
+                                     r.committed, r.wallSeconds,
+                                     r.cyclesPerSec()});
             t.begin(names[i])
                 .count(r.cycles)
                 .abs(1e3 * r.wallSeconds, 2)
@@ -54,6 +89,39 @@ main()
             .abs(total_cycles / total_secs / 1e6, 3)
             .abs(total_insts / total_secs / 1e6, 3)
             .end();
+        grand_cycles += total_cycles;
+        grand_secs += total_secs;
+    }
+
+    if (!json_out.empty()) {
+        std::ofstream os(json_out);
+        if (!os) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         json_out.c_str());
+            return 1;
+        }
+        stats::json::JsonWriter jw(os);
+        jw.beginObject()
+            .kv("schema", "hpa.micro-throughput.v1")
+            .kv("insts_per_run", budget)
+            .kv("total_simulated_cycles", uint64_t(grand_cycles))
+            .kv("total_wall_seconds", grand_secs, 4)
+            .kv("aggregate_cycles_per_sec",
+                grand_secs > 0 ? grand_cycles / grand_secs : 0.0, 0)
+            .key("runs")
+            .beginArray();
+        for (const auto &s : samples) {
+            jw.beginObject()
+                .kv("width", uint64_t(s.width))
+                .kv("workload", s.bench)
+                .kv("cycles", s.cycles)
+                .kv("committed", s.committed)
+                .kv("wall_seconds", s.wallSeconds, 4)
+                .kv("cycles_per_sec", s.cyclesPerSec, 0)
+                .endObject();
+        }
+        jw.endArray().endObject();
+        std::printf("\nwrote %s\n", json_out.c_str());
     }
     return 0;
 }

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Allocation-free window-sized containers for the core's hot path.
+ *
+ * BoundedRing replaces std::deque where the occupancy is bounded by
+ * a configuration constant (store list <= window size, fetch queue
+ * <= front-end depth x width): a fixed array with head/count
+ * indices, so push/pop never touch the heap and traversal is a
+ * dense sequential walk.
+ *
+ * PooledLists replaces vector<vector<T>> for the per-slot consumer
+ * lists: all entries of all lists live in one index-linked node
+ * pool with per-list head/tail, append order preserved. clear() is
+ * O(1) — it splices the whole list onto the free list — and the
+ * pool's high-water mark is bounded (each in-window instruction
+ * appends at most two consumer entries, and a producer's list is
+ * cleared no later than its slot is reused), so after warm-up the
+ * steady state performs zero heap allocation.
+ */
+
+#ifndef HPA_CORE_CONTAINERS_HH
+#define HPA_CORE_CONTAINERS_HH
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hpa::core
+{
+
+/** Fixed-capacity FIFO ring; the caller guarantees the bound. */
+template <typename T>
+class BoundedRing
+{
+  public:
+    BoundedRing() = default;
+
+    /** Discard contents and (re)allocate a fixed capacity. */
+    void
+    reset(size_t capacity)
+    {
+        buf_.assign(capacity, T{});
+        head_ = 0;
+        count_ = 0;
+    }
+
+    bool empty() const { return count_ == 0; }
+    size_t size() const { return count_; }
+    size_t capacity() const { return buf_.size(); }
+
+    T &front() { return buf_[head_]; }
+    const T &front() const { return buf_[head_]; }
+
+    /** @p i-th element from the front (0 = oldest). */
+    T &operator[](size_t i) { return buf_[wrap(head_ + i)]; }
+    const T &operator[](size_t i) const
+    {
+        return buf_[wrap(head_ + i)];
+    }
+
+    void
+    push_back(const T &v)
+    {
+        assert(count_ < buf_.size());
+        buf_[wrap(head_ + count_)] = v;
+        ++count_;
+    }
+
+    void
+    pop_front()
+    {
+        assert(count_ > 0);
+        head_ = wrap(head_ + 1);
+        --count_;
+    }
+
+  private:
+    /** head_ + i < 2 * capacity always, so one subtract suffices. */
+    size_t
+    wrap(size_t i) const
+    {
+        return i >= buf_.size() ? i - buf_.size() : i;
+    }
+
+    std::vector<T> buf_;
+    size_t head_ = 0;
+    size_t count_ = 0;
+};
+
+/** N append-ordered lists sharing one pooled node array. */
+template <typename T>
+class PooledLists
+{
+  public:
+    /** Drop everything: @p lists empty lists over a pool with room
+     *  for @p reserve_nodes entries before any growth. */
+    void
+    reset(size_t lists, size_t reserve_nodes)
+    {
+        head_.assign(lists, NIL);
+        tail_.assign(lists, NIL);
+        nodes_.clear();
+        nodes_.reserve(reserve_nodes);
+        free_ = NIL;
+    }
+
+    bool empty(unsigned list) const { return head_[list] == NIL; }
+
+    void
+    append(unsigned list, const T &v)
+    {
+        int32_t n;
+        if (free_ != NIL) {
+            n = free_;
+            free_ = nodes_[n].next;
+            nodes_[n].value = v;
+            nodes_[n].next = NIL;
+        } else {
+            n = int32_t(nodes_.size());
+            nodes_.push_back(Node{v, NIL});
+        }
+        if (tail_[list] == NIL)
+            head_[list] = n;
+        else
+            nodes_[tail_[list]].next = n;
+        tail_[list] = n;
+    }
+
+    /** Splice the whole list onto the free list — O(1). */
+    void
+    clear(unsigned list)
+    {
+        int32_t h = head_[list];
+        if (h == NIL)
+            return;
+        nodes_[tail_[list]].next = free_;
+        free_ = h;
+        head_[list] = NIL;
+        tail_[list] = NIL;
+    }
+
+    /** Visit each element of @p list in append order. @p fn must not
+     *  append to or clear any list of this pool. */
+    template <typename Fn>
+    void
+    forEach(unsigned list, Fn &&fn) const
+    {
+        for (int32_t n = head_[list]; n != NIL; n = nodes_[n].next)
+            fn(nodes_[n].value);
+    }
+
+    /** Pool high-water mark (allocated nodes), for diagnostics. */
+    size_t poolSize() const { return nodes_.size(); }
+
+  private:
+    static constexpr int32_t NIL = -1;
+
+    struct Node
+    {
+        T value;
+        int32_t next;
+    };
+
+    std::vector<Node> nodes_;
+    std::vector<int32_t> head_;
+    std::vector<int32_t> tail_;
+    int32_t free_ = NIL;
+};
+
+} // namespace hpa::core
+
+#endif // HPA_CORE_CONTAINERS_HH

@@ -73,11 +73,22 @@ CoreStats::regStats(stats::Registry &reg)
 
 Core::Core(const CoreConfig &cfg, InstSource &source)
     : cfg_(cfg), source_(source), hier_(cfg.mem), bp_(cfg.bpred),
-      fu_(cfg), lap_(cfg.lap_entries),
-      window_(cfg.ruu_size), consumers_(cfg.ruu_size)
+      fu_(cfg), lap_(cfg.lap_entries), window_(cfg.ruu_size)
 {
+    // Every hot-path container is sized to its configuration bound
+    // here so steady-state simulation allocates nothing: each
+    // in-window instruction contributes at most two consumer-pool
+    // entries, stores never outnumber window slots, and the fetch
+    // queue is capped by the front-end depth.
+    consumers_.reset(cfg.ruu_size, 2 * size_t(cfg.ruu_size));
+    storeSlots_.reset(cfg.ruu_size);
+    fetchQueue_.reset(size_t(cfg.front_end_depth) * cfg.width);
     readyList_.reserve(cfg.ruu_size);
     issuedList_.reserve(cfg.ruu_size);
+    squashCandidates_.reserve(cfg.ruu_size);
+    squashList_.reserve(cfg.ruu_size);
+    squashTainted_.reserve(size_t(cfg.ruu_size) + 1);
+    squashIn_.reserve(cfg.ruu_size);
     lookahead_ = source_.next();
     if (!lookahead_)
         sourceDone_ = true;
@@ -211,14 +222,12 @@ Core::sideListDivergence() const
         return listText("ready list", readyList_, want_ready);
     if (want_issued != issuedList_)
         return listText("issued list", issuedList_, want_issued);
-    if (want_stores.size() != storeSlots_.size()
-        || !std::equal(want_stores.begin(), want_stores.end(),
-                       storeSlots_.begin()))
-        return listText(
-            "store list",
-            std::vector<unsigned>(storeSlots_.begin(),
-                                  storeSlots_.end()),
-            want_stores);
+    std::vector<unsigned> have_stores;
+    have_stores.reserve(storeSlots_.size());
+    for (size_t i = 0; i < storeSlots_.size(); ++i)
+        have_stores.push_back(storeSlots_[i]);
+    if (want_stores != have_stores)
+        return listText("store list", have_stores, want_stores);
     for (unsigned slot : readyList_)
         if (!window_[slot].inReadyList)
             return "slot " + std::to_string(slot)
@@ -267,7 +276,7 @@ Core::dumpPipelineState() const
        << " ready=" << readyList_.size()
        << " issued=" << issuedList_.size()
        << " stores=" << storeSlots_.size()
-       << " event_cycles=" << events_.size() << "\n";
+       << " events_pending=" << events_.pending() << "\n";
     os << "  slot      seq         pc  disp  issue  compl  "
           "state  disasm\n";
     // The oldest entries explain a stall: dump the head of the
@@ -420,7 +429,7 @@ Core::commit()
         commitFormatStats(di);
         if (commitListener_)
             commitListener_(di, cycle_);
-        consumers_[head_].clear();
+        consumers_.clear(head_);
         di.inWindow = false;
         if (di.isStore()) {
             HPA_CHECK_CTX(!storeSlots_.empty()
@@ -453,47 +462,47 @@ Core::scheduleEvent(uint64_t when, Event ev)
                   "event scheduled for cycle " + std::to_string(when)
                       + ", not in the future",
                   invariantContext());
-    events_[when].push_back(ev);
+    events_.schedule(when, cycle_, ev);
 }
 
 void
 Core::processEvents()
 {
-    auto it = events_.find(cycle_);
-    if (it == events_.end())
+    // beginCycle() must run every cycle (it migrates far-future
+    // events into ring range before anything can schedule at this
+    // cycle), even when this cycle's bucket turns out empty.
+    std::vector<Event> &bucket = events_.beginCycle(cycle_);
+    if (bucket.empty())
         return;
-    std::vector<Event> bucket = std::move(it->second);
-    events_.erase(it);
 
-    auto rank = [](EventKind k) {
-        switch (k) {
-          case EventKind::LoadMissDetect:
-          case EventKind::TagElimDetect:
-            return 0;
-          case EventKind::Complete:
-            return 1;
-          default:
-            return 2;
-        }
-    };
-    std::stable_sort(bucket.begin(), bucket.end(),
-                     [&](const Event &a, const Event &b) {
-                         return rank(a.kind) < rank(b.kind);
-                     });
-
-    for (const Event &ev : bucket) {
-        DynInst &di = window_[ev.slot];
-        if (!di.inWindow || di.seq != ev.seq || !di.issued
-            || di.issueToken != ev.token)
-            continue;
-        switch (ev.kind) {
-          case EventKind::FastWake: handleFastWake(ev); break;
-          case EventKind::SlowWake: handleSlowWake(ev); break;
-          case EventKind::Complete: handleComplete(ev); break;
-          case EventKind::LoadMissDetect: handleLoadMiss(ev); break;
-          case EventKind::TagElimDetect: handleTagElim(ev); break;
+    // Three rank-ordered passes replace the old stable_sort-by-rank:
+    // identical delivery order (rank class ascending, schedule order
+    // within a class) with zero copying or allocation. Handlers only
+    // schedule strictly-future events, so the bucket is never
+    // appended to mid-iteration; the staleness filter runs at
+    // delivery time, exactly as the sorted single pass did.
+    for (int rank = 0; rank < 3; ++rank) {
+        for (const Event &ev : bucket) {
+            if (eventRank(ev.kind) != rank)
+                continue;
+            DynInst &di = window_[ev.slot];
+            if (!di.inWindow || di.seq != ev.seq || !di.issued
+                || di.issueToken != ev.token)
+                continue;
+            switch (ev.kind) {
+              case EventKind::FastWake: handleFastWake(ev); break;
+              case EventKind::SlowWake: handleSlowWake(ev); break;
+              case EventKind::Complete: handleComplete(ev); break;
+              case EventKind::LoadMissDetect:
+                handleLoadMiss(ev);
+                break;
+              case EventKind::TagElimDetect:
+                handleTagElim(ev);
+                break;
+            }
         }
     }
+    events_.endCycle(cycle_);
 }
 
 void
@@ -605,16 +614,16 @@ Core::wakeOperand(DynInst &ci, OperandState &op, uint64_t now,
 void
 Core::handleFastWake(const Event &ev)
 {
-    for (const Consumer &c : consumers_[ev.slot]) {
+    consumers_.forEach(unsigned(ev.slot), [&](const Consumer &c) {
         DynInst &ci = window_[c.slot];
         if (!ci.inWindow || ci.seq != c.seq)
-            continue;
+            return;
         OperandState &op = ci.src[c.opIdx];
         if (op.producerSeq != ev.seq)
-            continue;
+            return;
         wakeOperand(ci, op, cycle_, ev.seq, false);
         updateReadySlot(unsigned(c.slot));
-    }
+    });
     if (cfg_.sequentialWakeup())
         scheduleEvent(cycle_ + 1,
                       Event{EventKind::SlowWake, ev.slot, ev.seq,
@@ -624,16 +633,16 @@ Core::handleFastWake(const Event &ev)
 void
 Core::handleSlowWake(const Event &ev)
 {
-    for (const Consumer &c : consumers_[ev.slot]) {
+    consumers_.forEach(unsigned(ev.slot), [&](const Consumer &c) {
         DynInst &ci = window_[c.slot];
         if (!ci.inWindow || ci.seq != c.seq)
-            continue;
+            return;
         OperandState &op = ci.src[c.opIdx];
         if (op.producerSeq != ev.seq)
-            continue;
+            return;
         wakeOperand(ci, op, cycle_, ev.seq, true);
         updateReadySlot(unsigned(c.slot));
-    }
+    });
 }
 
 void
@@ -655,16 +664,16 @@ Core::handleComplete(const Event &ev)
 void
 Core::repairConsumersOf(int slot, uint64_t producer_seq)
 {
-    for (const Consumer &c : consumers_[slot]) {
+    consumers_.forEach(unsigned(slot), [&](const Consumer &c) {
         DynInst &ci = window_[c.slot];
         if (!ci.inWindow || ci.seq != c.seq)
-            continue;
+            return;
         OperandState &op = ci.src[c.opIdx];
         if (op.producerSeq != producer_seq
             || op.wakeProducerSeq != producer_seq)
-            continue;
+            return;
         if (!op.dataReady && !op.ready)
-            continue;
+            return;
         if (op.dataReady && ci.twoPending && !ci.lapResolved) {
             // Un-record the speculative wakeup observation.
             if (ci.wakesSeen > 0)
@@ -678,7 +687,7 @@ Core::repairConsumersOf(int slot, uint64_t producer_seq)
         op.dataReadyCycle = NO_CYCLE;
         op.wakeProducerSeq = NO_SEQ;
         updateReadySlot(unsigned(c.slot));
-    }
+    });
 }
 
 void
@@ -687,8 +696,11 @@ Core::squashWindow(uint64_t first_cycle, uint64_t last_cycle,
 {
     // Collect issued-in-shadow instructions. issuedList_ holds
     // exactly the issued-and-incomplete window entries, oldest
-    // first — same visit order as a head-to-tail window scan.
-    std::vector<int> candidates;
+    // first — same visit order as a head-to-tail window scan. The
+    // scratch vectors are members (capacity reserved at window
+    // size), so recovery allocates nothing once warm.
+    std::vector<int> &candidates = squashCandidates_;
+    candidates.clear();
     for (unsigned slot : issuedList_) {
         DynInst &di = window_[slot];
         if (di.seq != trigger_seq && di.issueCycle >= first_cycle
@@ -696,14 +708,18 @@ Core::squashWindow(uint64_t first_cycle, uint64_t last_cycle,
             candidates.push_back(int(slot));
     }
 
-    std::vector<int> squash;
+    std::vector<int> &squash = squashList_;
+    squash.clear();
     if (!selective) {
-        squash = std::move(candidates);
+        squash.assign(candidates.begin(), candidates.end());
     } else {
         // Taint propagation from the trigger through wake producers.
-        std::vector<uint64_t> tainted{trigger_seq};
+        std::vector<uint64_t> &tainted = squashTainted_;
+        tainted.clear();
+        tainted.push_back(trigger_seq);
         bool changed = true;
-        std::vector<bool> in(candidates.size(), false);
+        std::vector<char> &in = squashIn_;
+        in.assign(candidates.size(), 0);
         while (changed) {
             changed = false;
             for (size_t i = 0; i < candidates.size(); ++i) {
@@ -716,7 +732,7 @@ Core::squashWindow(uint64_t first_cycle, uint64_t last_cycle,
                         continue;
                     if (std::find(tainted.begin(), tainted.end(), wp)
                         != tainted.end()) {
-                        in[i] = true;
+                        in[i] = 1;
                         tainted.push_back(di.seq);
                         changed = true;
                         break;
@@ -807,8 +823,8 @@ Core::lsqAllowsLoad(const DynInst &load) const
     // storeSlots_ holds the in-window stores in program order, so
     // the overlap search touches only older stores instead of the
     // whole window.
-    for (unsigned slot : storeSlots_) {
-        const DynInst &di = window_[slot];
+    for (size_t k = 0; k < storeSlots_.size(); ++k) {
+        const DynInst &di = window_[storeSlots_[k]];
         if (di.seq >= load.seq)
             break;
         uint64_t slo = di.rec.effAddr;
@@ -900,8 +916,8 @@ Core::issueInst(DynInst &di, int slot)
         bool forwarded = false;
         uint64_t lo = di.rec.effAddr;
         uint64_t hi = lo + di.rec.inst.memSize();
-        for (unsigned st_slot : storeSlots_) {
-            const DynInst &st = window_[st_slot];
+        for (size_t k = 0; k < storeSlots_.size(); ++k) {
+            const DynInst &st = window_[storeSlots_[k]];
             if (st.seq >= di.seq)
                 break;
             uint64_t slo = st.rec.effAddr;
@@ -1099,8 +1115,8 @@ Core::setupOperands(DynInst &di, int slot)
                               + " no longer holds seq "
                               + std::to_string(pr.seq),
                           invariantContext());
-            consumers_[pr.slot].push_back(
-                Consumer{slot, uint8_t(i), di.seq});
+            consumers_.append(unsigned(pr.slot),
+                              Consumer{slot, uint8_t(i), di.seq});
             op.producerSeq = pr.seq;
             ready_now = p.issued
                 && p.wakeBroadcastCycle != NO_CYCLE
@@ -1169,7 +1185,7 @@ Core::dispatch()
         unsigned slot = tail_;
         DynInst &di = window_[slot];
         di = DynInst{};
-        consumers_[slot].clear();
+        consumers_.clear(slot);
 
         di.rec = fi.rec;
         di.seq = nextSeq_++;

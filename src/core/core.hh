@@ -24,16 +24,16 @@
 #define HPA_CORE_CORE_HH
 
 #include <chrono>
-#include <deque>
 #include <functional>
-#include <map>
 #include <ostream>
 #include <unordered_map>
 #include <vector>
 
 #include "bpred/bpred.hh"
 #include "core/config.hh"
+#include "core/containers.hh"
 #include "core/dyn_inst.hh"
+#include "core/event_queue.hh"
 #include "core/fu_pool.hh"
 #include "core/inst_source.hh"
 #include "core/last_arrival.hh"
@@ -261,6 +261,23 @@ class Core
         uint64_t fetchCycle;
     };
 
+    /** Same-cycle delivery order of coincident events: detections
+     *  (recovery) first, completions second, wakeups last. Events of
+     *  equal rank process in schedule order. */
+    static int
+    eventRank(EventKind k)
+    {
+        switch (k) {
+          case EventKind::LoadMissDetect:
+          case EventKind::TagElimDetect:
+            return 0;
+          case EventKind::Complete:
+            return 1;
+          default:
+            return 2;
+        }
+    }
+
     // --- Pipeline phases (in intra-cycle order). ---
     void commit();
     void processEvents();
@@ -320,9 +337,11 @@ class Core
     uint64_t cycle_ = 0;
     uint64_t nextSeq_ = 0;
 
-    // Window: ring buffer of slots.
+    // Window: ring buffer of slots. Slot s's consumer list holds
+    // the operands watching s's destination tag; pooled so dispatch
+    // appends and commit/reuse clears never touch the heap.
     std::vector<DynInst> window_;
-    std::vector<std::vector<Consumer>> consumers_;
+    PooledLists<Consumer> consumers_;
     unsigned head_ = 0;
     unsigned tail_ = 0;
     unsigned windowCount_ = 0;
@@ -342,8 +361,17 @@ class Core
     /** Issued-but-incomplete instructions: the replay-shadow
      *  candidate set of squashWindow(). Sorted by seq. */
     std::vector<unsigned> issuedList_;
-    /** In-window stores in program order (LSQ overlap searches). */
-    std::deque<unsigned> storeSlots_;
+    /** In-window stores in program order (LSQ overlap searches);
+     *  occupancy bounded by the window size. */
+    BoundedRing<unsigned> storeSlots_;
+
+    // squashWindow() scratch, members so recovery (a steady-state
+    // occurrence under speculative scheduling) stops allocating
+    // once the reserved capacities are warm.
+    std::vector<int> squashCandidates_;
+    std::vector<int> squashList_;
+    std::vector<uint64_t> squashTainted_;
+    std::vector<char> squashIn_;
 
     /** Youngest in-flight producer per unified register. */
     struct ProducerRef
@@ -353,10 +381,10 @@ class Core
     };
     ProducerRef lastProducer_[isa::NUM_UNIFIED_REGS];
 
-    std::map<uint64_t, std::vector<Event>> events_;
+    CalendarQueue<Event> events_;
 
-    // Front end.
-    std::deque<FetchedInst> fetchQueue_;
+    // Front end; occupancy bounded by front_end_depth x width.
+    BoundedRing<FetchedInst> fetchQueue_;
     uint64_t fetchResumeCycle_ = 0;
     bool fetchStalledOnBranch_ = false;
     uint64_t stalledBranchSeqTag_ = NO_SEQ; // pc tag for bookkeeping

@@ -12,6 +12,7 @@
 #include <random>
 
 #include "func/emulator.hh"
+#include "func/trace.hh"
 
 namespace hpa::core
 {
@@ -51,6 +52,34 @@ class EmulatorSource : public InstSource
     func::Emulator &emu_;
     uint64_t maxInsts_;
     uint64_t count_ = 0;
+};
+
+/**
+ * Replays a pre-captured committed trace (trace-once/replay-many).
+ * Holds only a read-only reference plus a cursor, so any number of
+ * concurrent cores can replay one shared CommittedTrace; the stream
+ * is byte-identical to an EmulatorSource over the same program,
+ * fast-forward and budget (see CommittedTrace's replay contract).
+ */
+class TraceSource : public InstSource
+{
+  public:
+    /** @param trace captured stream; must outlive this source. */
+    explicit TraceSource(const func::CommittedTrace &trace)
+        : trace_(trace)
+    {}
+
+    std::optional<func::ExecRecord>
+    next() override
+    {
+        if (index_ >= trace_.size())
+            return std::nullopt;
+        return trace_.record(index_++);
+    }
+
+  private:
+    const func::CommittedTrace &trace_;
+    size_t index_ = 0;
 };
 
 /** Statistical knobs for the synthetic stream. */

@@ -1,0 +1,47 @@
+#include "func/trace.hh"
+
+namespace hpa::func
+{
+
+CommittedTrace
+CommittedTrace::capture(const assembler::Program &prog,
+                        uint64_t fast_forward_pc, uint64_t max_insts)
+{
+    CommittedTrace t;
+    Emulator emu(prog);
+
+    // Same loop as sim::Simulation's fast-forward: architectural
+    // execution only, stopping the first time the PC hits the label.
+    if (fast_forward_pc) {
+        while (!emu.halted() && emu.pc() != fast_forward_pc) {
+            emu.step();
+            ++t.fastForwarded_;
+        }
+    }
+
+    if (max_insts) {
+        t.pc_.reserve(max_insts);
+        t.nextPc_.reserve(max_insts);
+        t.inst_.reserve(max_insts);
+        t.taken_.reserve(max_insts);
+        t.effAddr_.reserve(max_insts);
+    }
+
+    // Same stop condition as EmulatorSource::next(): halt or budget,
+    // checked before each step.
+    uint64_t count = 0;
+    while (!emu.halted() && (!max_insts || count < max_insts)) {
+        ++count;
+        ExecRecord r = emu.step();
+        t.pc_.push_back(r.pc);
+        t.nextPc_.push_back(r.nextPc);
+        t.inst_.push_back(r.inst);
+        t.taken_.push_back(r.taken ? 1 : 0);
+        t.effAddr_.push_back(r.effAddr);
+    }
+
+    t.console_ = emu.console();
+    return t;
+}
+
+} // namespace hpa::func

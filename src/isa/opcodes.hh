@@ -12,6 +12,7 @@
 #ifndef HPA_ISA_OPCODES_HH
 #define HPA_ISA_OPCODES_HH
 
+#include <array>
 #include <cstdint>
 #include <string_view>
 
@@ -95,14 +96,132 @@ struct OpInfo
     bool writesDest;
 };
 
-/** Property table lookup. */
-const OpInfo &opInfo(Opcode op);
+namespace detail
+{
 
-/** Execution latency, in cycles, for each op class (Table 1). */
-unsigned opClassLatency(OpClass cls);
+/** Compile-time opcode property table (indexed by Opcode). */
+std::array<OpInfo, static_cast<size_t>(Opcode::NumOpcodes)>
+constexpr buildOpTable()
+{
+    constexpr auto N = static_cast<size_t>(Opcode::NumOpcodes);
+    std::array<OpInfo, N> t{};
+    auto set = [&t](Opcode op, std::string_view m, Format f, OpClass c,
+                    uint8_t nsrc, bool wd) {
+        t[static_cast<size_t>(op)] = OpInfo{m, f, c, nsrc, wd};
+    };
+
+    // Integer operate: rc <- ra OP rb. Two source fields, one dest.
+    set(Opcode::ADD,    "add",    Format::Operate, OpClass::IntAlu, 2, true);
+    set(Opcode::SUB,    "sub",    Format::Operate, OpClass::IntAlu, 2, true);
+    set(Opcode::MUL,    "mul",    Format::Operate, OpClass::IntMult, 2, true);
+    set(Opcode::DIV,    "div",    Format::Operate, OpClass::IntDiv, 2, true);
+    set(Opcode::REM,    "rem",    Format::Operate, OpClass::IntDiv, 2, true);
+    set(Opcode::AND,    "and",    Format::Operate, OpClass::IntAlu, 2, true);
+    set(Opcode::BIS,    "bis",    Format::Operate, OpClass::IntAlu, 2, true);
+    set(Opcode::XOR,    "xor",    Format::Operate, OpClass::IntAlu, 2, true);
+    set(Opcode::BIC,    "bic",    Format::Operate, OpClass::IntAlu, 2, true);
+    set(Opcode::ORNOT,  "ornot",  Format::Operate, OpClass::IntAlu, 2, true);
+    set(Opcode::EQV,    "eqv",    Format::Operate, OpClass::IntAlu, 2, true);
+    set(Opcode::SLL,    "sll",    Format::Operate, OpClass::IntAlu, 2, true);
+    set(Opcode::SRL,    "srl",    Format::Operate, OpClass::IntAlu, 2, true);
+    set(Opcode::SRA,    "sra",    Format::Operate, OpClass::IntAlu, 2, true);
+    set(Opcode::CMPEQ,  "cmpeq",  Format::Operate, OpClass::IntAlu, 2, true);
+    set(Opcode::CMPLT,  "cmplt",  Format::Operate, OpClass::IntAlu, 2, true);
+    set(Opcode::CMPLE,  "cmple",  Format::Operate, OpClass::IntAlu, 2, true);
+    set(Opcode::CMPULT, "cmpult", Format::Operate, OpClass::IntAlu, 2, true);
+    set(Opcode::CMPULE, "cmpule", Format::Operate, OpClass::IntAlu, 2, true);
+    set(Opcode::S4ADD,  "s4add",  Format::Operate, OpClass::IntAlu, 2, true);
+    set(Opcode::S8ADD,  "s8add",  Format::Operate, OpClass::IntAlu, 2, true);
+
+    // Floating-point operate.
+    set(Opcode::ADDF,   "addf",   Format::Operate, OpClass::FpAlu, 2, true);
+    set(Opcode::SUBF,   "subf",   Format::Operate, OpClass::FpAlu, 2, true);
+    set(Opcode::MULF,   "mulf",   Format::Operate, OpClass::FpMult, 2, true);
+    set(Opcode::DIVF,   "divf",   Format::Operate, OpClass::FpDiv, 2, true);
+    set(Opcode::CMPFEQ, "cmpfeq", Format::Operate, OpClass::FpAlu, 2, true);
+    set(Opcode::CMPFLT, "cmpflt", Format::Operate, OpClass::FpAlu, 2, true);
+    set(Opcode::CMPFLE, "cmpfle", Format::Operate, OpClass::FpAlu, 2, true);
+    set(Opcode::SQRTF,  "sqrtf",  Format::Operate, OpClass::FpDiv, 1, true);
+    set(Opcode::ITOF,   "itof",   Format::Operate, OpClass::FpAlu, 1, true);
+    set(Opcode::FTOI,   "ftoi",   Format::Operate, OpClass::FpAlu, 1, true);
+
+    // Memory. Loads/LDA read rb (base); stores read ra (data) + rb.
+    set(Opcode::LDA,    "lda",    Format::Memory, OpClass::IntAlu, 1, true);
+    set(Opcode::LDAH,   "ldah",   Format::Memory, OpClass::IntAlu, 1, true);
+    set(Opcode::LDBU,   "ldbu",   Format::Memory, OpClass::MemRead, 1, true);
+    set(Opcode::LDW,    "ldw",    Format::Memory, OpClass::MemRead, 1, true);
+    set(Opcode::LDL,    "ldl",    Format::Memory, OpClass::MemRead, 1, true);
+    set(Opcode::LDQ,    "ldq",    Format::Memory, OpClass::MemRead, 1, true);
+    set(Opcode::LDF,    "ldf",    Format::Memory, OpClass::MemRead, 1, true);
+    set(Opcode::STB,    "stb",    Format::Memory, OpClass::MemWrite, 2, false);
+    set(Opcode::STW,    "stw",    Format::Memory, OpClass::MemWrite, 2, false);
+    set(Opcode::STL,    "stl",    Format::Memory, OpClass::MemWrite, 2, false);
+    set(Opcode::STQ,    "stq",    Format::Memory, OpClass::MemWrite, 2, false);
+    set(Opcode::STF,    "stf",    Format::Memory, OpClass::MemWrite, 2, false);
+
+    // Control. Conditional branches read ra; BR/BSR write ra (link).
+    set(Opcode::BR,     "br",     Format::Branch, OpClass::Branch, 0, true);
+    set(Opcode::BSR,    "bsr",    Format::Branch, OpClass::Branch, 0, true);
+    set(Opcode::BEQ,    "beq",    Format::Branch, OpClass::Branch, 1, false);
+    set(Opcode::BNE,    "bne",    Format::Branch, OpClass::Branch, 1, false);
+    set(Opcode::BLT,    "blt",    Format::Branch, OpClass::Branch, 1, false);
+    set(Opcode::BLE,    "ble",    Format::Branch, OpClass::Branch, 1, false);
+    set(Opcode::BGT,    "bgt",    Format::Branch, OpClass::Branch, 1, false);
+    set(Opcode::BGE,    "bge",    Format::Branch, OpClass::Branch, 1, false);
+    set(Opcode::BLBC,   "blbc",   Format::Branch, OpClass::Branch, 1, false);
+    set(Opcode::BLBS,   "blbs",   Format::Branch, OpClass::Branch, 1, false);
+    set(Opcode::JMP,    "jmp",    Format::Jump, OpClass::Branch, 1, true);
+    set(Opcode::JSR,    "jsr",    Format::Jump, OpClass::Branch, 1, true);
+    set(Opcode::RET,    "ret",    Format::Jump, OpClass::Branch, 1, true);
+
+    set(Opcode::HALT,   "halt",   Format::System, OpClass::System, 0, false);
+    set(Opcode::OUT,    "out",    Format::System, OpClass::System, 1, false);
+    return t;
+}
+
+inline constexpr auto opTable = buildOpTable();
+
+} // namespace detail
+
+/**
+ * Property table lookup. Header-inline on purpose: the core consults
+ * opcode properties (via StaticInst::isLoad() and friends) hundreds
+ * of times per simulated cycle, and an out-of-line call here showed
+ * up as one of the hottest symbols in whole-sweep profiles.
+ */
+inline const OpInfo &
+opInfo(Opcode op)
+{
+    return detail::opTable[static_cast<size_t>(op)];
+}
+
+/** Execution latency, in cycles, for each op class (Table 1).
+ *  MemRead latency is address generation only; cache access latency
+ *  is added by the memory system model. */
+inline unsigned
+opClassLatency(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu: return 1;
+      case OpClass::IntMult: return 3;
+      case OpClass::IntDiv: return 20;
+      case OpClass::FpAlu: return 2;
+      case OpClass::FpMult: return 4;
+      case OpClass::FpDiv: return 12;
+      case OpClass::MemRead: return 1;
+      case OpClass::MemWrite: return 1;
+      case OpClass::Branch: return 1;
+      case OpClass::System: return 1;
+      default: return 1;
+    }
+}
 
 /** True when the op class is handled by a non-pipelined divider. */
-bool opClassUnpipelined(OpClass cls);
+inline bool
+opClassUnpipelined(OpClass cls)
+{
+    return cls == OpClass::IntDiv || cls == OpClass::FpDiv;
+}
 
 } // namespace hpa::isa
 

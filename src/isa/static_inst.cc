@@ -2,151 +2,14 @@
 
 #include <cassert>
 
+// The operand-property accessors (srcRegs, destReg, memSize, ...)
+// are defined inline in the header: the core queries them hundreds
+// of times per simulated cycle and out-of-line calls dominated
+// whole-sweep profiles. Only the assembler-facing constructors and
+// disassembly (in disasm.cc) stay out of line.
+
 namespace hpa::isa
 {
-
-unsigned
-StaticInst::memSize() const
-{
-    switch (op) {
-      case Opcode::LDBU: case Opcode::STB: return 1;
-      case Opcode::LDW: case Opcode::STW: return 2;
-      case Opcode::LDL: case Opcode::STL: return 4;
-      case Opcode::LDQ: case Opcode::STQ:
-      case Opcode::LDF: case Opcode::STF: return 8;
-      default: return 0;
-    }
-}
-
-bool
-StaticInst::destIsFp() const
-{
-    switch (op) {
-      case Opcode::ADDF: case Opcode::SUBF: case Opcode::MULF:
-      case Opcode::DIVF: case Opcode::CMPFEQ: case Opcode::CMPFLT:
-      case Opcode::CMPFLE: case Opcode::SQRTF: case Opcode::ITOF:
-      case Opcode::LDF:
-        return true;
-      default:
-        return false;
-    }
-}
-
-RegIndex
-StaticInst::destReg() const
-{
-    if (!info().writesDest)
-        return NO_REG;
-    switch (format()) {
-      case Format::Operate:
-        return destIsFp() ? unifiedFp(rc) : unifiedInt(rc);
-      case Format::Memory:
-        // Loads and LDA/LDAH write ra.
-        return destIsFp() ? unifiedFp(ra) : unifiedInt(ra);
-      case Format::Branch:
-      case Format::Jump:
-        // Link register write (ra).
-        return unifiedInt(ra);
-      default:
-        return NO_REG;
-    }
-}
-
-namespace
-{
-
-/** True for fp-operate ops whose register fields name f registers. */
-bool
-fpSources(Opcode op)
-{
-    switch (op) {
-      case Opcode::ADDF: case Opcode::SUBF: case Opcode::MULF:
-      case Opcode::DIVF: case Opcode::CMPFEQ: case Opcode::CMPFLT:
-      case Opcode::CMPFLE: case Opcode::SQRTF: case Opcode::FTOI:
-        return true;
-      default:
-        return false;
-    }
-}
-
-} // namespace
-
-SrcList
-StaticInst::srcRegs() const
-{
-    SrcList s;
-    switch (format()) {
-      case Format::Operate:
-        if (info().numSrcFields >= 1) {
-            s.push(fpSources(op) ? unifiedFp(ra) : unifiedInt(ra));
-        }
-        if (info().numSrcFields >= 2 && !useLiteral) {
-            s.push(fpSources(op) ? unifiedFp(rb) : unifiedInt(rb));
-        }
-        break;
-      case Format::Memory:
-        if (isStore()) {
-            // Store data (ra; fp for STF) then base (rb). The data
-            // operand is the *left* field, matching the assembly
-            // order "stq ra, disp(rb)".
-            s.push(op == Opcode::STF ? unifiedFp(ra) : unifiedInt(ra));
-            s.push(unifiedInt(rb));
-        } else {
-            // Loads and LDA/LDAH read only the base register.
-            s.push(unifiedInt(rb));
-        }
-        break;
-      case Format::Branch:
-        if (info().numSrcFields >= 1)
-            s.push(unifiedInt(ra));
-        break;
-      case Format::Jump:
-        s.push(unifiedInt(rb));
-        break;
-      case Format::System:
-        if (op == Opcode::OUT)
-            s.push(unifiedInt(ra));
-        break;
-    }
-    return s;
-}
-
-SrcList
-StaticInst::uniqueSrcRegs() const
-{
-    SrcList raw = srcRegs();
-    SrcList out;
-    for (unsigned i = 0; i < raw.count; ++i) {
-        RegIndex r = raw.regs[i];
-        if (isZeroReg(r))
-            continue;
-        bool dup = false;
-        for (unsigned j = 0; j < out.count; ++j)
-            if (out.regs[j] == r)
-                dup = true;
-        if (!dup)
-            out.push(r);
-    }
-    return out;
-}
-
-unsigned
-StaticInst::numSrcFields() const
-{
-    unsigned n = info().numSrcFields;
-    if (format() == Format::Operate && useLiteral && n == 2)
-        return 1;
-    return n;
-}
-
-bool
-StaticInst::isNop() const
-{
-    if (format() != Format::Operate || !info().writesDest)
-        return false;
-    RegIndex d = destReg();
-    return d != NO_REG && isZeroReg(d);
-}
 
 StaticInst
 makeOp(Opcode op, RegIndex ra, RegIndex rb, RegIndex rc)

@@ -80,34 +80,152 @@ struct StaticInst
     bool isHalt() const { return op == Opcode::HALT; }
 
     /** Access size in bytes for memory references. */
-    unsigned memSize() const;
+    unsigned
+    memSize() const
+    {
+        switch (op) {
+          case Opcode::LDBU: case Opcode::STB: return 1;
+          case Opcode::LDW: case Opcode::STW: return 2;
+          case Opcode::LDL: case Opcode::STL: return 4;
+          case Opcode::LDQ: case Opcode::STQ:
+          case Opcode::LDF: case Opcode::STF: return 8;
+          default: return 0;
+        }
+    }
 
     /** True when the destination register field is a fp register. */
-    bool destIsFp() const;
+    bool
+    destIsFp() const
+    {
+        switch (op) {
+          case Opcode::ADDF: case Opcode::SUBF: case Opcode::MULF:
+          case Opcode::DIVF: case Opcode::CMPFEQ: case Opcode::CMPFLT:
+          case Opcode::CMPFLE: case Opcode::SQRTF: case Opcode::ITOF:
+          case Opcode::LDF:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    /** True for fp-operate ops whose register fields name f regs. */
+    bool
+    fpSources() const
+    {
+        switch (op) {
+          case Opcode::ADDF: case Opcode::SUBF: case Opcode::MULF:
+          case Opcode::DIVF: case Opcode::CMPFEQ: case Opcode::CMPFLT:
+          case Opcode::CMPFLE: case Opcode::SQRTF: case Opcode::FTOI:
+            return true;
+          default:
+            return false;
+        }
+    }
 
     /**
      * Unified-id destination register, or NO_REG when the format has
      * none. A zero-register destination is returned as-is (callers
      * decide whether to treat it as a discarded write).
      */
-    RegIndex destReg() const;
+    RegIndex
+    destReg() const
+    {
+        if (!info().writesDest)
+            return NO_REG;
+        switch (format()) {
+          case Format::Operate:
+            return destIsFp() ? unifiedFp(rc) : unifiedInt(rc);
+          case Format::Memory:
+            // Loads and LDA/LDAH write ra.
+            return destIsFp() ? unifiedFp(ra) : unifiedInt(ra);
+          case Format::Branch:
+          case Format::Jump:
+            // Link register write (ra).
+            return unifiedInt(ra);
+          default:
+            return NO_REG;
+        }
+    }
 
     /** Unified-id source register fields, in left/right format order. */
-    SrcList srcRegs() const;
+    SrcList
+    srcRegs() const
+    {
+        SrcList s;
+        switch (format()) {
+          case Format::Operate:
+            if (info().numSrcFields >= 1) {
+                s.push(fpSources() ? unifiedFp(ra) : unifiedInt(ra));
+            }
+            if (info().numSrcFields >= 2 && !useLiteral) {
+                s.push(fpSources() ? unifiedFp(rb) : unifiedInt(rb));
+            }
+            break;
+          case Format::Memory:
+            if (isStore()) {
+                // Store data (ra; fp for STF) then base (rb). The
+                // data operand is the *left* field, matching the
+                // assembly order "stq ra, disp(rb)".
+                s.push(op == Opcode::STF ? unifiedFp(ra)
+                                         : unifiedInt(ra));
+                s.push(unifiedInt(rb));
+            } else {
+                // Loads and LDA/LDAH read only the base register.
+                s.push(unifiedInt(rb));
+            }
+            break;
+          case Format::Branch:
+            if (info().numSrcFields >= 1)
+                s.push(unifiedInt(ra));
+            break;
+          case Format::Jump:
+            s.push(unifiedInt(rb));
+            break;
+          case Format::System:
+            if (op == Opcode::OUT)
+                s.push(unifiedInt(ra));
+            break;
+        }
+        return s;
+    }
 
     /**
      * Source registers that create true dependences: zero registers
      * removed and duplicates collapsed. The paper's "2-source
      * instructions" are exactly those with uniqueSrcRegs().count == 2.
      */
-    SrcList uniqueSrcRegs() const;
+    SrcList
+    uniqueSrcRegs() const
+    {
+        SrcList raw = srcRegs();
+        SrcList out;
+        for (unsigned i = 0; i < raw.count; ++i) {
+            RegIndex r = raw.regs[i];
+            if (isZeroReg(r))
+                continue;
+            bool dup = false;
+            for (unsigned j = 0; j < out.count; ++j)
+                if (out.regs[j] == r)
+                    dup = true;
+            if (!dup)
+                out.push(r);
+        }
+        return out;
+    }
 
     /**
      * Number of source *register fields* present in this encoding
      * instance (a literal operate has one). Stores report 2; see
      * isStore() for the paper's separate treatment.
      */
-    unsigned numSrcFields() const;
+    unsigned
+    numSrcFields() const
+    {
+        unsigned n = info().numSrcFields;
+        if (format() == Format::Operate && useLiteral && n == 2)
+            return 1;
+        return n;
+    }
 
     /**
      * True for the paper's "2-source format" class: two register
@@ -124,7 +242,14 @@ struct StaticInst
      * True for 2-source-format nops: writes to a zero register (e.g.
      * bis r31,r31,r31), eliminated by the decoder without execution.
      */
-    bool isNop() const;
+    bool
+    isNop() const
+    {
+        if (format() != Format::Operate || !info().writesDest)
+            return false;
+        RegIndex d = destReg();
+        return d != NO_REG && isZeroReg(d);
+    }
 
     /** Disassemble to assembly text. */
     std::string disassemble() const;

@@ -56,6 +56,30 @@ Simulation::Simulation(const assembler::Program &prog,
     core_ = std::make_unique<core::Core>(cfg, *source_);
 }
 
+Simulation::Simulation(const func::CommittedTrace &trace,
+                       const core::CoreConfig &cfg)
+    : trace_(&trace), fastForwarded_(trace.fastForwarded())
+{
+    source_ = std::make_unique<core::TraceSource>(trace);
+    core_ = std::make_unique<core::Core>(cfg, *source_);
+}
+
+func::Emulator &
+Simulation::emulator()
+{
+    if (!emu_)
+        throw ConfigError(
+            "trace-replay simulation has no emulator (use console() "
+            "or construct from a program for architectural state)");
+    return *emu_;
+}
+
+const std::string &
+Simulation::console() const
+{
+    return emu_ ? emu_->console() : trace_->console();
+}
+
 uint64_t
 Simulation::run(uint64_t max_cycles)
 {

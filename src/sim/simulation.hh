@@ -15,6 +15,7 @@
 #include "asm/assembler.hh"
 #include "core/core.hh"
 #include "func/emulator.hh"
+#include "func/trace.hh"
 
 namespace hpa::sim
 {
@@ -73,8 +74,13 @@ Machine withRecovery(Machine m, core::RecoveryModel r);
 Machine withRename(Machine m, core::RenameModel r);
 
 /**
- * One execution-driven simulation: owns the emulator, the trace
- * source and the core.
+ * One simulation: the timing core plus its committed-path source.
+ * Two source flavours share every other member:
+ *  - execution-driven: owns an emulator stepped per instruction
+ *    (the program-based constructor), or
+ *  - trace-replay: replays a shared read-only CommittedTrace (the
+ *    trace-based constructor; no emulator, functional execution was
+ *    paid once at capture).
  */
 class Simulation
 {
@@ -92,6 +98,15 @@ class Simulation
                const core::CoreConfig &cfg, uint64_t max_insts = 0,
                uint64_t fast_forward_pc = 0);
 
+    /**
+     * Trace-replay simulation: drive the core from @p trace (which
+     * already encodes the fast-forward skip and instruction budget
+     * it was captured with). @p trace must outlive this Simulation —
+     * WorkloadCache::trace() entries satisfy that for free.
+     */
+    Simulation(const func::CommittedTrace &trace,
+               const core::CoreConfig &cfg);
+
     /** Instructions skipped by fast-forwarding. */
     uint64_t fastForwarded() const { return fastForwarded_; }
 
@@ -99,7 +114,21 @@ class Simulation
     uint64_t run(uint64_t max_cycles = 0);
 
     core::Core &core() { return *core_; }
-    func::Emulator &emulator() { return *emu_; }
+
+    /** True on execution-driven runs; trace replays own no emulator. */
+    bool hasEmulator() const { return emu_ != nullptr; }
+
+    /** The emulator of an execution-driven run. Throws
+     *  hpa::ConfigError on trace-replay simulations. */
+    func::Emulator &emulator();
+
+    /**
+     * Console bytes of the workload: the emulator's console (live,
+     * grows as the source is stepped) or, on trace replays, the
+     * console recorded at capture (complete from the start).
+     */
+    const std::string &console() const;
+
     double ipc() const { return core_->ipc(); }
 
     /**
@@ -116,7 +145,9 @@ class Simulation
 
   private:
     std::unique_ptr<func::Emulator> emu_;
-    std::unique_ptr<core::EmulatorSource> source_;
+    /** Non-owning on trace replays (the cache owns the trace). */
+    const func::CommittedTrace *trace_ = nullptr;
+    std::unique_ptr<core::InstSource> source_;
     std::unique_ptr<core::Core> core_;
     uint64_t fastForwarded_ = 0;
 };

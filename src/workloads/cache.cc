@@ -15,6 +15,27 @@ WorkloadCache::get(const std::string &name, Scale scale)
     return e->w;
 }
 
+const func::CommittedTrace &
+WorkloadCache::trace(const std::string &name, Scale scale,
+                     uint64_t max_insts, uint64_t fast_forward_pc)
+{
+    // The program build goes through get() first so the workload
+    // entry (and its build-once guarantee) is shared with plain
+    // program consumers.
+    const Workload &w = get(name, scale);
+    TraceEntry *e;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        e = &traces_[{name, scale, max_insts, fast_forward_pc}];
+    }
+    std::call_once(e->once, [&] {
+        e->t = std::make_unique<func::CommittedTrace>(
+            func::CommittedTrace::capture(w.program, fast_forward_pc,
+                                          max_insts));
+    });
+    return *e->t;
+}
+
 WorkloadCache &
 globalCache()
 {

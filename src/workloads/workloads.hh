@@ -26,11 +26,14 @@
 #define HPA_WORKLOADS_WORKLOADS_HH
 
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "asm/assembler.hh"
+#include "func/trace.hh"
 
 namespace hpa::workloads
 {
@@ -79,6 +82,19 @@ class WorkloadCache
     const Workload &get(const std::string &name,
                         Scale scale = Scale::Full);
 
+    /**
+     * Get (capturing on first use) the committed trace of one
+     * workload under a given fast-forward PC and instruction budget
+     * — the trace-once half of trace-once/replay-many sweeps. Like
+     * get(), each trace is captured exactly once per key under a
+     * per-entry once_flag and the returned reference is stable and
+     * immutable, so any number of sweep threads can replay it
+     * concurrently through core::TraceSource.
+     */
+    const func::CommittedTrace &trace(const std::string &name,
+                                      Scale scale, uint64_t max_insts,
+                                      uint64_t fast_forward_pc);
+
   private:
     struct Entry
     {
@@ -86,9 +102,21 @@ class WorkloadCache
         Workload w;
     };
 
+    /** (name, scale, max_insts, fast_forward_pc). */
+    using TraceKey =
+        std::tuple<std::string, Scale, uint64_t, uint64_t>;
+
+    struct TraceEntry
+    {
+        std::once_flag once;
+        /** Stable address even if the map's node type changes. */
+        std::unique_ptr<func::CommittedTrace> t;
+    };
+
     std::mutex mu_;
     /** Node-stable map: entry addresses survive later insertions. */
     std::map<std::pair<std::string, Scale>, Entry> entries_;
+    std::map<TraceKey, TraceEntry> traces_;
 };
 
 /** Process-wide shared cache used by the sweep engine and the bench

@@ -11,6 +11,7 @@
 
 #include "asm/assembler.hh"
 #include "core/core.hh"
+#include "core/event_queue.hh"
 #include "core/inst_source.hh"
 #include "func/emulator.hh"
 #include "mem/cache.hh"
@@ -259,6 +260,125 @@ TEST(CoreReadyListFuzz, IncrementalListsMatchBruteForceEveryCycle)
             EXPECT_EQ(c.stats().committed.value(), sp.num_insts)
                 << mix.tag << " seed " << seed;
         }
+    }
+}
+
+TEST(CalendarQueueFuzz, MatchesMapReferenceIncludingOverflow)
+{
+    // Differential fuzz of the calendar event queue against the
+    // std::map<cycle, vector> structure it replaced: random deltas
+    // spanning the ring (1..255), the exact ring horizon (255/256
+    // boundary) and far-future overflow territory (up to ~8 ring
+    // spans), with new events scheduled while a bucket is being
+    // drained — exactly what core event handlers do. Per cycle the
+    // drained bucket must match the reference in content AND order.
+    for (uint64_t seed : {7ull, 1234ull, 998877ull}) {
+        std::mt19937_64 rng(seed);
+        core::CalendarQueue<uint32_t> q; // 256-slot default ring
+        std::map<uint64_t, std::vector<uint32_t>> ref;
+        uint32_t next_id = 0;
+
+        auto scheduleRandom = [&](uint64_t now) {
+            uint64_t delta;
+            switch (rng() % 4) {
+              case 0:
+                delta = 1 + rng() % 254;             // ring interior
+                break;
+              case 1:
+                delta = 254 + rng() % 4;             // 254..257: the
+                break;                               // ring horizon
+              case 2:
+                delta = 257 + rng() % 1791;          // overflow
+                break;
+              default:
+                delta = 1 + rng() % 2047;            // anywhere
+                break;
+            }
+            uint32_t id = next_id++;
+            q.schedule(now + delta, now, id);
+            ref[now + delta].push_back(id);
+        };
+
+        uint64_t now = 0;
+        for (int step = 0; step < 4000; ++step) {
+            ++now;
+            std::vector<uint32_t> &bucket = q.beginCycle(now);
+            auto it = ref.find(now);
+            const std::vector<uint32_t> empty;
+            const std::vector<uint32_t> &want =
+                it != ref.end() ? it->second : empty;
+            ASSERT_EQ(bucket, want)
+                << "seed " << seed << " cycle " << now;
+            // Handlers schedule follow-up events mid-drain; the
+            // bucket reference must stay valid and unperturbed.
+            size_t before = bucket.size();
+            for (unsigned k = rng() % 4; k > 0; --k)
+                scheduleRandom(now);
+            ASSERT_EQ(bucket.size(), before)
+                << "seed " << seed << " cycle " << now;
+            q.endCycle(now);
+            if (it != ref.end())
+                ref.erase(it);
+        }
+
+        // Drain everything left so the accounting closes.
+        size_t left = 0;
+        for (const auto &[when, evs] : ref)
+            left += evs.size();
+        ASSERT_EQ(q.pending(), left) << "seed " << seed;
+        while (!ref.empty()) {
+            ++now;
+            std::vector<uint32_t> &bucket = q.beginCycle(now);
+            auto it = ref.find(now);
+            if (it != ref.end()) {
+                ASSERT_EQ(bucket, it->second)
+                    << "seed " << seed << " cycle " << now;
+                ref.erase(it);
+            } else {
+                ASSERT_TRUE(bucket.empty())
+                    << "seed " << seed << " cycle " << now;
+            }
+            q.endCycle(now);
+        }
+        ASSERT_EQ(q.pending(), 0u) << "seed " << seed;
+        ASSERT_EQ(q.overflowPending(), 0u) << "seed " << seed;
+    }
+}
+
+TEST(CoreEventOverflowFuzz, FarFutureLatenciesKeepListsConsistent)
+{
+    // Drive real cores whose completion events land beyond the
+    // 256-cycle calendar ring (memory latency 1500, div-heavy
+    // synthetic streams), so load-miss completions take the overflow
+    // path while ALU wakes stay in the ring. The incremental
+    // scheduler lists and the consumer pool must stay consistent
+    // every cycle, and the run must still commit every instruction.
+    for (uint64_t seed : {5ull, 909ull}) {
+        core::SyntheticParams sp;
+        sp.num_insts = 2000;
+        sp.seed = seed;
+        sp.load_frac = 0.30;
+        sp.store_frac = 0.10;
+        // Small span so the same lines thrash between hits/misses.
+        sp.mem_span = 1 << 14;
+        core::SyntheticSource src(sp);
+
+        core::CoreConfig cfg = core::fourWideConfig();
+        cfg.ruu_size = 32;
+        cfg.lsq_size = 16;
+        cfg.mem.mem_latency = 1500; // far past the ring horizon
+        cfg.watchdog_cycles = 500000;
+
+        core::Core c(cfg, src);
+        uint64_t guard = 0;
+        while (!c.done() && guard++ < 2000000) {
+            c.tick();
+            ASSERT_TRUE(c.readyListConsistent())
+                << "seed " << seed << " cycle " << c.cycle();
+        }
+        ASSERT_TRUE(c.done()) << "seed " << seed;
+        EXPECT_EQ(c.stats().committed.value(), sp.num_insts)
+            << "seed " << seed;
     }
 }
 

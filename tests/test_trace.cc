@@ -1,0 +1,192 @@
+/** @file Trace capture/replay tests: the committed-trace SoA buffer
+ *  must reproduce the emulator-driven instruction stream byte for
+ *  byte for every registered workload (the tentpole determinism
+ *  contract of trace-once/replay-many sweeps), the workload cache
+ *  must hand every cell of a (workload, budget, fast-forward) group
+ *  the same immutable trace instance, and a trace-backed Simulation
+ *  must report exactly the metrics of an emulator-backed one. */
+
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/inst_source.hh"
+#include "func/trace.hh"
+#include "sim/experiment.hh"
+#include "sim/simulation.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace hpa;
+
+/** Fast-forward pc of a workload (its `steady:` label), or 0. */
+uint64_t
+steadyPc(const workloads::Workload &w)
+{
+    auto it = w.program.symbols.find("steady");
+    return it != w.program.symbols.end() ? it->second : 0;
+}
+
+/** Every field of two ExecRecords, with a useful failure message. */
+void
+expectSameRecord(const func::ExecRecord &a, const func::ExecRecord &b,
+                 const std::string &what, uint64_t index)
+{
+    ASSERT_EQ(a.pc, b.pc) << what << " record " << index;
+    ASSERT_EQ(a.nextPc, b.nextPc) << what << " record " << index;
+    ASSERT_EQ(a.taken, b.taken) << what << " record " << index;
+    ASSERT_EQ(a.effAddr, b.effAddr) << what << " record " << index;
+    ASSERT_EQ(a.inst.op, b.inst.op) << what << " record " << index;
+    ASSERT_EQ(a.inst.ra, b.inst.ra) << what << " record " << index;
+    ASSERT_EQ(a.inst.rb, b.inst.rb) << what << " record " << index;
+    ASSERT_EQ(a.inst.rc, b.inst.rc) << what << " record " << index;
+    ASSERT_EQ(a.inst.useLiteral, b.inst.useLiteral)
+        << what << " record " << index;
+    ASSERT_EQ(a.inst.literal, b.inst.literal)
+        << what << " record " << index;
+    ASSERT_EQ(a.inst.disp, b.inst.disp)
+        << what << " record " << index;
+}
+
+/** Drain a TraceSource over @p trace and an EmulatorSource over a
+ *  fresh emulator with the same fast-forward/budget; both streams
+ *  must agree on every record and end together. */
+void
+expectSameStream(const workloads::Workload &w, uint64_t ff,
+                 uint64_t budget, const std::string &what)
+{
+    func::CommittedTrace trace =
+        func::CommittedTrace::capture(w.program, ff, budget);
+    core::TraceSource replay(trace);
+
+    func::Emulator emu(w.program);
+    uint64_t skipped = 0;
+    if (ff) {
+        while (!emu.halted() && emu.pc() != ff) {
+            emu.step();
+            ++skipped;
+        }
+    }
+    ASSERT_EQ(skipped, trace.fastForwarded()) << what;
+    core::EmulatorSource live(emu, budget);
+
+    uint64_t n = 0;
+    for (;; ++n) {
+        std::optional<func::ExecRecord> a = replay.next();
+        std::optional<func::ExecRecord> b = live.next();
+        ASSERT_EQ(a.has_value(), b.has_value())
+            << what << ": streams end at different lengths (record "
+            << n << ")";
+        if (!a)
+            break;
+        expectSameRecord(*a, *b, what, n);
+    }
+    ASSERT_EQ(n, trace.size()) << what;
+    ASSERT_EQ(emu.console(), trace.console()) << what;
+}
+
+TEST(TraceCapture, ByteIdenticalToEmulatorForEveryWorkload)
+{
+    for (const auto &name : workloads::benchmarkNames()) {
+        auto w = workloads::make(name, workloads::Scale::Test);
+        expectSameStream(w, steadyPc(w), 3000, name);
+    }
+}
+
+TEST(TraceCapture, BudgetAndFastForwardVariants)
+{
+    auto w = workloads::make("gzip", workloads::Scale::Test);
+    // No fast-forward, including a budget of a single instruction.
+    expectSameStream(w, 0, 1, "gzip ff=0 budget=1");
+    expectSameStream(w, 0, 500, "gzip ff=0 budget=500");
+    // Fast-forwarded, tiny and moderate budgets.
+    expectSameStream(w, steadyPc(w), 1, "gzip steady budget=1");
+    expectSameStream(w, steadyPc(w), 2500, "gzip steady budget=2500");
+}
+
+TEST(TraceCapture, UncappedCaptureRunsToHalt)
+{
+    // A Test-scale kernel runs to HALT under budget 0 (no cap); the
+    // last record's stream position must coincide with the halted
+    // emulator, and replay must deliver every record.
+    auto w = workloads::make("mcf", workloads::Scale::Test);
+    expectSameStream(w, 0, 0, "mcf to-halt");
+}
+
+TEST(WorkloadCacheTrace, SameKeyReturnsTheSameInstance)
+{
+    workloads::WorkloadCache cache;
+    const func::CommittedTrace &a =
+        cache.trace("gzip", workloads::Scale::Test, 2000, 0);
+    const func::CommittedTrace &b =
+        cache.trace("gzip", workloads::Scale::Test, 2000, 0);
+    EXPECT_EQ(&a, &b) << "one trace per (workload, budget, ff) group";
+
+    // Any key component changing must produce a distinct capture.
+    const func::CommittedTrace &other_budget =
+        cache.trace("gzip", workloads::Scale::Test, 1000, 0);
+    EXPECT_NE(&a, &other_budget);
+    EXPECT_EQ(other_budget.size(), 1000u);
+
+    auto w = workloads::make("gzip", workloads::Scale::Test);
+    const func::CommittedTrace &other_ff = cache.trace(
+        "gzip", workloads::Scale::Test, 2000, steadyPc(w));
+    EXPECT_NE(&a, &other_ff);
+    EXPECT_GT(other_ff.fastForwarded(), 0u);
+}
+
+TEST(WorkloadCacheTrace, ConcurrentFirstUseCapturesOnce)
+{
+    workloads::WorkloadCache cache;
+    std::vector<const func::CommittedTrace *> seen(8, nullptr);
+    std::vector<std::thread> pool;
+    for (size_t t = 0; t < seen.size(); ++t)
+        pool.emplace_back([&cache, &seen, t] {
+            seen[t] = &cache.trace("crafty", workloads::Scale::Test,
+                                   1500, 0);
+        });
+    for (auto &t : pool)
+        t.join();
+    for (size_t t = 1; t < seen.size(); ++t)
+        EXPECT_EQ(seen[t], seen[0]) << "thread " << t;
+    EXPECT_EQ(seen[0]->size(), 1500u);
+}
+
+TEST(TraceReplay, SimulationMatchesEmulatorDrivenMetrics)
+{
+    // The acceptance criterion behind the trace cache: replaying the
+    // captured stream through the timing core must give bit-identical
+    // results to driving the emulator live — IPC doubles and all.
+    for (const auto &name : {"gzip", "vpr", "twolf"}) {
+        auto w = workloads::make(name, workloads::Scale::Full);
+        uint64_t ff = steadyPc(w);
+        sim::Machine m = sim::Machine::base(4);
+        core::CoreConfig cfg = m.cfg;
+
+        sim::Simulation live(w.program, cfg, 4000, ff);
+        live.run();
+
+        func::CommittedTrace trace =
+            func::CommittedTrace::capture(w.program, ff, 4000);
+        sim::Simulation replay(trace, cfg);
+        replay.run();
+
+        EXPECT_EQ(live.ipc(), replay.ipc()) << name;
+        EXPECT_EQ(live.core().cycle(), replay.core().cycle()) << name;
+        EXPECT_EQ(live.core().stats().committed.value(),
+                  replay.core().stats().committed.value())
+            << name;
+        EXPECT_EQ(live.fastForwarded(), replay.fastForwarded())
+            << name;
+        EXPECT_EQ(live.console(), replay.console()) << name;
+        EXPECT_TRUE(live.hasEmulator());
+        EXPECT_FALSE(replay.hasEmulator());
+        EXPECT_THROW(replay.emulator(), ConfigError);
+    }
+}
+
+} // namespace

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Compare two throughput-benchmark JSON artifacts.
+
+Diffs a baseline and a candidate BENCH_sweep.json
+("hpa.bench-sweep.v2") or micro_throughput --json artifact
+("hpa.micro-throughput.v1") and flags throughput regressions:
+
+  tools/compare_bench.py docs/runs/BENCH_sweep_before.json BENCH_sweep.json
+
+A regression is a drop of more than --threshold (default 10%) in
+aggregate_cycles_per_sec or in any individual run's cycles_per_sec.
+Report-only by default — wall-clock numbers depend on the host, so
+this is a review aid, not a merge gate; pass --strict to exit 1 on
+any flagged regression (e.g. for a dedicated perf CI host).
+
+Only uses the standard library; the artifacts are small and flat.
+"""
+
+import argparse
+import json
+import sys
+
+KNOWN_SCHEMAS = ("hpa.bench-sweep.v2", "hpa.micro-throughput.v1")
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot load {path}: {e}")
+    schema = doc.get("schema", "<none>")
+    if schema not in KNOWN_SCHEMAS:
+        sys.exit(
+            f"error: {path} has schema {schema!r}; expected one of "
+            f"{', '.join(KNOWN_SCHEMAS)}"
+        )
+    return doc
+
+
+def run_key(run):
+    # bench-sweep runs are keyed by machine|workload; micro-throughput
+    # runs by width|workload. Both identify a unique measurement.
+    if "machine" in run:
+        return f"{run['machine']}|{run['workload']}"
+    return f"{run.get('width', '?')}-wide|{run['workload']}"
+
+
+def pct(new, old):
+    return 100.0 * (new - old) / old if old else float("nan")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="diff two throughput benchmark artifacts"
+    )
+    ap.add_argument("baseline", help="older artifact (JSON)")
+    ap.add_argument("candidate", help="newer artifact (JSON)")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=10.0,
+        help="regression threshold in percent (default 10)",
+    )
+    ap.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when any regression exceeds the threshold",
+    )
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+    if base.get("schema") != cand.get("schema"):
+        sys.exit(
+            f"error: schema mismatch: {base.get('schema')} vs "
+            f"{cand.get('schema')}"
+        )
+    if base.get("insts_per_run") != cand.get("insts_per_run"):
+        print(
+            f"warning: different insts_per_run "
+            f"({base.get('insts_per_run')} vs "
+            f"{cand.get('insts_per_run')}); throughput numbers are "
+            f"still comparable, wall times are not"
+        )
+
+    regressions = []
+
+    agg_b = base.get("aggregate_cycles_per_sec")
+    agg_c = cand.get("aggregate_cycles_per_sec")
+    if agg_b and agg_c:
+        delta = pct(agg_c, agg_b)
+        marker = ""
+        if delta < -args.threshold:
+            marker = "  <-- REGRESSION"
+            regressions.append(("aggregate", delta))
+        print(
+            f"aggregate cycles/sec: {agg_b:,.0f} -> {agg_c:,.0f} "
+            f"({delta:+.1f}%){marker}"
+        )
+
+    base_runs = {run_key(r): r for r in base.get("runs", [])}
+    cand_runs = {run_key(r): r for r in cand.get("runs", [])}
+    only_base = sorted(set(base_runs) - set(cand_runs))
+    only_cand = sorted(set(cand_runs) - set(base_runs))
+    for k in only_base:
+        print(f"only in baseline: {k}")
+    for k in only_cand:
+        print(f"only in candidate: {k}")
+
+    shared = sorted(set(base_runs) & set(cand_runs))
+    for k in shared:
+        b, c = base_runs[k], cand_runs[k]
+        cps_b = b.get("cycles_per_sec", 0)
+        cps_c = c.get("cycles_per_sec", 0)
+        if not cps_b or not cps_c:
+            continue
+        delta = pct(cps_c, cps_b)
+        if delta < -args.threshold:
+            regressions.append((k, delta))
+            print(
+                f"  {k}: {cps_b:,.0f} -> {cps_c:,.0f} cycles/sec "
+                f"({delta:+.1f}%)  <-- REGRESSION"
+            )
+
+    print(
+        f"{len(shared)} shared runs compared, "
+        f"{len(regressions)} regression(s) beyond "
+        f"{args.threshold:.0f}%"
+    )
+    if regressions and args.strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

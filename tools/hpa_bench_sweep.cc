@@ -117,6 +117,7 @@ main(int argc, char **argv)
 {
     uint64_t insts = 50000;
     unsigned jobs = 0;
+    bool trace_cache = true;
     std::string out = "BENCH_sweep.json";
     std::string check;
     std::string write_golden;
@@ -135,7 +136,14 @@ main(int argc, char **argv)
             insts = parseU64(a, need(i));
         else if (a == "--jobs")
             jobs = unsigned(parseU64(a, need(i)));
-        else if (a == "--out")
+        else if (a == "--trace-cache") {
+            std::string v = need(i);
+            if (v != "on" && v != "off") {
+                std::cerr << "--trace-cache expects on | off\n";
+                return 2;
+            }
+            trace_cache = (v == "on");
+        } else if (a == "--out")
             out = need(i);
         else if (a == "--check")
             check = need(i);
@@ -168,7 +176,8 @@ main(int argc, char **argv)
         } else {
             std::cerr << "unknown option: " << a << "\n"
                       << "usage: hpa_bench_sweep [--insts N] "
-                         "[--jobs N] [--out FILE] [--check GOLDEN] "
+                         "[--jobs N] [--trace-cache on|off] "
+                         "[--out FILE] [--check GOLDEN] "
                          "[--write-golden FILE] "
                          "[--inject KIND@INDEX]\n";
             return 2;
@@ -184,6 +193,7 @@ main(int argc, char **argv)
             j.workload = n;
             j.machine = m;
             j.max_insts = insts;
+            j.trace_cache = trace_cache;
             j.validate();
             sweep.push_back(j);
         }
@@ -201,15 +211,41 @@ main(int argc, char **argv)
     }
 
     unsigned hw = sim::SweepRunner::resolveJobs(0);
+    unsigned requested_jobs = jobs;
     unsigned par_jobs = sim::SweepRunner::resolveJobs(jobs);
+    bool jobs_clamped = false;
+    if (par_jobs > hw) {
+        // Oversubscribing a throughput benchmark only adds context
+        // switches; the runs would still be deterministic, but the
+        // timing numbers would not mean what the artifact claims.
+        std::fprintf(stderr,
+                     "warning: --jobs %u exceeds the %u hardware "
+                     "thread(s); clamping the parallel pass to %u\n",
+                     requested_jobs, hw, hw);
+        par_jobs = hw;
+        jobs_clamped = true;
+    }
     std::printf("%zu runs (%zu machines x %zu benchmarks), "
-                "%llu insts per run, %u hardware thread(s)\n",
+                "%llu insts per run, %u hardware thread(s), "
+                "trace cache %s\n",
                 sweep.size(), machines.size(), names.size(),
-                static_cast<unsigned long long>(insts), hw);
+                static_cast<unsigned long long>(insts), hw,
+                trace_cache ? "on" : "off");
 
-    // Pre-build every workload so neither timed pass pays assembly.
-    for (const auto &n : names)
-        workloads::globalCache().get(n);
+    // Pre-build every workload so neither timed pass pays assembly;
+    // with the trace cache on, also pre-capture each committed trace
+    // so the one-time emulation cost stays out of both timed passes.
+    for (const auto &n : names) {
+        const workloads::Workload &w = workloads::globalCache().get(n);
+        if (trace_cache) {
+            uint64_t ff = 0;
+            auto it = w.program.symbols.find("steady");
+            if (it != w.program.symbols.end())
+                ff = it->second;
+            workloads::globalCache().trace(
+                n, workloads::Scale::Full, insts, ff);
+        }
+    }
 
     std::printf("serial pass (1 worker)...\n");
     std::vector<sim::SweepResult> serial;
@@ -283,7 +319,10 @@ main(int argc, char **argv)
         jw.beginObject()
             .kv("schema", "hpa.bench-sweep.v2")
             .kv("insts_per_run", insts)
+            .kv("trace_cache", trace_cache)
             .kv("hardware_threads", hw)
+            .kv("requested_jobs", uint64_t(requested_jobs))
+            .kv("jobs_clamped", jobs_clamped)
             .kv("parallel_jobs", par_jobs)
             .kv("serial_wall_seconds", t_serial, 3)
             .kv("parallel_wall_seconds", t_parallel, 3)

@@ -46,6 +46,9 @@ requiredFields()
              {"insts_per_run", "ok_runs", "failed_runs", "runs",
               "status", "valid"}},
             {"hpa.sweep-golden.v1", {"insts_per_run"}},
+            {"hpa.micro-throughput.v1",
+             {"insts_per_run", "total_simulated_cycles",
+              "aggregate_cycles_per_sec", "runs"}},
         };
     return req;
 }

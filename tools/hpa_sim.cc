@@ -47,6 +47,9 @@ workload (choose one):
                       benchmark x every paper machine) on a thread
                       pool and print an IPC matrix
   --jobs N            sweep worker threads (0 = hardware threads)
+  --trace-cache V     on (default) | off: sweep cells replay one
+                      shared committed trace per workload instead of
+                      re-emulating per cell; IPC is bit-identical
 
 machine:
   --width N           4 (default) or 8: Table 1 base machines
@@ -110,6 +113,7 @@ runSweepMode(const tools::SimOptions &opt)
             j.machine = m;
             j.max_insts = insts;
             j.max_cycles = opt.cycles;
+            j.trace_cache = opt.trace_cache;
             sweep.push_back(j);
         }
     }
@@ -294,9 +298,9 @@ main(int argc, char **argv)
             std::cout << "committed " << r.committed
                       << " instructions in " << r.cycles
                       << " cycles: IPC " << r.ipc << "\n";
-            if (!r.sim->emulator().console().empty()) {
+            if (!r.sim->console().empty()) {
                 std::cout << "console: ";
-                for (unsigned char c : r.sim->emulator().console())
+                for (unsigned char c : r.sim->console())
                     std::cout << (std::isprint(c) ? char(c) : '.');
                 std::cout << "\n";
             }

@@ -50,6 +50,10 @@ struct SimOptions
     /** --check-interval N: scheduler cross-validation every N cycles
      *  (0 = off, the default). */
     uint64_t check_interval = 0;
+    /** --trace-cache on|off: sweep cells replay a shared committed
+     *  trace (default) or re-emulate per cell. IPC is bit-identical
+     *  either way; off trades speed for exercising the emulator. */
+    bool trace_cache = true;
     /** Output files; "-" means stdout. Empty means not requested. */
     std::string json_out;
     std::string stats_json_out;
@@ -227,6 +231,10 @@ parseSimOptions(const std::vector<std::string> &args, SimOptions &opt,
         } else if (a == "--check-interval") {
             if (!needNumber(&opt.check_interval))
                 return 2;
+        } else if (a == "--trace-cache") {
+            if (!need(&v) || (v != "on" && v != "off"))
+                return fail("--trace-cache expects on | off");
+            opt.trace_cache = (v == "on");
         } else if (a == "--no-fastforward") {
             opt.fastforward = false;
         } else if (a == "--report") {

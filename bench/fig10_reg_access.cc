@@ -45,9 +45,9 @@ main()
             double two_port = double(st.rfTwoReady.value()
                                      + st.rfNonBackToBack.value());
             t.begin(name)
-                .pct(st.rfBackToBack.value() / n)
-                .pct(st.rfTwoReady.value() / n)
-                .pct(st.rfNonBackToBack.value() / n)
+                .pct(double(st.rfBackToBack.value()) / n)
+                .pct(double(st.rfTwoReady.value()) / n)
+                .pct(double(st.rfNonBackToBack.value()) / n)
                 .pct(two_port / all)
                 .end();
         }

@@ -48,9 +48,9 @@ main()
         const Counts &c = counts[i];
         double total = double(c.total);
         t.begin(names[i])
-            .pct(c.two / total)
-            .pct(c.stores / total)
-            .pct((c.total - c.two - c.stores) / total)
+            .pct(double(c.two) / total)
+            .pct(double(c.stores) / total)
+            .pct(double(c.total - c.two - c.stores) / total)
             .end();
     }
     return 0;

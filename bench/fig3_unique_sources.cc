@@ -56,9 +56,9 @@ main()
         const Counts &c = counts[i];
         double f = double(c.fmt2 ? c.fmt2 : 1);
         t.begin(names[i])
-            .pct(c.nops / f)
-            .pct(c.one / f)
-            .pct(c.two / f)
+            .pct(double(c.nops) / f)
+            .pct(double(c.one) / f)
+            .pct(double(c.two) / f)
             .pct(double(c.two) / double(c.total))
             .end();
     }

@@ -44,10 +44,10 @@ main()
             if (lastn == 0)
                 lastn = 1;
             t.begin(name)
-                .pct(st.orderSame.value() / order)
-                .pct(st.orderDiff.value() / order)
-                .pct(st.leftLast.value() / lastn)
-                .pct(st.rightLast.value() / lastn)
+                .pct(double(st.orderSame.value()) / order)
+                .pct(double(st.orderDiff.value()) / order)
+                .pct(double(st.leftLast.value()) / lastn)
+                .pct(double(st.rightLast.value()) / lastn)
                 .end();
         }
     }

@@ -57,13 +57,13 @@ namespace hpa::assembler
 class AsmError : public std::runtime_error, public SimError
 {
   public:
-    AsmError(unsigned line, const std::string &msg)
-        : std::runtime_error("asm line " + std::to_string(line) + ": "
-                             + msg),
+    AsmError(unsigned line_no, const std::string &msg)
+        : std::runtime_error("asm line " + std::to_string(line_no)
+                             + ": " + msg),
           SimError(ErrorKind::Workload,
-                   "asm line " + std::to_string(line) + ": " + msg,
+                   "asm line " + std::to_string(line_no) + ": " + msg,
                    {}),
-          line(line)
+          line(line_no)
     {}
 
     const char *

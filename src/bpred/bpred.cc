@@ -46,7 +46,7 @@ Btb::update(uint64_t pc, uint64_t target)
 void
 Ras::push(uint64_t addr)
 {
-    top_ = (top_ + 1) % stack_.size();
+    top_ = unsigned((top_ + 1) % stack_.size());
     stack_[top_] = addr;
     if (count_ < stack_.size())
         ++count_;
@@ -58,7 +58,7 @@ Ras::pop()
     if (count_ == 0)
         return 0;
     uint64_t v = stack_[top_];
-    top_ = (top_ + stack_.size() - 1) % stack_.size();
+    top_ = unsigned((top_ + stack_.size() - 1) % stack_.size());
     --count_;
     return v;
 }

@@ -89,6 +89,13 @@ Core::Core(const CoreConfig &cfg, InstSource &source)
     squashList_.reserve(cfg.ruu_size);
     squashTainted_.reserve(size_t(cfg.ruu_size) + 1);
     squashIn_.reserve(cfg.ruu_size);
+    // A cycle's event bucket delivers wake/complete/detect events
+    // keyed to window slots; with only a few events in flight per
+    // in-window instruction, ruu_size + width bounds any single
+    // cycle's bucket comfortably. Exceeding it is still correct
+    // (the vector grows), just no longer allocation-free —
+    // test_hotpath_alloc guards the contract.
+    events_.reserveSlots(size_t(cfg.ruu_size) + cfg.width);
     lookahead_ = source_.next();
     if (!lookahead_)
         sourceDone_ = true;
@@ -291,7 +298,7 @@ Core::dumpPipelineState() const
                       static_cast<unsigned long long>(di.rec.pc));
         os << buf;
         auto cyc = [&](uint64_t c) {
-            char b[16];
+            char b[32];
             if (c == NO_CYCLE)
                 std::snprintf(b, sizeof b, " %5s", "-");
             else

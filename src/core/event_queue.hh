@@ -30,6 +30,7 @@
 
 #include <cstddef>
 #include <cstdint>
+// hpa-nolint(HPA002): overflow map for beyond-horizon events only
 #include <map>
 #include <vector>
 
@@ -48,6 +49,20 @@ class CalendarQueue
         : slots_(size_t(1) << log2_slots),
           mask_((uint64_t(1) << log2_slots) - 1)
     {}
+
+    /** Pre-size every ring bucket. clear() keeps capacity, so a
+     *  bucket never shrinks — but it starts at zero and would
+     *  otherwise learn its high-water mark through reallocation,
+     *  which leaks allocations into steady-state ticks long after
+     *  warm-up (test_hotpath_alloc counts them). A bound-derived
+     *  reserve at construction makes the zero-allocation claim
+     *  structural instead of empirical. */
+    void
+    reserveSlots(size_t per_slot)
+    {
+        for (auto &s : slots_)
+            s.reserve(per_slot);
+    }
 
     /** Append @p ev for cycle @p when; @p now is the current cycle
      *  and @p when must be strictly in the future. */
@@ -109,7 +124,11 @@ class CalendarQueue
     std::vector<std::vector<T>> slots_;
     uint64_t mask_;
     size_t pending_ = 0;
-    /** when -> events, for when - now > mask_ at schedule time. */
+    /** when -> events, for when - now > mask_ at schedule time.
+     *  Only touched when an event outruns the 256-cycle ring horizon
+     *  (the default config never does); correctness needs the
+     *  ordered walk in beginCycle(). */
+    // hpa-nolint(HPA002): beyond-horizon overflow path, not per-cycle
     std::map<uint64_t, std::vector<T>> overflow_;
 };
 

@@ -1,6 +1,6 @@
 #include "core/last_arrival.hh"
 
-#include <stdexcept>
+#include "sim/error.hh"
 
 namespace hpa::core
 {
@@ -9,8 +9,7 @@ LastArrivalPredictor::LastArrivalPredictor(unsigned entries)
     : table_(entries, 1), mask_(entries - 1)
 {
     if (entries == 0 || (entries & (entries - 1)))
-        throw std::invalid_argument(
-            "predictor entries must be a power of 2");
+        throw ConfigError("predictor entries must be a power of 2");
 }
 
 bool
@@ -71,7 +70,8 @@ LastArrivalMonitor::accuracy(unsigned size_idx) const
 {
     uint64_t resolved = samples_ - simultaneous_;
     return resolved == 0 ? 0.0
-        : static_cast<double>(correct_[size_idx]) / resolved;
+        : static_cast<double>(correct_[size_idx])
+            / static_cast<double>(resolved);
 }
 
 } // namespace hpa::core

@@ -1,7 +1,8 @@
 #include "mem/cache.hh"
 
 #include <cassert>
-#include <stdexcept>
+
+#include "sim/error.hh"
 
 namespace hpa::mem
 {
@@ -35,16 +36,16 @@ Cache::Cache(const CacheConfig &config)
       cfg_(config)
 {
     if (!isPow2(cfg_.line_bytes) || !isPow2(cfg_.size_bytes))
-        throw std::invalid_argument(
+        throw ConfigError(
             "cache size and line size must be powers of 2");
     if (cfg_.assoc == 0 ||
         cfg_.size_bytes % (cfg_.line_bytes * cfg_.assoc) != 0)
-        throw std::invalid_argument("cache size/assoc mismatch");
+        throw ConfigError("cache size/assoc mismatch");
     num_sets_ =
         static_cast<unsigned>(cfg_.size_bytes
                               / (cfg_.line_bytes * cfg_.assoc));
     if (!isPow2(num_sets_))
-        throw std::invalid_argument("number of sets must be power of 2");
+        throw ConfigError("number of sets must be power of 2");
     line_mask_ = cfg_.line_bytes - 1;
     set_shift_ = log2u(cfg_.line_bytes);
     lines_.resize(static_cast<size_t>(num_sets_) * cfg_.assoc);

@@ -25,7 +25,7 @@ namespace
 /** The human-readable "name value # desc" report. */
 struct TextDumper final : Registry::Visitor
 {
-    explicit TextDumper(std::ostream &os) : os(os) {}
+    explicit TextDumper(std::ostream &out) : os(out) {}
 
     void
     row(const std::string &name, const std::string &value,
@@ -69,7 +69,7 @@ struct TextDumper final : Registry::Visitor
 /** The hpa.stats.v1 object body. */
 struct JsonDumper final : Registry::Visitor
 {
-    explicit JsonDumper(json::JsonWriter &jw) : jw(jw) {}
+    explicit JsonDumper(json::JsonWriter &writer) : jw(writer) {}
 
     void
     counter(const Counter &c) override
@@ -114,7 +114,9 @@ struct JsonDumper final : Registry::Visitor
 /** Column names / values for the CSV pair, in report order. */
 struct CsvDumper final : Registry::Visitor
 {
-    CsvDumper(std::ostream &os, bool header) : os(os), header(header) {}
+    CsvDumper(std::ostream &out, bool emit_header)
+        : os(out), header(emit_header)
+    {}
 
     void
     cell(const std::string &name, const std::string &value)

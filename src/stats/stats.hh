@@ -29,8 +29,8 @@ class Counter
 {
   public:
     Counter() = default;
-    Counter(std::string name, std::string desc)
-        : name(std::move(name)), desc(std::move(desc))
+    Counter(std::string stat_name, std::string stat_desc)
+        : name(std::move(stat_name)), desc(std::move(stat_desc))
     {}
 
     void operator++() { ++value_; }
@@ -63,8 +63,9 @@ class Distribution
      * @param max_bucket values >= max_bucket land in the overflow
      *        bucket reported as "max_bucket+"
      */
-    Distribution(std::string name, std::string desc, unsigned max_bucket)
-        : name(std::move(name)), desc(std::move(desc)),
+    Distribution(std::string stat_name, std::string stat_desc,
+                 unsigned max_bucket)
+        : name(std::move(stat_name)), desc(std::move(stat_desc)),
           buckets_(max_bucket + 1, 0)
     {}
 
@@ -86,7 +87,8 @@ class Distribution
     fraction(unsigned i) const
     {
         return total_ == 0 ? 0.0
-            : static_cast<double>(buckets_.at(i)) / total_;
+            : static_cast<double>(buckets_.at(i))
+                / static_cast<double>(total_);
     }
 
     void
@@ -109,9 +111,9 @@ class Formula
 {
   public:
     Formula() = default;
-    Formula(std::string name, std::string desc,
+    Formula(std::string stat_name, std::string stat_desc,
             std::function<double()> eval)
-        : name(std::move(name)), desc(std::move(desc)),
+        : name(std::move(stat_name)), desc(std::move(stat_desc)),
           eval_(std::move(eval))
     {}
 

@@ -119,6 +119,92 @@ TEST(SimOptionsParse, MalformedNumbersAreRejected)
     }
 }
 
+TEST(SimOptionsParse, OverflowNumericsAreRejected)
+{
+    // Past uint64_t: strtoull saturates with ERANGE; must not parse.
+    for (const char *bad :
+         {"18446744073709551616", "99999999999999999999"}) {
+        SimOptions o;
+        std::string err;
+        EXPECT_EQ(parse({"--insts", bad}, o, err), 2)
+            << "accepted --insts " << bad;
+    }
+    // Fits uint64_t but not the unsigned field: must be an error,
+    // not a silent truncation (4294967300 would wrap to width 4).
+    for (const char *flag : {"--width", "--jobs", "--lap", "--bypass"}) {
+        SimOptions o;
+        std::string err;
+        EXPECT_EQ(parse({flag, "4294967300"}, o, err), 2)
+            << flag << " truncated instead of rejecting";
+        EXPECT_NE(err.find("out of range"), std::string::npos) << err;
+        EXPECT_NE(err.find(flag), std::string::npos) << err;
+    }
+    // The uint64_t-backed options take the full range.
+    SimOptions o;
+    std::string err;
+    ASSERT_EQ(parse({"--insts", "18446744073709551615"}, o, err), 0)
+        << err;
+    EXPECT_EQ(o.insts, UINT64_MAX);
+}
+
+TEST(SimOptionsParse, DuplicateFlagsAreLastWins)
+{
+    SimOptions o;
+    std::string err;
+    ASSERT_EQ(parse({"--insts", "100", "--wakeup", "conv", "--insts",
+                     "200", "--wakeup", "seq"},
+                    o, err),
+              0)
+        << err;
+    EXPECT_EQ(o.insts, 200u);
+    EXPECT_EQ(o.wakeup, core::WakeupModel::Sequential);
+}
+
+TEST(SimOptionsParse, EqualsFormMatchesSpaceForm)
+{
+    SimOptions spaced, eq;
+    std::string err;
+    ASSERT_EQ(parse({"--bench", "gzip", "--insts", "5000", "--wakeup",
+                     "seq", "--width", "8"},
+                    spaced, err),
+              0)
+        << err;
+    ASSERT_EQ(parse({"--bench=gzip", "--insts=5000", "--wakeup=seq",
+                     "--width=8"},
+                    eq, err),
+              0)
+        << err;
+    EXPECT_EQ(eq.bench, spaced.bench);
+    EXPECT_EQ(eq.insts, spaced.insts);
+    EXPECT_EQ(eq.wakeup, spaced.wakeup);
+    EXPECT_EQ(eq.width, spaced.width);
+}
+
+TEST(SimOptionsParse, EqualsFormRejectsBadValuesLikeSpaceForm)
+{
+    SimOptions o;
+    std::string err;
+    EXPECT_EQ(parse({"--insts=banana"}, o, err), 2);
+    EXPECT_NE(err.find("--insts"), std::string::npos) << err;
+    // An empty inline value is a malformed number, not "missing".
+    EXPECT_EQ(parse({"--insts="}, o, err), 2);
+    // Unknown flags report the token as typed, '=' and all.
+    EXPECT_EQ(parse({"--frobnicate=7"}, o, err), 2);
+    EXPECT_NE(err.find("--frobnicate=7"), std::string::npos) << err;
+}
+
+TEST(SimOptionsParse, EqualsFormOnValuelessFlagIsRejected)
+{
+    for (const char *bad :
+         {"--report=yes", "--sweep=1", "--no-fastforward=off"}) {
+        SimOptions o;
+        std::string err;
+        EXPECT_EQ(parse({bad}, o, err), 2) << "accepted " << bad;
+        EXPECT_NE(err.find("does not take a value"), std::string::npos)
+            << err;
+    }
+}
+
 TEST(SimOptionsParse, MissingValueIsRejected)
 {
     SimOptions o;

@@ -38,6 +38,11 @@ requiredFields()
 {
     static const std::map<std::string, std::vector<std::string>> req =
         {
+            {"hpa.stats.v1",
+             {"counters", "distributions", "formulas"}},
+            {"hpa.lint.v1",
+             {"files_scanned", "rules", "findings", "suppressed",
+              "ok"}},
             {"hpa.run.v2",
              {"workload", "machine", "status", "valid",
               "steady_missing", "attempts", "ipc", "committed",

@@ -153,17 +153,20 @@ main(int argc, char **argv)
                 notes += "seq-RF ";
             if (r.replay)
                 notes += "load-miss ";
+            auto u = [](uint64_t v) {
+                return static_cast<unsigned long long>(v);
+            };
             std::printf("%4llu %-28s %6llu %6llu %6llu %6llu %6llu  %s\n",
-                        (unsigned long long)r.seq, r.disasm.c_str(),
-                        (unsigned long long)(r.fetch - base),
-                        (unsigned long long)(r.dispatch - base),
-                        (unsigned long long)(r.issue - base),
-                        (unsigned long long)(r.complete - base),
-                        (unsigned long long)(r.commit - base),
+                        u(r.seq), r.disasm.c_str(),
+                        u(r.fetch - base),
+                        u(r.dispatch - base),
+                        u(r.issue - base),
+                        u(r.complete - base),
+                        u(r.commit - base),
                         notes.c_str());
         }
         std::printf("\nIPC %.3f over %llu cycles\n", s.ipc(),
-                    (unsigned long long)s.core().cycle());
+                    static_cast<unsigned long long>(s.core().cycle()));
     } catch (const std::exception &e) {
         std::cerr << "error: " << e.what() << "\n";
         return 1;

@@ -154,9 +154,10 @@ runSweepMode(const tools::SimOptions &opt)
         std::cout << "\n";
     }
     std::cout << "\n"
-              << std::setprecision(1) << total_cycles / 1e6
+              << std::setprecision(1) << double(total_cycles) / 1e6
               << " Mcycles simulated in " << wall << " s wall ("
-              << std::setprecision(2) << total_cycles / 1e6 / wall
+              << std::setprecision(2)
+              << double(total_cycles) / 1e6 / wall
               << " Mcycles/s aggregate)\n";
     if (steady_missing)
         std::cerr << "warning: some kernels have no steady: symbol; "

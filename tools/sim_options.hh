@@ -14,6 +14,8 @@
 #include <cerrno>
 #include <cstdint>
 #include <cstdlib>
+#include <limits>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -147,6 +149,12 @@ parseRenameModel(const std::string &v, core::RenameModel &out)
  * error returns 2 with a one-line description in @p err (the
  * caller prints it and the usage text). --help and --list are
  * reported as flags, not handled here.
+ *
+ * Value-taking options accept both `--flag value` and `--flag=value`;
+ * repeated options are last-wins. Numeric values must be base-10
+ * unsigned integers, and options stored in an `unsigned` field
+ * additionally reject values above its range (no silent truncation:
+ * `--width 4294967300` is an error, not width 4).
  */
 inline int
 parseSimOptions(const std::vector<std::string> &args, SimOptions &opt,
@@ -157,8 +165,22 @@ parseSimOptions(const std::vector<std::string> &args, SimOptions &opt,
         return 2;
     };
     for (size_t i = 0; i < args.size(); ++i) {
-        const std::string &a = args[i];
+        const std::string &orig = args[i];
+        std::string a = orig;
+        std::optional<std::string> inline_val;
+        if (a.size() > 2 && a[0] == '-' && a[1] == '-') {
+            size_t eq = a.find('=');
+            if (eq != std::string::npos) {
+                inline_val = a.substr(eq + 1);
+                a.resize(eq);
+            }
+        }
         auto need = [&](std::string *v) {
+            if (inline_val) {
+                *v = *inline_val;
+                inline_val.reset();
+                return true;
+            }
             if (i + 1 >= args.size())
                 return false;
             *v = args[++i];
@@ -173,7 +195,17 @@ parseSimOptions(const std::vector<std::string> &args, SimOptions &opt,
             }
             return true;
         };
-        uint64_t n = 0;
+        auto needUnsigned = [&](unsigned *v) {
+            uint64_t wide = 0;
+            if (!needNumber(&wide))
+                return false;
+            if (wide > std::numeric_limits<unsigned>::max()) {
+                err = a + " value out of range";
+                return false;
+            }
+            *v = unsigned(wide);
+            return true;
+        };
         std::string v;
         if (a == "--help" || a == "-h") {
             opt.help = true;
@@ -182,9 +214,8 @@ parseSimOptions(const std::vector<std::string> &args, SimOptions &opt,
         } else if (a == "--sweep") {
             opt.sweep = true;
         } else if (a == "--jobs") {
-            if (!needNumber(&n))
+            if (!needUnsigned(&opt.jobs))
                 return 2;
-            opt.jobs = unsigned(n);
         } else if (a == "--bench") {
             if (!need(&opt.bench))
                 return fail("--bench needs a value");
@@ -192,9 +223,8 @@ parseSimOptions(const std::vector<std::string> &args, SimOptions &opt,
             if (!need(&opt.asm_file))
                 return fail("--asm needs a value");
         } else if (a == "--width") {
-            if (!needNumber(&n))
+            if (!needUnsigned(&opt.width))
                 return 2;
-            opt.width = unsigned(n);
         } else if (a == "--wakeup") {
             if (!need(&v) || !parseWakeupModel(v, opt.wakeup))
                 return fail("--wakeup expects conv | seq | "
@@ -210,14 +240,12 @@ parseSimOptions(const std::vector<std::string> &args, SimOptions &opt,
             if (!need(&v) || !parseRenameModel(v, opt.rename))
                 return fail("--rename expects 2port | half");
         } else if (a == "--lap") {
-            if (!needNumber(&n))
+            if (!needUnsigned(&opt.lap))
                 return 2;
-            opt.lap = unsigned(n);
             opt.lap_set = true;
         } else if (a == "--bypass") {
-            if (!needNumber(&n))
+            if (!needUnsigned(&opt.bypass))
                 return 2;
-            opt.bypass = unsigned(n);
         } else if (a == "--insts") {
             if (!needNumber(&opt.insts))
                 return 2;
@@ -249,8 +277,10 @@ parseSimOptions(const std::vector<std::string> &args, SimOptions &opt,
             if (!need(&opt.stats_csv_out))
                 return fail("--stats-csv needs a file (or '-')");
         } else {
-            return fail("unknown option: " + a);
+            return fail("unknown option: " + orig);
         }
+        if (inline_val)
+            return fail(a + " does not take a value");
     }
     return 0;
 }

@@ -8,11 +8,17 @@
  *
  * RunResult.wallSeconds measures Core::run() only; workload assembly
  * and functional fast-forward are excluded. Runs serially (one
- * worker) so per-run wall times are undistorted.
+ * worker) so per-run wall times are undistorted. With batching
+ * (`--batch B`, default auto) each batch's wall time is attributed
+ * to its lanes proportionally to simulated cycles, so per-lane
+ * cycles/sec stays the comparable figure of merit at any batch
+ * size.
  *
  * `--json FILE` additionally writes the measurements as one
- * "hpa.micro-throughput.v1" document so CI (the `perf` ctest label)
- * and tools/compare_bench.py can track throughput over time.
+ * "hpa.micro-throughput.v2" document — the batch size, the per-lane
+ * throughput mean, and per-run (per-lane) cycles/sec — so CI (the
+ * `perf` ctest label) and tools/compare_bench.py can track
+ * throughput over time.
  */
 
 #include <fstream>
@@ -28,13 +34,16 @@ int
 main(int argc, char **argv)
 {
     std::string json_out;
+    unsigned batch = 0;
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         if (a == "--json" && i + 1 < argc) {
             json_out = argv[++i];
+        } else if (a == "--batch" && i + 1 < argc) {
+            batch = unsigned(std::strtoul(argv[++i], nullptr, 10));
         } else {
-            std::fprintf(stderr,
-                         "usage: micro_throughput [--json FILE]\n");
+            std::fprintf(stderr, "usage: micro_throughput "
+                                 "[--batch B] [--json FILE]\n");
             return 2;
         }
     }
@@ -55,14 +64,31 @@ main(int argc, char **argv)
     };
     std::vector<Sample> samples;
 
+    std::printf("batched replay: %u lanes%s\n",
+                sim::SweepRunner::resolveBatch(batch),
+                batch == 0 ? " (auto)" : "");
+
+    // One sweep over both widths so cells sharing a workload trace
+    // can actually batch (the engine groups by workload; each group
+    // here holds the 4-wide and 8-wide lanes).
     const auto names = workloads::benchmarkNames();
-    double grand_cycles = 0, grand_secs = 0;
-    for (unsigned width : {4u, 8u}) {
-        std::vector<sim::SweepJob> jobs;
-        for (const auto &name : names)
+    const std::vector<unsigned> widths = {4u, 8u};
+    std::vector<sim::SweepJob> jobs;
+    for (unsigned width : widths) {
+        for (const auto &name : names) {
             jobs.push_back(
                 job(name, sim::Machine::base(width), budget));
-        auto res = sim::SweepRunner(1).run(std::move(jobs));
+            jobs.back().batch = batch;
+        }
+    }
+    sim::SweepRunner runner(1);
+    auto all = runner.run(std::move(jobs));
+    size_t batches_formed = runner.batchesFormed();
+
+    double grand_cycles = 0, grand_secs = 0;
+    for (size_t wi = 0; wi < widths.size(); ++wi) {
+        unsigned width = widths[wi];
+        const sim::SweepResult *res = all.data() + wi * names.size();
 
         std::printf("\n--- %u-wide base machine ---\n", width);
         Table t({"bench", "sim cycles", "wall ms", "Mcycles/s",
@@ -100,14 +126,27 @@ main(int argc, char **argv)
                          json_out.c_str());
             return 1;
         }
+        double lane_sum = 0;
+        for (const auto &s : samples)
+            lane_sum += s.cyclesPerSec;
         stats::json::JsonWriter jw(os);
         jw.beginObject()
-            .kv("schema", "hpa.micro-throughput.v1")
+            .kv("schema", "hpa.micro-throughput.v2")
             .kv("insts_per_run", budget)
+            .kv("batch",
+                uint64_t(sim::SweepRunner::resolveBatch(batch)))
+            .kv("batches_formed", uint64_t(batches_formed))
             .kv("total_simulated_cycles", uint64_t(grand_cycles))
             .kv("total_wall_seconds", grand_secs, 4)
             .kv("aggregate_cycles_per_sec",
                 grand_secs > 0 ? grand_cycles / grand_secs : 0.0, 0)
+            // Mean per-lane throughput: each run's wall share is its
+            // cycle-proportional slice of its batch, so this tracks
+            // the per-config replay rate independent of batch width.
+            .kv("lane_cycles_per_sec",
+                samples.empty() ? 0.0
+                                : lane_sum / double(samples.size()),
+                0)
             .key("runs")
             .beginArray();
         for (const auto &s : samples) {

@@ -88,6 +88,121 @@ class BoundedRing
     size_t count_ = 0;
 };
 
+/**
+ * Intrusive doubly-linked list over window slot indices, kept in
+ * ascending order of a caller-supplied key (the window seq, so list
+ * order == program order). Replaces the seq-sorted std::vector side
+ * lists: unlink is O(1) instead of a binary search plus memmove, and
+ * ordered insert walks backward from the tail, which is O(1) for the
+ * common append-youngest case (dispatch, and most issues). Slots are
+ * unique; membership is tracked so a double insert or a stray unlink
+ * trips an assert instead of corrupting the chain.
+ */
+class SlotChain
+{
+  public:
+    static constexpr int32_t NIL = -1;
+
+    /** Drop everything and size the link arrays for @p slots. */
+    void
+    reset(size_t slots)
+    {
+        prev_.assign(slots, NIL);
+        next_.assign(slots, NIL);
+        in_.assign(slots, 0);
+        head_ = NIL;
+        tail_ = NIL;
+        phantom_ = NIL;
+        size_ = 0;
+    }
+
+    bool empty() const { return size_ == 0; }
+    size_t size() const { return size_; }
+    int32_t head() const { return head_; }
+    int32_t next(unsigned s) const { return next_[s]; }
+    bool contains(unsigned s) const { return in_[s] != 0; }
+
+    /**
+     * Insert @p s keeping ascending @p less order (stable: equal
+     * keys cannot occur — seqs are unique). @p less(a, b) compares
+     * two slot indices by key.
+     */
+    template <typename Less>
+    void
+    insertOrdered(unsigned s, Less &&less)
+    {
+        assert(!in_[s]);
+        int32_t after = tail_;
+        while (after != NIL && less(s, unsigned(after)))
+            after = prev_[after];
+        // Link s after `after` (NIL = new head).
+        prev_[s] = after;
+        if (after == NIL) {
+            next_[s] = head_;
+            head_ = int32_t(s);
+        } else {
+            next_[s] = next_[after];
+            next_[after] = int32_t(s);
+        }
+        if (next_[s] == NIL)
+            tail_ = int32_t(s);
+        else
+            prev_[next_[s]] = int32_t(s);
+        in_[s] = 1;
+        ++size_;
+    }
+
+    /** Unlink @p s — O(1). The slot must be a member. */
+    void
+    remove(unsigned s)
+    {
+        assert(in_[s]);
+        if (prev_[s] == NIL)
+            head_ = next_[s];
+        else
+            next_[prev_[s]] = next_[s];
+        if (next_[s] == NIL)
+            tail_ = prev_[s];
+        else
+            prev_[next_[s]] = prev_[s];
+        prev_[s] = NIL;
+        next_[s] = NIL;
+        in_[s] = 0;
+        --size_;
+    }
+
+    /** Materialize the chain, head to tail (cold diagnostics).
+     *  Includes the injected phantom entry, if any. */
+    std::vector<unsigned>
+    toVector() const
+    {
+        std::vector<unsigned> v;
+        v.reserve(size_ + (phantom_ != NIL));
+        for (int32_t s = head_; s != NIL; s = next_[s])
+            v.push_back(unsigned(s));
+        if (phantom_ != NIL)
+            v.push_back(unsigned(phantom_));
+        return v;
+    }
+
+    /**
+     * Test-only corruption: a duplicate/phantom entry visible to the
+     * diagnostic view (toVector) but inert to the hot-path links, so
+     * the periodic cross-validation must diverge while the chain
+     * stays structurally sound until the check fires.
+     */
+    void testAppendPhantom(unsigned s) { phantom_ = int32_t(s); }
+
+  private:
+    std::vector<int32_t> prev_;
+    std::vector<int32_t> next_;
+    std::vector<uint8_t> in_;
+    int32_t head_ = NIL;
+    int32_t tail_ = NIL;
+    int32_t phantom_ = NIL;
+    size_t size_ = 0;
+};
+
 /** N append-ordered lists sharing one pooled node array. */
 template <typename T>
 class PooledLists

@@ -83,8 +83,8 @@ Core::Core(const CoreConfig &cfg, InstSource &source)
     consumers_.reset(cfg.ruu_size, 2 * size_t(cfg.ruu_size));
     storeSlots_.reset(cfg.ruu_size);
     fetchQueue_.reset(size_t(cfg.front_end_depth) * cfg.width);
-    readyList_.reserve(cfg.ruu_size);
-    issuedList_.reserve(cfg.ruu_size);
+    ready_.reset(cfg.ruu_size);
+    issued_.reset(cfg.ruu_size);
     squashCandidates_.reserve(cfg.ruu_size);
     squashList_.reserve(cfg.ruu_size);
     squashTainted_.reserve(size_t(cfg.ruu_size) + 1);
@@ -124,22 +124,6 @@ Core::schedReady(const DynInst &di) const
     return di.allSrcReady();
 }
 
-namespace
-{
-
-/** Position of seq in a seq-sorted slot list. */
-inline std::vector<unsigned>::iterator
-seqPos(std::vector<unsigned> &list, const std::vector<DynInst> &win,
-       uint64_t seq)
-{
-    return std::lower_bound(list.begin(), list.end(), seq,
-                            [&win](unsigned s, uint64_t q) {
-                                return win[s].seq < q;
-                            });
-}
-
-} // namespace
-
 /** Reconcile one slot's ready-list membership with its state. Call
  *  after any transition that can change schedReady()/issued. */
 void
@@ -151,7 +135,9 @@ Core::updateReadySlot(unsigned slot)
     if (want == di.inReadyList)
         return;
     if (want)
-        readyList_.insert(seqPos(readyList_, window_, di.seq), slot);
+        ready_.insertOrdered(slot, [this](unsigned a, unsigned b) {
+            return window_[a].seq < window_[b].seq;
+        });
     else
         readyRemove(slot);
     di.inReadyList = want;
@@ -160,32 +146,31 @@ Core::updateReadySlot(unsigned slot)
 void
 Core::readyRemove(unsigned slot)
 {
-    auto it = seqPos(readyList_, window_, window_[slot].seq);
-    HPA_CHECK_CTX(it != readyList_.end() && *it == slot,
+    HPA_CHECK_CTX(ready_.contains(slot),
                   "ready-list entry missing for slot "
                       + std::to_string(slot) + " (seq "
                       + std::to_string(window_[slot].seq) + ")",
                   invariantContext());
-    readyList_.erase(it);
+    ready_.remove(slot);
 }
 
 void
 Core::issuedInsert(unsigned slot)
 {
-    issuedList_.insert(seqPos(issuedList_, window_, window_[slot].seq),
-                       slot);
+    issued_.insertOrdered(slot, [this](unsigned a, unsigned b) {
+        return window_[a].seq < window_[b].seq;
+    });
 }
 
 void
 Core::issuedRemove(unsigned slot)
 {
-    auto it = seqPos(issuedList_, window_, window_[slot].seq);
-    HPA_CHECK_CTX(it != issuedList_.end() && *it == slot,
+    HPA_CHECK_CTX(issued_.contains(slot),
                   "issued-list entry missing for slot "
                       + std::to_string(slot) + " (seq "
                       + std::to_string(window_[slot].seq) + ")",
                   invariantContext());
-    issuedList_.erase(it);
+    issued_.remove(slot);
 }
 
 namespace
@@ -225,17 +210,19 @@ Core::sideListDivergence() const
         }
         idx = (idx + 1) % cfg_.ruu_size;
     }
-    if (want_ready != readyList_)
-        return listText("ready list", readyList_, want_ready);
-    if (want_issued != issuedList_)
-        return listText("issued list", issuedList_, want_issued);
+    std::vector<unsigned> have_ready = ready_.toVector();
+    if (want_ready != have_ready)
+        return listText("ready list", have_ready, want_ready);
+    std::vector<unsigned> have_issued = issued_.toVector();
+    if (want_issued != have_issued)
+        return listText("issued list", have_issued, want_issued);
     std::vector<unsigned> have_stores;
     have_stores.reserve(storeSlots_.size());
     for (size_t i = 0; i < storeSlots_.size(); ++i)
         have_stores.push_back(storeSlots_[i]);
     if (want_stores != have_stores)
         return listText("store list", have_stores, want_stores);
-    for (unsigned slot : readyList_)
+    for (unsigned slot : have_ready)
         if (!window_[slot].inReadyList)
             return "slot " + std::to_string(slot)
                 + " is in the ready list but its inReadyList flag "
@@ -280,8 +267,8 @@ Core::dumpPipelineState() const
        << windowCount_ << "/" << cfg_.ruu_size << " head=" << head_
        << " tail=" << tail_ << " lsq=" << lsqCount_
        << " fetchq=" << fetchQueue_.size()
-       << " ready=" << readyList_.size()
-       << " issued=" << issuedList_.size()
+       << " ready=" << ready_.size()
+       << " issued=" << issued_.size()
        << " stores=" << storeSlots_.size()
        << " events_pending=" << events_.pending() << "\n";
     os << "  slot      seq         pc  disp  issue  compl  "
@@ -295,7 +282,7 @@ Core::dumpPipelineState() const
         char buf[64];
         std::snprintf(buf, sizeof buf, "  %4u %8llu %10llx", idx,
                       static_cast<unsigned long long>(di.seq),
-                      static_cast<unsigned long long>(di.rec.pc));
+                      static_cast<unsigned long long>(di.rec->pc));
         os << buf;
         auto cyc = [&](uint64_t c) {
             char b[32];
@@ -315,7 +302,7 @@ Core::dumpPipelineState() const
         state += di.inReadyList ? 'R' : '.';
         state += di.loadMissReplay ? 'M' : '.';
         os << "  " << state << "   "
-           << di.rec.inst.disassemble() << "\n";
+           << di.rec->inst.disassemble() << "\n";
         idx = (idx + 1) % cfg_.ruu_size;
     }
     if (windowCount_ > MAX_ROWS)
@@ -369,8 +356,8 @@ Core::tickGuards()
         // Test hook: append a duplicate (or, on an empty list, a
         // phantom) slot — guaranteed to diverge from the re-derived
         // list whatever the window holds.
-        readyList_.push_back(readyList_.empty() ? head_
-                                                : readyList_.front());
+        ready_.testAppendPhantom(ready_.empty() ? head_
+                                                : unsigned(ready_.head()));
     }
 
     if (cfg_.check_interval && cycle_ % cfg_.check_interval == 0)
@@ -396,7 +383,7 @@ Core::tickGuards()
 void
 Core::commitFormatStats(const DynInst &di)
 {
-    const isa::StaticInst &si = di.rec.inst;
+    const isa::StaticInst &si = di.rec->inst;
     if (si.isStore()) {
         ++stats_.fmtStores;
         return;
@@ -426,9 +413,9 @@ Core::commit()
             break;
 
         if (di.isStore())
-            hier_.dataAccess(di.rec.effAddr, true);
+            hier_.dataAccess(di.rec->effAddr, true);
 
-        isa::RegIndex dest = di.rec.inst.destReg();
+        isa::RegIndex dest = di.rec->inst.destReg();
         if (dest != isa::NO_REG && !isa::isZeroReg(dest)
             && lastProducer_[dest].seq == di.seq)
             lastProducer_[dest] = ProducerRef{};
@@ -447,7 +434,7 @@ Core::commit()
                           invariantContext());
             storeSlots_.pop_front();
         }
-        if (di.rec.inst.isMemRef())
+        if (di.rec->inst.isMemRef())
             --lsqCount_;
         ++stats_.committed;
         lastCommitCycle_ = cycle_;
@@ -533,7 +520,7 @@ Core::noteSecondWake(DynInst &ci, uint64_t now)
         else
             ++stats_.leftLast;
 
-        uint64_t pc = ci.rec.pc;
+        uint64_t pc = ci.rec->pc;
         auto [hist, inserted] =
             orderHistory_.try_emplace(pc, right_last ? 1 : 0);
         if (!inserted) {
@@ -545,7 +532,7 @@ Core::noteSecondWake(DynInst &ci, uint64_t now)
         }
         lap_.update(pc, right_last);
     }
-    lapMon_.resolve(ci.rec.pc, ci.shadowPredBits, simultaneous,
+    lapMon_.resolve(ci.rec->pc, ci.shadowPredBits, simultaneous,
                     right_last);
 
     if (cfg_.sequentialWakeup()) {
@@ -568,7 +555,11 @@ Core::noteSecondWake(DynInst &ci, uint64_t now)
     }
 }
 
-void
+/** @return true when any operand state changed — the caller only
+ *  needs to reconcile ready-list membership (updateReadySlot) after
+ *  a real transition; schedReady() is a pure function of operand
+ *  state, so a no-op broadcast cannot change membership. */
+bool
 Core::wakeOperand(DynInst &ci, OperandState &op, uint64_t now,
                   uint64_t producer_seq, bool slow_bus)
 {
@@ -580,11 +571,14 @@ Core::wakeOperand(DynInst &ci, OperandState &op, uint64_t now,
             op.ready = true;
             op.wakeCycle = now;
             op.wakeProducerSeq = producer_seq;
+            return true;
         }
-        return;
+        return false;
     }
 
+    bool changed = false;
     if (!op.dataReady) {
+        changed = true;
         op.dataReady = true;
         op.dataReadyCycle = now;
         op.wakeProducerSeq = producer_seq;
@@ -615,7 +609,9 @@ Core::wakeOperand(DynInst &ci, OperandState &op, uint64_t now,
         op.ready = true;
         op.wakeCycle = now;
         op.wakeProducerSeq = producer_seq;
+        changed = true;
     }
+    return changed;
 }
 
 void
@@ -628,8 +624,8 @@ Core::handleFastWake(const Event &ev)
         OperandState &op = ci.src[c.opIdx];
         if (op.producerSeq != ev.seq)
             return;
-        wakeOperand(ci, op, cycle_, ev.seq, false);
-        updateReadySlot(unsigned(c.slot));
+        if (wakeOperand(ci, op, cycle_, ev.seq, false))
+            updateReadySlot(unsigned(c.slot));
     });
     if (cfg_.sequentialWakeup())
         scheduleEvent(cycle_ + 1,
@@ -647,8 +643,8 @@ Core::handleSlowWake(const Event &ev)
         OperandState &op = ci.src[c.opIdx];
         if (op.producerSeq != ev.seq)
             return;
-        wakeOperand(ci, op, cycle_, ev.seq, true);
-        updateReadySlot(unsigned(c.slot));
+        if (wakeOperand(ci, op, cycle_, ev.seq, true))
+            updateReadySlot(unsigned(c.slot));
     });
 }
 
@@ -701,14 +697,16 @@ void
 Core::squashWindow(uint64_t first_cycle, uint64_t last_cycle,
                    uint64_t trigger_seq, bool selective)
 {
-    // Collect issued-in-shadow instructions. issuedList_ holds
+    // Collect issued-in-shadow instructions. The issued chain holds
     // exactly the issued-and-incomplete window entries, oldest
     // first — same visit order as a head-to-tail window scan. The
     // scratch vectors are members (capacity reserved at window
     // size), so recovery allocates nothing once warm.
     std::vector<int> &candidates = squashCandidates_;
     candidates.clear();
-    for (unsigned slot : issuedList_) {
+    for (int32_t it = issued_.head(); it != SlotChain::NIL;
+         it = issued_.next(unsigned(it))) {
+        unsigned slot = unsigned(it);
         DynInst &di = window_[slot];
         if (di.seq != trigger_seq && di.issueCycle >= first_cycle
             && di.issueCycle <= last_cycle)
@@ -790,7 +788,7 @@ Core::handleLoadMiss(const Event &ev)
     repairConsumersOf(ev.slot, load.seq);
     uint64_t true_wake = load.issueCycle + 1 + load.memLatency;
     load.wakeBroadcastCycle = true_wake;
-    isa::RegIndex dest = load.rec.inst.destReg();
+    isa::RegIndex dest = load.rec->inst.destReg();
     if (dest != isa::NO_REG && !isa::isZeroReg(dest)
         && true_wake > cycle_)
         scheduleEvent(true_wake,
@@ -825,8 +823,8 @@ Core::eligible(const DynInst &di) const
 bool
 Core::lsqAllowsLoad(const DynInst &load) const
 {
-    uint64_t lo = load.rec.effAddr;
-    uint64_t hi = lo + load.rec.inst.memSize();
+    uint64_t lo = load.rec->effAddr;
+    uint64_t hi = lo + load.rec->inst.memSize();
     // storeSlots_ holds the in-window stores in program order, so
     // the overlap search touches only older stores instead of the
     // whole window.
@@ -834,8 +832,8 @@ Core::lsqAllowsLoad(const DynInst &load) const
         const DynInst &di = window_[storeSlots_[k]];
         if (di.seq >= load.seq)
             break;
-        uint64_t slo = di.rec.effAddr;
-        uint64_t shi = slo + di.rec.inst.memSize();
+        uint64_t slo = di.rec->effAddr;
+        uint64_t shi = slo + di.rec->inst.memSize();
         if (slo < hi && lo < shi) {
             // Overlapping older store: its address must be known
             // (agen issued) and its data produced before the load
@@ -912,7 +910,7 @@ Core::issueInst(DynInst &di, int slot)
         }
     }
 
-    isa::RegIndex dest = di.rec.inst.destReg();
+    isa::RegIndex dest = di.rec->inst.destReg();
     bool broadcasts = dest != isa::NO_REG && !isa::isZeroReg(dest);
     uint64_t wake_cycle;
     uint64_t complete_cycle;
@@ -921,20 +919,22 @@ Core::issueInst(DynInst &di, int slot)
         // Determine the actual memory latency: forwarded from an
         // older overlapping store, or from the cache hierarchy.
         bool forwarded = false;
-        uint64_t lo = di.rec.effAddr;
-        uint64_t hi = lo + di.rec.inst.memSize();
+        uint64_t lo = di.rec->effAddr;
+        uint64_t hi = lo + di.rec->inst.memSize();
         for (size_t k = 0; k < storeSlots_.size(); ++k) {
             const DynInst &st = window_[storeSlots_[k]];
             if (st.seq >= di.seq)
                 break;
-            uint64_t slo = st.rec.effAddr;
-            uint64_t shi = slo + st.rec.inst.memSize();
-            if (slo < hi && lo < shi)
+            uint64_t slo = st.rec->effAddr;
+            uint64_t shi = slo + st.rec->inst.memSize();
+            if (slo < hi && lo < shi) {
                 forwarded = true;
+                break;
+            }
         }
         unsigned mem_lat = forwarded
             ? hier_.assumedLoadLatency()
-            : hier_.dataAccess(di.rec.effAddr, false);
+            : hier_.dataAccess(di.rec->effAddr, false);
         di.memLatency = mem_lat;
 
         unsigned assumed_total = 1 + hier_.assumedLoadLatency();
@@ -955,7 +955,7 @@ Core::issueInst(DynInst &di, int slot)
         }
     } else {
         unsigned lat =
-            isa::opClassLatency(di.rec.inst.opClass()) + extra;
+            isa::opClassLatency(di.rec->inst.opClass()) + extra;
         di.latency = lat;
         wake_cycle = cycle_ + lat;
         complete_cycle = cycle_ + cfg_.schedToExec() + lat - 1;
@@ -1012,36 +1012,33 @@ Core::select()
     // nothing is inserted during select (all wakeups are scheduled
     // for strictly later cycles).
     for (int pass = 0; pass < 2 && avail > 0; ++pass) {
-        for (size_t i = 0; i < readyList_.size() && avail > 0;) {
-            unsigned slot = readyList_[i];
+        int32_t it = ready_.head();
+        while (it != SlotChain::NIL && avail > 0) {
+            unsigned slot = unsigned(it);
+            // issueInst() unlinks the current entry; grab the
+            // successor first (nothing is inserted during select —
+            // all wakeups are scheduled for strictly later cycles).
+            it = ready_.next(slot);
             DynInst &di = window_[slot];
 
             bool high_prio = di.isLoad() || di.isControl();
-            if ((pass == 0) != high_prio || !eligible(di)) {
-                ++i;
+            if ((pass == 0) != high_prio || !eligible(di))
                 continue;
-            }
-            if (di.isLoad() && !lsqAllowsLoad(di)) {
-                ++i;
+            if (di.isLoad() && !lsqAllowsLoad(di))
                 continue;
-            }
             if (crossbar) {
                 unsigned ports = computeRfPorts(di);
-                if (ports > ports_left) {
-                    ++i;
+                if (ports > ports_left)
                     continue;
-                }
                 ports_left -= ports;
             }
-            if (!fu_.acquire(di.rec.inst.opClass(), cycle_)) {
+            if (!fu_.acquire(di.rec->inst.opClass(), cycle_)) {
                 if (crossbar)
                     ports_left += computeRfPorts(di);
-                ++i;
                 continue;
             }
             issueInst(di, int(slot));
             --avail;
-            // readyList_[i] now names the next-oldest entry.
         }
     }
 }
@@ -1080,7 +1077,7 @@ Core::applyWakePlacement(DynInst &di)
 void
 Core::setupOperands(DynInst &di, int slot)
 {
-    const isa::StaticInst &si = di.rec.inst;
+    const isa::StaticInst &si = di.rec->inst;
 
     isa::SrcList raw = si.srcRegs();
     isa::SrcList sched;
@@ -1156,8 +1153,8 @@ Core::setupOperands(DynInst &di, int slot)
         stats_.readyAtInsert.sample(2 - pending);
 
     if (di.twoPending) {
-        di.predRightLast = lap_.predictRightLast(di.rec.pc);
-        di.shadowPredBits = lapMon_.snapshot(di.rec.pc);
+        di.predRightLast = lap_.predictRightLast(di.rec->pc);
+        di.shadowPredBits = lapMon_.snapshot(di.rec->pc);
     }
 }
 
@@ -1173,9 +1170,9 @@ Core::dispatch()
         FetchedInst &fi = fetchQueue_.front();
         if (fi.earliestDispatch > cycle_)
             break;
-        if (fi.rec.inst.isMemRef() && lsqCount_ >= cfg_.lsq_size)
+        if (fi.rec->inst.isMemRef() && lsqCount_ >= cfg_.lsq_size)
             break;
-        unsigned lookups = fi.rec.inst.uniqueSrcRegs().count;
+        unsigned lookups = fi.rec->inst.uniqueSrcRegs().count;
         if (lookups > rename_ports) {
             ++stats_.renameStalls;
             // The group splits here — unless nothing has dispatched
@@ -1207,11 +1204,11 @@ Core::dispatch()
         if (di.isStore())
             storeSlots_.push_back(slot);
 
-        isa::RegIndex dest = di.rec.inst.destReg();
+        isa::RegIndex dest = di.rec->inst.destReg();
         if (dest != isa::NO_REG && !isa::isZeroReg(dest))
             lastProducer_[dest] = ProducerRef{di.seq, int(slot)};
 
-        if (di.rec.inst.isMemRef())
+        if (di.rec->inst.isMemRef())
             ++lsqCount_;
 
         tail_ = (tail_ + 1) % cfg_.ruu_size;
@@ -1255,7 +1252,7 @@ Core::fetch()
         }
 
         FetchedInst fi;
-        fi.rec = rec;
+        fi.rec = lookahead_;
         fi.fetchCycle = cycle_;
         fi.earliestDispatch = cycle_ + cfg_.front_end_depth;
         fi.mispredicted = false;

@@ -167,9 +167,9 @@ class Core
 
     /** Snapshot of the incremental ready list: window slots of
      *  unissued, scheduler-ready instructions, oldest first. */
-    const std::vector<unsigned> &readyListSnapshot() const
+    std::vector<unsigned> readyListSnapshot() const
     {
-        return readyList_;
+        return ready_.toVector();
     }
 
     /**
@@ -256,7 +256,7 @@ class Core
 
     struct FetchedInst
     {
-        func::ExecRecord rec;
+        const func::ExecRecord *rec;
         uint64_t earliestDispatch;
         bool mispredicted;
         uint64_t fetchCycle;
@@ -318,7 +318,7 @@ class Core
     void handleComplete(const Event &ev);
     void handleLoadMiss(const Event &ev);
     void handleTagElim(const Event &ev);
-    void wakeOperand(DynInst &ci, OperandState &op, uint64_t now,
+    bool wakeOperand(DynInst &ci, OperandState &op, uint64_t now,
                      uint64_t producer_seq, bool slow_bus);
     void noteSecondWake(DynInst &ci, uint64_t now);
     void squashWindow(uint64_t first_cycle, uint64_t last_cycle,
@@ -357,11 +357,12 @@ class Core
 
     /** Unissued, scheduler-ready instructions (ready-list select).
      *  Entries join on wakeup/insert, leave on issue or when replay
-     *  repair takes a tag match away. Sorted by seq. */
-    std::vector<unsigned> readyList_;
+     *  repair takes a tag match away. Intrusive chain in seq order:
+     *  unlink is O(1), insert walks backward from the tail. */
+    SlotChain ready_;
     /** Issued-but-incomplete instructions: the replay-shadow
-     *  candidate set of squashWindow(). Sorted by seq. */
-    std::vector<unsigned> issuedList_;
+     *  candidate set of squashWindow(). Seq-ordered chain. */
+    SlotChain issued_;
     /** In-window stores in program order (LSQ overlap searches);
      *  occupancy bounded by the window size. */
     BoundedRing<unsigned> storeSlots_;
@@ -390,7 +391,7 @@ class Core
     bool fetchStalledOnBranch_ = false;
     uint64_t stalledBranchSeqTag_ = NO_SEQ; // pc tag for bookkeeping
     bool sourceDone_ = false;
-    std::optional<func::ExecRecord> lookahead_;
+    const func::ExecRecord *lookahead_ = nullptr;
 
     /** Issue slots blocked this cycle by sequential register access
      *  issues of the previous cycle. */

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * One replay lane of a batched trace sweep: a private TraceSource
+ * cursor plus a full Core, bound to a shared immutable
+ * CommittedTrace. All mutable per-cell state — the window, the
+ * ready/issued chains, the calendar event queue, the pooled consumer
+ * lists, the cache/bpred models — lives inside the lane's Core, so
+ * any number of lanes can replay one trace concurrently or
+ * interleaved: the trace is the only shared data and it is
+ * read-only.
+ *
+ * A lane advances in quanta (tickQuantum) so a batch scheduler
+ * (sim::BatchedSimulation) can rotate the decode stream through B
+ * machine configs while the just-touched trace region is still
+ * cache-resident. Lanes are fully independent — no cross-lane state,
+ * no shared mutable cursors — so any interleaving of quanta commits
+ * the exact cycle-by-cycle schedule of a solo Core::run(): batching
+ * is a data-layout change, not a semantic one.
+ */
+
+#ifndef HPA_CORE_CORE_LANE_HH
+#define HPA_CORE_CORE_LANE_HH
+
+#include "core/core.hh"
+#include "core/inst_source.hh"
+
+namespace hpa::core
+{
+
+/** A (TraceSource, Core) pair over a shared committed trace. */
+class CoreLane
+{
+  public:
+    /** @param trace shared stream; must outlive the lane. */
+    CoreLane(const CoreConfig &cfg, const func::CommittedTrace &trace)
+        : source_(trace), core_(cfg, source_)
+    {}
+
+    CoreLane(const CoreLane &) = delete;
+    CoreLane &operator=(const CoreLane &) = delete;
+
+    Core &core() { return core_; }
+    const Core &core() const { return core_; }
+    TraceSource &source() { return source_; }
+
+    bool done() const { return core_.done(); }
+
+    /**
+     * Advance up to @p quantum cycles, stopping early when the lane
+     * finishes or reaches @p max_cycles (0 = unbounded) — the same
+     * stop conditions, checked in the same order, as Core::run().
+     * @return true while the lane can still advance.
+     */
+    bool
+    tickQuantum(uint64_t quantum, uint64_t max_cycles)
+    {
+        while (quantum--) {
+            if (core_.done())
+                return false;
+            core_.tick();
+            if (max_cycles && core_.cycle() >= max_cycles)
+                return false;
+        }
+        return !core_.done();
+    }
+
+    /** Run the lane to completion alone (solo replay path). */
+    uint64_t run(uint64_t max_cycles) { return core_.run(max_cycles); }
+
+  private:
+    TraceSource source_;
+    Core core_;
+};
+
+} // namespace hpa::core
+
+#endif // HPA_CORE_CORE_LANE_HH

@@ -52,7 +52,11 @@ struct OperandState
 /** A dynamic instruction occupying a window (RUU) slot. */
 struct DynInst
 {
-    func::ExecRecord rec;
+    /** Committed-path record; points into the instruction source's
+     *  stable storage (see InstSource's lifetime contract), so slot
+     *  setup and recovery never copy the record. Null only in an
+     *  empty slot. */
+    const func::ExecRecord *rec = nullptr;
     uint64_t seq = NO_SEQ;
 
     // --- Dependences (unique, non-zero source registers). ---
@@ -119,9 +123,9 @@ struct DynInst
     /** Shadow predictor predictions per monitored table size. */
     uint8_t shadowPredBits = 0;
 
-    bool isLoad() const { return rec.inst.isLoad(); }
-    bool isStore() const { return rec.inst.isStore(); }
-    bool isControl() const { return rec.inst.isControl(); }
+    bool isLoad() const { return rec->inst.isLoad(); }
+    bool isStore() const { return rec->inst.isStore(); }
+    bool isControl() const { return rec->inst.isControl(); }
 
     /** All tag matches observed (per-model issue condition helper). */
     bool

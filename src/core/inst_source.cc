@@ -7,7 +7,8 @@ using isa::Opcode;
 using isa::RegIndex;
 
 SyntheticSource::SyntheticSource(const SyntheticParams &params)
-    : p_(params), rng_(params.seed), pc_(0x1000)
+    : p_(params), rng_(params.seed), ring_(RECORD_LIFETIME),
+      pc_(0x1000)
 {
     // Seed the recent-destination window so early sources resolve.
     for (unsigned r = 1; r <= 8; ++r)
@@ -44,14 +45,15 @@ SyntheticSource::pickDest()
     return r;
 }
 
-std::optional<func::ExecRecord>
+const func::ExecRecord *
 SyntheticSource::next()
 {
     if (produced_ >= p_.num_insts)
-        return std::nullopt;
+        return nullptr;
     ++produced_;
 
-    func::ExecRecord rec;
+    func::ExecRecord &rec = ring_[produced_ % RECORD_LIFETIME];
+    rec = func::ExecRecord{};
     rec.pc = pc_;
     uint64_t next_pc = pc_ + 4;
 
@@ -89,7 +91,7 @@ SyntheticSource::next()
 
     rec.nextPc = next_pc;
     pc_ = next_pc;
-    return rec;
+    return &rec;
 }
 
 } // namespace hpa::core

@@ -8,8 +8,8 @@
 #ifndef HPA_CORE_INST_SOURCE_HH
 #define HPA_CORE_INST_SOURCE_HH
 
-#include <optional>
 #include <random>
+#include <vector>
 
 #include "func/emulator.hh"
 #include "func/trace.hh"
@@ -17,14 +17,27 @@
 namespace hpa::core
 {
 
-/** Pull interface for the committed dynamic instruction stream. */
+/**
+ * Pull interface for the committed dynamic instruction stream.
+ *
+ * Lifetime contract: the record a next() call returns stays valid
+ * for at least RECORD_LIFETIME further next() calls (trace replay
+ * returns pointers into the immutable trace, which never move;
+ * generating sources buffer their output in a ring of that size).
+ * The core keeps at most window + fetch-queue + 1 records in flight
+ * — far below the bound — so it stores the pointers directly and
+ * never copies an ExecRecord.
+ */
 class InstSource
 {
   public:
+    /** Minimum record lifetime, in subsequent next() calls. */
+    static constexpr size_t RECORD_LIFETIME = 4096;
+
     virtual ~InstSource() = default;
 
-    /** Next committed instruction, or nullopt at end of stream. */
-    virtual std::optional<func::ExecRecord> next() = 0;
+    /** Next committed instruction, or nullptr at end of stream. */
+    virtual const func::ExecRecord *next() = 0;
 };
 
 /** Drives the core from the functional emulator (execution-driven). */
@@ -36,30 +49,33 @@ class EmulatorSource : public InstSource
      * @param max_insts stop after this many instructions (0: no cap)
      */
     explicit EmulatorSource(func::Emulator &emu, uint64_t max_insts = 0)
-        : emu_(emu), maxInsts_(max_insts)
+        : emu_(emu), maxInsts_(max_insts), ring_(RECORD_LIFETIME)
     {}
 
-    std::optional<func::ExecRecord>
+    const func::ExecRecord *
     next() override
     {
         if (emu_.halted() || (maxInsts_ && count_ >= maxInsts_))
-            return std::nullopt;
-        ++count_;
-        return emu_.step();
+            return nullptr;
+        func::ExecRecord &r = ring_[count_++ % RECORD_LIFETIME];
+        r = emu_.step();
+        return &r;
     }
 
   private:
     func::Emulator &emu_;
     uint64_t maxInsts_;
     uint64_t count_ = 0;
+    std::vector<func::ExecRecord> ring_;
 };
 
 /**
  * Replays a pre-captured committed trace (trace-once/replay-many).
  * Holds only a read-only reference plus a cursor, so any number of
- * concurrent cores can replay one shared CommittedTrace; the stream
- * is byte-identical to an EmulatorSource over the same program,
- * fast-forward and budget (see CommittedTrace's replay contract).
+ * concurrent cores — or the lanes of one batched replay — can replay
+ * one shared CommittedTrace; the stream is byte-identical to an
+ * EmulatorSource over the same program, fast-forward and budget (see
+ * CommittedTrace's replay contract).
  */
 class TraceSource : public InstSource
 {
@@ -69,13 +85,16 @@ class TraceSource : public InstSource
         : trace_(trace)
     {}
 
-    std::optional<func::ExecRecord>
+    const func::ExecRecord *
     next() override
     {
         if (index_ >= trace_.size())
-            return std::nullopt;
-        return trace_.record(index_++);
+            return nullptr;
+        return &trace_.record(index_++);
     }
+
+    /** Replay cursor (records consumed so far). */
+    size_t position() const { return index_; }
 
   private:
     const func::CommittedTrace &trace_;
@@ -112,11 +131,12 @@ class SyntheticSource : public InstSource
   public:
     explicit SyntheticSource(const SyntheticParams &params);
 
-    std::optional<func::ExecRecord> next() override;
+    const func::ExecRecord *next() override;
 
   private:
     SyntheticParams p_;
     std::mt19937_64 rng_;
+    std::vector<func::ExecRecord> ring_;
     uint64_t produced_ = 0;
     uint64_t pc_;
     /** Rolling recent-destination window for dependence distances. */

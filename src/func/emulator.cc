@@ -1,5 +1,6 @@
 #include "func/emulator.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
@@ -12,6 +13,8 @@ using isa::StaticInst;
 Emulator::Emulator(const assembler::Program &prog)
     : pc_(prog.entry), codeBase_(prog.codeBase), codeEnd_(prog.codeEnd())
 {
+    icache_.resize(prog.code.size());
+    icacheValid_.assign(prog.code.size(), 0);
     mem_.writeBlock(prog.codeBase, prog.code.data(),
                     prog.code.size() * sizeof(isa::MachInst));
     if (!prog.data.empty())
@@ -40,12 +43,37 @@ Emulator::setFpReg(unsigned i, double v)
 isa::StaticInst
 Emulator::fetchDecode(uint64_t pc) const
 {
+    const bool cacheable = pc >= codeBase_ && pc < codeEnd_
+        && ((pc - codeBase_) & 3) == 0;
+    const size_t idx = cacheable ? size_t((pc - codeBase_) >> 2) : 0;
+    if (cacheable && icacheValid_[idx])
+        return icache_[idx];
+
     auto word = static_cast<isa::MachInst>(mem_.read(pc, 4));
     auto si = isa::decode(word);
     if (!si)
         throw EmulationError("illegal instruction at pc 0x"
                              + std::to_string(pc));
+    if (cacheable) {
+        icache_[idx] = *si;
+        icacheValid_[idx] = 1;
+    }
     return *si;
+}
+
+void
+Emulator::writeMem(uint64_t ea, uint64_t val, unsigned size)
+{
+    mem_.write(ea, val, size);
+    // A store into the text segment must drop the covered decoded
+    // entries so the next fetch re-decodes from memory.
+    if (ea + size > codeBase_ && ea < codeEnd_) {
+        uint64_t end = std::min<uint64_t>(ea + size, codeEnd_);
+        uint64_t lo = ea > codeBase_ ? (ea - codeBase_) >> 2 : 0;
+        uint64_t hi = (end - codeBase_ + 3) >> 2;
+        for (uint64_t i = lo; i < hi && i < icacheValid_.size(); ++i)
+            icacheValid_[i] = 0;
+    }
 }
 
 void
@@ -199,15 +227,15 @@ Emulator::step()
               }
               case Opcode::STB: case Opcode::STW: case Opcode::STL:
               case Opcode::STQ:
-                mem_.write(ea, static_cast<uint64_t>(ival(si.ra)),
-                           size);
+                writeMem(ea, static_cast<uint64_t>(ival(si.ra)),
+                         size);
                 break;
               case Opcode::STF: {
                 double d = si.ra == isa::FP_ZERO_REG
                     ? 0.0 : freg_[si.ra];
                 uint64_t bits;
                 std::memcpy(&bits, &d, sizeof(bits));
-                mem_.write(ea, bits, 8);
+                writeMem(ea, bits, 8);
                 break;
               }
               default:

@@ -12,6 +12,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "asm/assembler.hh"
 #include "func/memory.hh"
@@ -96,7 +97,17 @@ class Emulator
     uint64_t codeBase_;
     uint64_t codeEnd_;
 
+    /** Lazily decoded text segment, one entry per aligned code word:
+     *  decode (and the StaticInst::finalize operand-property
+     *  precompute) runs once per *static* instruction instead of
+     *  once per executed instruction. Stores that overlap the text
+     *  segment invalidate the covered entries, so self-modifying
+     *  code still re-decodes from memory. */
+    mutable std::vector<isa::StaticInst> icache_;
+    mutable std::vector<uint8_t> icacheValid_;
+
     isa::StaticInst fetchDecode(uint64_t pc) const;
+    void writeMem(uint64_t ea, uint64_t val, unsigned size);
     void execOperate(const isa::StaticInst &si);
 };
 

@@ -19,25 +19,15 @@ CommittedTrace::capture(const assembler::Program &prog,
         }
     }
 
-    if (max_insts) {
-        t.pc_.reserve(max_insts);
-        t.nextPc_.reserve(max_insts);
-        t.inst_.reserve(max_insts);
-        t.taken_.reserve(max_insts);
-        t.effAddr_.reserve(max_insts);
-    }
+    if (max_insts)
+        t.records_.reserve(max_insts);
 
     // Same stop condition as EmulatorSource::next(): halt or budget,
     // checked before each step.
     uint64_t count = 0;
     while (!emu.halted() && (!max_insts || count < max_insts)) {
         ++count;
-        ExecRecord r = emu.step();
-        t.pc_.push_back(r.pc);
-        t.nextPc_.push_back(r.nextPc);
-        t.inst_.push_back(r.inst);
-        t.taken_.push_back(r.taken ? 1 : 0);
-        t.effAddr_.push_back(r.effAddr);
+        t.records_.push_back(emu.step());
     }
 
     t.console_ = emu.console();

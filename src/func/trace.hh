@@ -3,12 +3,14 @@
  * Committed-trace capture for trace-once/replay-many sweeps. A
  * CommittedTrace records the exact ExecRecord stream an Emulator
  * would feed the timing core — fast-forward skip, per-instruction
- * dynamic record, console output — once, into a flat immutable
- * structure-of-arrays buffer. Every machine cell of a sweep then
- * replays the shared buffer read-only (core::TraceSource) instead of
- * re-running functional emulation per cell, so assembly, decode and
+ * dynamic record, console output — once, into one flat immutable
+ * record array. Every machine cell of a sweep then replays the
+ * shared buffer read-only (core::TraceSource) instead of re-running
+ * functional emulation per cell, so assembly, decode and
  * architectural execution are paid once per (workload, budget)
- * instead of once per (workload, budget, machine).
+ * instead of once per (workload, budget, machine) — and a batched
+ * replay (sim::BatchedSimulation) streams the same records through
+ * many machine configs while they are cache-hot.
  */
 
 #ifndef HPA_FUNC_TRACE_HH
@@ -30,12 +32,13 @@ namespace hpa::func
  * Replay contract: record(0..size()) reproduces, byte for byte, the
  * ExecRecords an EmulatorSource over a fresh Emulator (after the
  * same fast-forward) would return, and size() marks end-of-stream
- * exactly where EmulatorSource::next() would first return nullopt
- * (HALT or the instruction budget, whichever comes first). The
- * fields live in parallel arrays (one per ExecRecord member) so
- * replay is a handful of sequential, cache-line-friendly reads with
- * no pointer chasing and no shared mutable state — one trace can
- * feed any number of concurrent sweep threads.
+ * exactly where EmulatorSource::next() would first return null
+ * (HALT or the instruction budget, whichever comes first). Records
+ * are stored as one contiguous array of ExecRecords, so a replay
+ * cursor is a single sequential prefetch stream and record access is
+ * a stable pointer — no per-instruction gather, no copies, no shared
+ * mutable state: one trace can feed any number of concurrent sweep
+ * threads or batched replay lanes.
  */
 class CommittedTrace
 {
@@ -55,20 +58,11 @@ class CommittedTrace
                                   uint64_t max_insts);
 
     /** Recorded instructions (EmulatorSource stream length). */
-    size_t size() const { return pc_.size(); }
+    size_t size() const { return records_.size(); }
 
-    /** Reassemble the @p i-th ExecRecord of the stream. */
-    ExecRecord
-    record(size_t i) const
-    {
-        ExecRecord r;
-        r.pc = pc_[i];
-        r.nextPc = nextPc_[i];
-        r.inst = inst_[i];
-        r.taken = taken_[i] != 0;
-        r.effAddr = effAddr_[i];
-        return r;
-    }
+    /** The @p i-th ExecRecord of the stream. The reference is
+     *  stable for the lifetime of the trace. */
+    const ExecRecord &record(size_t i) const { return records_[i]; }
 
     /** Instructions skipped by the fast-forward loop. */
     uint64_t fastForwarded() const { return fastForwarded_; }
@@ -82,20 +76,11 @@ class CommittedTrace
     size_t
     memoryBytes() const
     {
-        return pc_.capacity() * sizeof(uint64_t)
-            + nextPc_.capacity() * sizeof(uint64_t)
-            + effAddr_.capacity() * sizeof(uint64_t)
-            + inst_.capacity() * sizeof(isa::StaticInst)
-            + taken_.capacity();
+        return records_.capacity() * sizeof(ExecRecord);
     }
 
   private:
-    // Structure of arrays: one column per ExecRecord field.
-    std::vector<uint64_t> pc_;
-    std::vector<uint64_t> nextPc_;
-    std::vector<isa::StaticInst> inst_;
-    std::vector<uint8_t> taken_;
-    std::vector<uint64_t> effAddr_;
+    std::vector<ExecRecord> records_;
     uint64_t fastForwarded_ = 0;
     std::string console_;
 };

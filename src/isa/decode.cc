@@ -182,6 +182,7 @@ decode(MachInst word)
         else
             return std::nullopt;
         si.rb = 31;   // no rb field in the system format
+        si.finalize();
         return si;
       }
       case GRP_INTOP:
@@ -198,6 +199,7 @@ decode(MachInst word)
             si.literal = static_cast<uint8_t>((word >> 13) & 0xFF);
             si.rb = 31;
         }
+        si.finalize();
         return si;
       }
       case GRP_JUMP: {
@@ -210,6 +212,7 @@ decode(MachInst word)
             si.op = Opcode::RET;
         else
             return std::nullopt;
+        si.finalize();
         return si;
       }
       case OP_LDA: si.op = Opcode::LDA; break;
@@ -244,6 +247,7 @@ decode(MachInst word)
         si.disp = sext(word & 0x1FFFFF, 21);
         si.rb = 31;   // bits [20:16] belong to the displacement
     }
+    si.finalize();
     return si;
 }
 

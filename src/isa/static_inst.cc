@@ -20,6 +20,7 @@ makeOp(Opcode op, RegIndex ra, RegIndex rb, RegIndex rc)
     si.ra = ra;
     si.rb = rb;
     si.rc = rc;
+    si.finalize();
     return si;
 }
 
@@ -33,6 +34,7 @@ makeOpImm(Opcode op, RegIndex ra, uint8_t lit, RegIndex rc)
     si.rc = rc;
     si.useLiteral = true;
     si.literal = lit;
+    si.finalize();
     return si;
 }
 
@@ -45,6 +47,7 @@ makeMem(Opcode op, RegIndex ra, RegIndex rb, int32_t disp)
     si.ra = ra;
     si.rb = rb;
     si.disp = disp;
+    si.finalize();
     return si;
 }
 
@@ -56,6 +59,7 @@ makeBranch(Opcode op, RegIndex ra, int32_t disp)
     si.op = op;
     si.ra = ra;
     si.disp = disp;
+    si.finalize();
     return si;
 }
 
@@ -67,6 +71,7 @@ makeJump(Opcode op, RegIndex ra, RegIndex rb)
     si.op = op;
     si.ra = ra;
     si.rb = rb;
+    si.finalize();
     return si;
 }
 
@@ -77,6 +82,7 @@ makeSystem(Opcode op, RegIndex ra)
     StaticInst si;
     si.op = op;
     si.ra = ra;
+    si.finalize();
     return si;
 }
 

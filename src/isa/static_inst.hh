@@ -40,6 +40,15 @@ struct SrcList
  */
 struct StaticInst
 {
+    /** Bits of the decode-time operand-property cache (meta). */
+    static constexpr uint16_t META_VALID = 1u << 0;
+    static constexpr uint16_t META_LOAD = 1u << 1;
+    static constexpr uint16_t META_STORE = 1u << 2;
+    static constexpr uint16_t META_CONTROL = 1u << 3;
+    static constexpr uint16_t META_COND_BRANCH = 1u << 4;
+    static constexpr uint16_t META_TWO_SRC = 1u << 5;
+    static constexpr uint16_t META_NOP = 1u << 6;
+
     Opcode op = Opcode::HALT;
     /** Raw register fields as encoded. */
     RegIndex ra = 31;
@@ -51,21 +60,48 @@ struct StaticInst
     /** Sign-extended displacement (memory: 16-bit; branch: 21-bit). */
     int32_t disp = 0;
 
+    /**
+     * Operand-property cache, filled by finalize(). The decoder and
+     * the make* constructors finalize every instruction they hand
+     * out, so replay-path queries are flag tests and struct copies;
+     * a raw aggregate-built instance (meta == 0) still answers every
+     * accessor through the compute path below.
+     */
+    uint16_t meta = 0;
+    RegIndex destCache = NO_REG;
+    uint8_t memSizeCache = 0;
+    SrcList srcCache;
+    SrcList uniqCache;
+
     const OpInfo &info() const { return opInfo(op); }
     OpClass opClass() const { return info().opClass; }
     Format format() const { return info().format; }
 
-    bool isLoad() const { return opClass() == OpClass::MemRead; }
-    bool isStore() const { return opClass() == OpClass::MemWrite; }
+    bool
+    isLoad() const
+    {
+        return meta & META_VALID ? bool(meta & META_LOAD)
+                                 : opClass() == OpClass::MemRead;
+    }
+    bool
+    isStore() const
+    {
+        return meta & META_VALID ? bool(meta & META_STORE)
+                                 : opClass() == OpClass::MemWrite;
+    }
     bool isMemRef() const { return isLoad() || isStore(); }
     bool
     isControl() const
     {
+        if (meta & META_VALID)
+            return meta & META_CONTROL;
         return format() == Format::Branch || format() == Format::Jump;
     }
     bool
     isCondBranch() const
     {
+        if (meta & META_VALID)
+            return meta & META_COND_BRANCH;
         return format() == Format::Branch && op != Opcode::BR
             && op != Opcode::BSR;
     }
@@ -82,6 +118,12 @@ struct StaticInst
     /** Access size in bytes for memory references. */
     unsigned
     memSize() const
+    {
+        return meta & META_VALID ? memSizeCache : computeMemSize();
+    }
+
+    unsigned
+    computeMemSize() const
     {
         switch (op) {
           case Opcode::LDBU: case Opcode::STB: return 1;
@@ -130,6 +172,12 @@ struct StaticInst
     RegIndex
     destReg() const
     {
+        return meta & META_VALID ? destCache : computeDestReg();
+    }
+
+    RegIndex
+    computeDestReg() const
+    {
         if (!info().writesDest)
             return NO_REG;
         switch (format()) {
@@ -150,6 +198,12 @@ struct StaticInst
     /** Unified-id source register fields, in left/right format order. */
     SrcList
     srcRegs() const
+    {
+        return meta & META_VALID ? srcCache : computeSrcRegs();
+    }
+
+    SrcList
+    computeSrcRegs() const
     {
         SrcList s;
         switch (format()) {
@@ -197,7 +251,13 @@ struct StaticInst
     SrcList
     uniqueSrcRegs() const
     {
-        SrcList raw = srcRegs();
+        return meta & META_VALID ? uniqCache : computeUniqueSrcRegs();
+    }
+
+    SrcList
+    computeUniqueSrcRegs() const
+    {
+        SrcList raw = computeSrcRegs();
         SrcList out;
         for (unsigned i = 0; i < raw.count; ++i) {
             RegIndex r = raw.regs[i];
@@ -235,6 +295,8 @@ struct StaticInst
     bool
     isTwoSourceFormat() const
     {
+        if (meta & META_VALID)
+            return meta & META_TWO_SRC;
         return numSrcFields() == 2 && !isStore();
     }
 
@@ -245,10 +307,43 @@ struct StaticInst
     bool
     isNop() const
     {
+        if (meta & META_VALID)
+            return meta & META_NOP;
         if (format() != Format::Operate || !info().writesDest)
             return false;
-        RegIndex d = destReg();
+        RegIndex d = computeDestReg();
         return d != NO_REG && isZeroReg(d);
+    }
+
+    /**
+     * Precompute the operand-property cache. Idempotent; must be
+     * re-run if op / register fields / useLiteral change afterwards.
+     */
+    void
+    finalize()
+    {
+        srcCache = computeSrcRegs();
+        uniqCache = computeUniqueSrcRegs();
+        destCache = computeDestReg();
+        memSizeCache = uint8_t(computeMemSize());
+        uint16_t m = META_VALID;
+        if (opClass() == OpClass::MemRead)
+            m |= META_LOAD;
+        if (opClass() == OpClass::MemWrite)
+            m |= META_STORE;
+        if (format() == Format::Branch || format() == Format::Jump)
+            m |= META_CONTROL;
+        if (format() == Format::Branch && op != Opcode::BR
+            && op != Opcode::BSR) {
+            m |= META_COND_BRANCH;
+        }
+        if (numSrcFields() == 2 && !(m & META_STORE))
+            m |= META_TWO_SRC;
+        if (format() == Format::Operate && info().writesDest
+            && destCache != NO_REG && isZeroReg(destCache)) {
+            m |= META_NOP;
+        }
+        meta = m;
     }
 
     /** Disassemble to assembly text. */

@@ -1,0 +1,62 @@
+#include "sim/batched_simulation.hh"
+
+#include "sim/error.hh"
+
+namespace hpa::sim
+{
+
+BatchedSimulation::BatchedSimulation(
+    std::vector<std::unique_ptr<Simulation>> lanes, uint64_t quantum)
+    : lanes_(std::move(lanes)), errors_(lanes_.size()),
+      quantum_(quantum ? quantum : DEFAULT_QUANTUM)
+{
+    if (lanes_.empty())
+        throw ConfigError("BatchedSimulation needs at least one lane");
+    for (const auto &sim : lanes_) {
+        if (!sim || !sim->lane()) {
+            throw ConfigError("BatchedSimulation lanes must be "
+                              "trace-backed simulations");
+        }
+    }
+}
+
+void
+BatchedSimulation::run(const std::vector<uint64_t> &max_cycles)
+{
+    auto capFor = [&](size_t i) {
+        return i < max_cycles.size() ? max_cycles[i] : uint64_t(0);
+    };
+
+    // Round-robin the decode stream: each live lane replays one
+    // quantum of the shared trace, then hands the (still cache-hot)
+    // stream to the next machine config. A lane leaves the rotation
+    // when it finishes, hits its cycle cap, or throws — a captured
+    // error never perturbs its lane-mates, whose schedules are
+    // bit-identical to a solo replay by construction (no shared
+    // mutable state; see core/core_lane.hh).
+    std::vector<size_t> active;
+    active.reserve(lanes_.size());
+    for (size_t i = 0; i < lanes_.size(); ++i)
+        active.push_back(i);
+
+    while (!active.empty()) {
+        for (size_t k = 0; k < active.size();) {
+            size_t i = active[k];
+            bool more = false;
+            try {
+                more = lanes_[i]->lane()->tickQuantum(quantum_,
+                                                      capFor(i));
+            } catch (...) {
+                errors_[i] = std::current_exception();
+            }
+            if (more) {
+                ++k;
+            } else {
+                active[k] = active.back();
+                active.pop_back();
+            }
+        }
+    }
+}
+
+} // namespace hpa::sim

@@ -54,14 +54,15 @@ Simulation::Simulation(const assembler::Program &prog,
     }
     source_ = std::make_unique<core::EmulatorSource>(*emu_, max_insts);
     core_ = std::make_unique<core::Core>(cfg, *source_);
+    corePtr_ = core_.get();
 }
 
 Simulation::Simulation(const func::CommittedTrace &trace,
                        const core::CoreConfig &cfg)
     : trace_(&trace), fastForwarded_(trace.fastForwarded())
 {
-    source_ = std::make_unique<core::TraceSource>(trace);
-    core_ = std::make_unique<core::Core>(cfg, *source_);
+    lane_ = std::make_unique<core::CoreLane>(cfg, trace);
+    corePtr_ = &lane_->core();
 }
 
 func::Emulator &
@@ -83,15 +84,15 @@ Simulation::console() const
 uint64_t
 Simulation::run(uint64_t max_cycles)
 {
-    return core_->run(max_cycles);
+    return corePtr_->run(max_cycles);
 }
 
 stats::Registry
 Simulation::statsRegistry()
 {
     stats::Registry reg;
-    core_->regStats(reg);
-    core::Core *c = core_.get();
+    corePtr_->regStats(reg);
+    core::Core *c = corePtr_;
     reg.add(stats::Formula("core.ipc", "committed per cycle",
                            [c] { return c->ipc(); }));
     return reg;

@@ -14,6 +14,7 @@
 
 #include "asm/assembler.hh"
 #include "core/core.hh"
+#include "core/core_lane.hh"
 #include "func/emulator.hh"
 #include "func/trace.hh"
 
@@ -113,7 +114,15 @@ class Simulation
     /** Run to completion; @return committed instructions. */
     uint64_t run(uint64_t max_cycles = 0);
 
-    core::Core &core() { return *core_; }
+    core::Core &core() { return *corePtr_; }
+
+    /**
+     * The replay lane of a trace-backed simulation, for batch
+     * schedulers that interleave several lanes over one shared
+     * trace (sim::BatchedSimulation). Null on execution-driven
+     * runs, which cannot be batched.
+     */
+    core::CoreLane *lane() { return lane_.get(); }
 
     /** True on execution-driven runs; trace replays own no emulator. */
     bool hasEmulator() const { return emu_ != nullptr; }
@@ -129,7 +138,7 @@ class Simulation
      */
     const std::string &console() const;
 
-    double ipc() const { return core_->ipc(); }
+    double ipc() const { return corePtr_->ipc(); }
 
     /**
      * Every statistic of this run in one registry: the core's
@@ -147,8 +156,13 @@ class Simulation
     std::unique_ptr<func::Emulator> emu_;
     /** Non-owning on trace replays (the cache owns the trace). */
     const func::CommittedTrace *trace_ = nullptr;
+    /** Execution-driven path: emulator-backed source + core. */
     std::unique_ptr<core::InstSource> source_;
     std::unique_ptr<core::Core> core_;
+    /** Trace-replay path: the (source, core) pair lives in a lane. */
+    std::unique_ptr<core::CoreLane> lane_;
+    /** The core of whichever path is active. */
+    core::Core *corePtr_ = nullptr;
     uint64_t fastForwarded_ = 0;
 };
 

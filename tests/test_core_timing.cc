@@ -36,11 +36,11 @@ trace(const std::string &src, const CoreConfig &cfg)
     std::vector<Stamp> out;
     s.core().setCommitListener(
         [&out](const DynInst &di, uint64_t commit) {
-            out.push_back(Stamp{di.seq, di.rec.pc, di.fetchCycle,
+            out.push_back(Stamp{di.seq, di.rec->pc, di.fetchCycle,
                                 di.dispatchCycle, di.issueCycle,
                                 di.completeCycle, commit,
                                 di.issueToken, di.seqRegAccess,
-                                di.rec.inst.isMemRef()});
+                                di.rec->inst.isMemRef()});
         });
     s.run(2000000);
     EXPECT_TRUE(s.emulator().halted());
@@ -257,7 +257,7 @@ TEST(Occupancy, WindowAndLsqNeverExceedConfiguredSize)
     c.setCommitListener([&](const DynInst &di, uint64_t commit) {
         events.push_back({di.dispatchCycle, +1});
         events.push_back({commit, -1});
-        if (di.rec.inst.isMemRef()) {
+        if (di.rec->inst.isMemRef()) {
             mem_events.push_back({di.dispatchCycle, +1});
             mem_events.push_back({commit, -1});
         }

@@ -404,6 +404,27 @@ v:      .word 123456789)");
 }
 
 
+TEST(Emulator, SelfModifyingCodeSeesPatchedInstruction)
+{
+    // Executes `target` once (r5 = 11), overwrites that word with the
+    // encoding of the never-executed donor instruction (`li r5, 22`),
+    // then re-executes it. The second pass must decode the patched
+    // word, so a decoded-instruction cache has to be invalidated by
+    // stores into the text segment.
+    auto e = runProgram(R"(
+        la   r2, target
+        la   r1, donor
+        ldl  r3, 0(r1)
+target: li   r5, 11
+        bne  r7, fin
+        li   r7, 1
+        stl  r3, 0(r2)
+        br   target
+fin:    halt
+donor:  li   r5, 22)");
+    EXPECT_EQ(e.intReg(5), 22);
+}
+
 TEST(EmulatorEdge, ShiftAmountsUseLowSixBits)
 {
     auto e = runProgram(R"(

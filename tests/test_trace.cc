@@ -76,9 +76,9 @@ expectSameStream(const workloads::Workload &w, uint64_t ff,
 
     uint64_t n = 0;
     for (;; ++n) {
-        std::optional<func::ExecRecord> a = replay.next();
-        std::optional<func::ExecRecord> b = live.next();
-        ASSERT_EQ(a.has_value(), b.has_value())
+        const func::ExecRecord *a = replay.next();
+        const func::ExecRecord *b = live.next();
+        ASSERT_EQ(a != nullptr, b != nullptr)
             << what << ": streams end at different lengths (record "
             << n << ")";
         if (!a)

@@ -23,7 +23,11 @@ import argparse
 import json
 import sys
 
-KNOWN_SCHEMAS = ("hpa.bench-sweep.v2", "hpa.micro-throughput.v1")
+KNOWN_SCHEMAS = (
+    "hpa.bench-sweep.v2",
+    "hpa.micro-throughput.v1",
+    "hpa.micro-throughput.v2",
+)
 
 
 def load(path):

@@ -117,6 +117,7 @@ main(int argc, char **argv)
 {
     uint64_t insts = 50000;
     unsigned jobs = 0;
+    unsigned batch = 0;
     bool trace_cache = true;
     std::string out = "BENCH_sweep.json";
     std::string check;
@@ -136,6 +137,8 @@ main(int argc, char **argv)
             insts = parseU64(a, need(i));
         else if (a == "--jobs")
             jobs = unsigned(parseU64(a, need(i)));
+        else if (a == "--batch")
+            batch = unsigned(parseU64(a, need(i)));
         else if (a == "--trace-cache") {
             std::string v = need(i);
             if (v != "on" && v != "off") {
@@ -176,7 +179,8 @@ main(int argc, char **argv)
         } else {
             std::cerr << "unknown option: " << a << "\n"
                       << "usage: hpa_bench_sweep [--insts N] "
-                         "[--jobs N] [--trace-cache on|off] "
+                         "[--jobs N] [--batch B] "
+                         "[--trace-cache on|off] "
                          "[--out FILE] [--check GOLDEN] "
                          "[--write-golden FILE] "
                          "[--inject KIND@INDEX]\n";
@@ -194,6 +198,7 @@ main(int argc, char **argv)
             j.machine = m;
             j.max_insts = insts;
             j.trace_cache = trace_cache;
+            j.batch = batch;
             j.validate();
             sweep.push_back(j);
         }
@@ -227,10 +232,12 @@ main(int argc, char **argv)
     }
     std::printf("%zu runs (%zu machines x %zu benchmarks), "
                 "%llu insts per run, %u hardware thread(s), "
-                "trace cache %s\n",
+                "trace cache %s, batch %u%s\n",
                 sweep.size(), machines.size(), names.size(),
                 static_cast<unsigned long long>(insts), hw,
-                trace_cache ? "on" : "off");
+                trace_cache ? "on" : "off",
+                sim::SweepRunner::resolveBatch(batch),
+                batch == 0 ? " (auto)" : "");
 
     // Pre-build every workload so neither timed pass pays assembly;
     // with the trace cache on, also pre-capture each committed trace
@@ -248,14 +255,16 @@ main(int argc, char **argv)
     }
 
     std::printf("serial pass (1 worker)...\n");
+    sim::SweepRunner serial_runner(1);
     std::vector<sim::SweepResult> serial;
-    double t_serial = wallSeconds(
-        [&] { serial = sim::SweepRunner(1).run(sweep); });
+    double t_serial =
+        wallSeconds([&] { serial = serial_runner.run(sweep); });
 
     std::printf("parallel pass (%u workers)...\n", par_jobs);
+    sim::SweepRunner parallel_runner(par_jobs);
     std::vector<sim::SweepResult> parallel;
-    double t_parallel = wallSeconds(
-        [&] { parallel = sim::SweepRunner(par_jobs).run(sweep); });
+    double t_parallel =
+        wallSeconds([&] { parallel = parallel_runner.run(sweep); });
 
     // Determinism contract: parallel results bit-identical to serial
     // — including which cells failed and why (error kinds are
@@ -320,6 +329,11 @@ main(int argc, char **argv)
             .kv("schema", "hpa.bench-sweep.v2")
             .kv("insts_per_run", insts)
             .kv("trace_cache", trace_cache)
+            .kv("batch",
+                uint64_t(sim::SweepRunner::resolveBatch(batch)))
+            .kv("batches_formed",
+                uint64_t(parallel_runner.batchesFormed()))
+            .kv("lanes_max", uint64_t(parallel_runner.lanesMax()))
             .kv("hardware_threads", hw)
             .kv("requested_jobs", uint64_t(requested_jobs))
             .kv("jobs_clamped", jobs_clamped)

@@ -48,12 +48,17 @@ requiredFields()
               "steady_missing", "attempts", "ipc", "committed",
               "cycles"}},
             {"hpa.bench-sweep.v2",
-             {"insts_per_run", "ok_runs", "failed_runs", "runs",
+             {"insts_per_run", "batch", "batches_formed",
+              "lanes_max", "ok_runs", "failed_runs", "runs",
               "status", "valid"}},
             {"hpa.sweep-golden.v1", {"insts_per_run"}},
             {"hpa.micro-throughput.v1",
              {"insts_per_run", "total_simulated_cycles",
               "aggregate_cycles_per_sec", "runs"}},
+            {"hpa.micro-throughput.v2",
+             {"insts_per_run", "batch", "total_simulated_cycles",
+              "aggregate_cycles_per_sec", "lane_cycles_per_sec",
+              "runs"}},
         };
     return req;
 }

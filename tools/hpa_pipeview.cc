@@ -130,8 +130,8 @@ main(int argc, char **argv)
         std::vector<Row> rows;
         s.core().setCommitListener(
             [&rows](const core::DynInst &di, uint64_t commit) {
-                rows.push_back(Row{di.seq, di.rec.pc,
-                                   di.rec.inst.disassemble(),
+                rows.push_back(Row{di.seq, di.rec->pc,
+                                   di.rec->inst.disassemble(),
                                    di.fetchCycle, di.dispatchCycle,
                                    di.issueCycle, di.completeCycle,
                                    commit, di.issueToken,

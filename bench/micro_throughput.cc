@@ -25,6 +25,7 @@
 #include <string>
 
 #include "bench_util.hh"
+#include "core/policy_registry.hh"
 #include "stats/json.hh"
 
 using namespace hpa;
@@ -35,15 +36,27 @@ main(int argc, char **argv)
 {
     std::string json_out;
     unsigned batch = 0;
+    std::string sched_policy;
+    std::string rf_policy;
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         if (a == "--json" && i + 1 < argc) {
             json_out = argv[++i];
         } else if (a == "--batch" && i + 1 < argc) {
             batch = unsigned(std::strtoul(argv[++i], nullptr, 10));
+        } else if (a == "--sched-policy" && i + 1 < argc) {
+            sched_policy = argv[++i];
+        } else if (a == "--rf-policy" && i + 1 < argc) {
+            rf_policy = argv[++i];
         } else {
-            std::fprintf(stderr, "usage: micro_throughput "
-                                 "[--batch B] [--json FILE]\n");
+            std::fprintf(stderr,
+                         "usage: micro_throughput [--batch B] "
+                         "[--sched-policy P] [--rf-policy P] "
+                         "[--json FILE]\n"
+                         "  scheduler policies: %s\n"
+                         "  register-file policies: %s\n",
+                         core::schedPolicyNames().c_str(),
+                         core::rfPolicyNames().c_str());
             return 2;
         }
     }
@@ -75,9 +88,20 @@ main(int argc, char **argv)
     const std::vector<unsigned> widths = {4u, 8u};
     std::vector<sim::SweepJob> jobs;
     for (unsigned width : widths) {
+        // Policy overrides go through the string registry, so an
+        // unknown name fails fast listing the registered keys.
+        auto b = sim::Machine::base(width);
+        try {
+            if (!sched_policy.empty())
+                b.schedPolicy(sched_policy);
+            if (!rf_policy.empty())
+                b.rfPolicy(rf_policy);
+        } catch (const std::invalid_argument &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 2;
+        }
         for (const auto &name : names) {
-            jobs.push_back(
-                job(name, sim::Machine::base(width), budget));
+            jobs.push_back(job(name, b, budget));
             jobs.back().batch = batch;
         }
     }

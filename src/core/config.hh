@@ -36,6 +36,16 @@ enum class WakeupModel
      * scoreboard and triggers non-selective rescheduling.
      */
     TagElimination,
+    /**
+     * Load-delay-tracking wakeup (Diavastos & Carlson): broadcast is
+     * replaced by per-producer real-time delay counters of bounded
+     * width (`dlt_max_delay`). A producer whose remaining latency
+     * fits the counter wakes its consumers exactly as a broadcast
+     * would; one that saturates the counter falls back to the
+     * completion scoreboard, so its consumers wake only when the
+     * value is architecturally complete (back-to-back issue lost).
+     */
+    LoadDelayTracking,
 };
 
 /** Register-file read-port organization (Section 4). */
@@ -60,6 +70,16 @@ enum class RegfileModel
      * (Figure 15, right bars).
      */
     HalfPortCrossbar,
+    /**
+     * Half ports + crossbar augmented with an operand prefetch
+     * buffer (Los-style read-port reduction): operands whose values
+     * sit in the architectural register file at dispatch are read
+     * ahead of issue through a small number of dedicated prefetch
+     * ports (width/2 per cycle) and parked in a buffer, so they
+     * consume no issue-time read port. Issue-time port demand is
+     * arbitrated across the crossbar exactly as HalfPortCrossbar.
+     */
+    PrefetchBuffer,
 };
 
 /** Scheduling-recovery style for load-latency mispredictions. */
@@ -115,6 +135,15 @@ struct CoreConfig
 
     /** Last-arriving operand predictor entries (Sections 3.2, 5.1). */
     unsigned lap_entries = 1024;
+
+    /**
+     * Load-delay-tracking: widest producer delay (cycles) the
+     * per-entry counters can represent. A producer whose remaining
+     * latency exceeds this saturates the counter and its consumers
+     * wake from the completion scoreboard instead (15 = 4-bit
+     * counters). Only read by WakeupModel::LoadDelayTracking.
+     */
+    unsigned dlt_max_delay = 15;
 
     /**
      * Cycles a produced value stays on the bypass network (Section

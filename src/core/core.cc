@@ -69,11 +69,16 @@ CoreStats::regStats(stats::Registry &reg)
     reg.add(&rfBackToBack);
     reg.add(&rfTwoReady);
     reg.add(&rfNonBackToBack);
+    reg.add(&dltSaturated);
+    reg.add(&prefetchHits);
+    reg.add(&prefetchMisses);
+    reg.add(&rfPortStalls);
 }
 
 Core::Core(const CoreConfig &cfg, InstSource &source)
     : cfg_(cfg), source_(source), hier_(cfg.mem), bp_(cfg.bpred),
-      fu_(cfg), lap_(cfg.lap_entries), window_(cfg.ruu_size)
+      fu_(cfg), lap_(cfg.lap_entries), sched_(makeSchedPolicy(cfg)),
+      rf_(makeRFPolicy(cfg)), window_(cfg.ruu_size)
 {
     // Every hot-path container is sized to its configuration bound
     // here so steady-state simulation allocates nothing: each
@@ -104,25 +109,6 @@ Core::Core(const CoreConfig &cfg, InstSource &source)
 // --------------------------------------------------------------------
 // Scheduler side lists
 // --------------------------------------------------------------------
-
-/** Model readiness predicate: every tag match the wakeup scheme
- *  requires for issue has been observed. Excludes per-cycle issue
- *  conditions (dispatch delay, FUs, LSQ, ports) checked at select. */
-bool
-Core::schedReady(const DynInst &di) const
-{
-    if (cfg_.wakeup == WakeupModel::TagElimination) {
-        for (unsigned i = 0; i < di.numSrc; ++i) {
-            const OperandState &op = di.src[i];
-            if (op.watched && !op.ready)
-                return false;
-        }
-        if (di.requireDataReady && !di.allSrcDataReady())
-            return false;
-        return true;
-    }
-    return di.allSrcReady();
-}
 
 /** Reconcile one slot's ready-list membership with its state. Call
  *  after any transition that can change schedReady()/issued. */
@@ -535,24 +521,10 @@ Core::noteSecondWake(DynInst &ci, uint64_t now)
     lapMon_.resolve(ci.rec->pc, ci.shadowPredBits, simultaneous,
                     right_last);
 
-    if (cfg_.sequentialWakeup()) {
-        // The tag of the last-arriving operand is visible one cycle
-        // late when it landed on the slow side; a simultaneous wakeup
-        // always pays the slow-bus cycle (one side is always slow).
-        bool last_on_slow = false;
-        for (unsigned i = 0; i < ci.numSrc; ++i) {
-            const OperandState &op = ci.src[i];
-            if (simultaneous) {
-                if (op.slowSide)
-                    last_on_slow = true;
-            } else if (op.leftField != ci.firstWakeWasLeft
-                       && op.slowSide) {
-                last_on_slow = true;
-            }
-        }
-        if (last_on_slow)
-            ++stats_.seqWakeupDelayed;
-    }
+    // Sequential wakeup: the tag of the last-arriving operand is
+    // visible one cycle late when it landed on the slow side.
+    if (schedLastOnSlowBus(ci, simultaneous))
+        ++stats_.seqWakeupDelayed;
 }
 
 /** @return true when any operand state changed — the caller only
@@ -597,15 +569,7 @@ Core::wakeOperand(DynInst &ci, OperandState &op, uint64_t now,
     }
 
     // Tag visibility depends on the wakeup-logic organization.
-    bool sees_tag;
-    if (cfg_.sequentialWakeup())
-        sees_tag = !op.slowSide;
-    else if (cfg_.wakeup == WakeupModel::TagElimination)
-        sees_tag = op.watched;
-    else
-        sees_tag = true;
-
-    if (sees_tag && !op.ready) {
+    if (schedSeesTag(op) && !op.ready) {
         op.ready = true;
         op.wakeCycle = now;
         op.wakeProducerSeq = producer_seq;
@@ -627,7 +591,7 @@ Core::handleFastWake(const Event &ev)
         if (wakeOperand(ci, op, cycle_, ev.seq, false))
             updateReadySlot(unsigned(c.slot));
     });
-    if (cfg_.sequentialWakeup())
+    if (schedSlowBus())
         scheduleEvent(cycle_ + 1,
                       Event{EventKind::SlowWake, ev.slot, ev.seq,
                             ev.token});
@@ -784,9 +748,14 @@ Core::handleLoadMiss(const Event &ev)
                  cfg_.recovery == RecoveryModel::Selective);
 
     // Cancel the speculative wakeups of the load's own dependents and
-    // re-broadcast at the true arrival time.
+    // re-broadcast at the true arrival time. A delay-tracking policy
+    // whose counter cannot represent the remaining latency defers
+    // the re-broadcast to the load's completion instead.
     repairConsumersOf(ev.slot, load.seq);
     uint64_t true_wake = load.issueCycle + 1 + load.memLatency;
+    uint64_t load_complete =
+        load.issueCycle + cfg_.schedToExec() + load.latency - 1;
+    true_wake = schedAdjustWake(cycle_, true_wake, load_complete);
     load.wakeBroadcastCycle = true_wake;
     isa::RegIndex dest = load.rec->inst.destReg();
     if (dest != isa::NO_REG && !isa::isZeroReg(dest)
@@ -865,11 +834,15 @@ Core::computeRfPorts(const DynInst &di) const
         const OperandState &op = di.src[i];
         // Only values observed arriving on the bypass network
         // qualify; operands read from the architectural register
-        // file at insert (no producer broadcast) never do.
-        bool bypassed = op.dataReady
-            && op.wakeProducerSeq != NO_SEQ
-            && op.dataReadyCycle <= cycle_
-            && cycle_ - op.dataReadyCycle < cfg_.bypass_window;
+        // file at insert (no producer broadcast) never do. A value
+        // parked in the operand prefetch buffer costs no port
+        // either (PrefetchBuffer policy; the flag is never set
+        // elsewhere).
+        bool bypassed = op.prefetched
+            || (op.dataReady
+                && op.wakeProducerSeq != NO_SEQ
+                && op.dataReadyCycle <= cycle_
+                && cycle_ - op.dataReadyCycle < cfg_.bypass_window);
         if (!bypassed)
             ++ports;
     }
@@ -891,8 +864,7 @@ Core::issueInst(DynInst &di, int slot)
     unsigned ports = computeRfPorts(di);
     di.rfPorts = ports;
 
-    di.seqRegAccess = cfg_.regfile == RegfileModel::SequentialAccess
-        && ports == 2;
+    di.seqRegAccess = rfSeqAccess(ports);
     if (di.seqRegAccess) {
         ++stats_.seqRegAccesses;
         ++blockedSlotsNext_;
@@ -962,6 +934,10 @@ Core::issueInst(DynInst &di, int slot)
     }
 
     if (broadcasts) {
+        // A delay-tracking policy defers the wake to the completion
+        // scoreboard when the latency saturates its counters.
+        wake_cycle = schedAdjustWake(cycle_, wake_cycle,
+                                     complete_cycle);
         di.wakeBroadcastCycle = wake_cycle;
         scheduleEvent(wake_cycle,
                       Event{EventKind::FastWake, slot, di.seq,
@@ -975,7 +951,7 @@ Core::issueInst(DynInst &di, int slot)
 
     // Tag elimination: the scoreboard detects issues whose unwatched
     // operands were not actually data-ready.
-    if (cfg_.wakeup == WakeupModel::TagElimination) {
+    if (schedWatchesPremature()) {
         bool premature = false;
         for (unsigned i = 0; i < di.numSrc; ++i) {
             const OperandState &op = di.src[i];
@@ -1000,8 +976,8 @@ Core::select()
 
     unsigned avail = cfg_.width > blockedSlots_
         ? cfg_.width - blockedSlots_ : 0;
-    bool crossbar = cfg_.regfile == RegfileModel::HalfPortCrossbar;
-    unsigned ports_left = crossbar ? cfg_.width : ~0u;
+    unsigned ports_left = rfPortBudget();
+    const bool arbitrated = ports_left != ~0u;
 
     // Oldest-first, loads and branches prioritized (Section 2.1).
     // The ready list holds exactly the unissued instructions whose
@@ -1026,14 +1002,16 @@ Core::select()
                 continue;
             if (di.isLoad() && !lsqAllowsLoad(di))
                 continue;
-            if (crossbar) {
+            if (arbitrated) {
                 unsigned ports = computeRfPorts(di);
-                if (ports > ports_left)
+                if (ports > ports_left) {
+                    ++stats_.rfPortStalls;
                     continue;
+                }
                 ports_left -= ports;
             }
             if (!fu_.acquire(di.rec->inst.opClass(), cycle_)) {
-                if (crossbar)
+                if (arbitrated)
                     ports_left += computeRfPorts(di);
                 continue;
             }
@@ -1046,33 +1024,6 @@ Core::select()
 // --------------------------------------------------------------------
 // Dispatch
 // --------------------------------------------------------------------
-
-void
-Core::applyWakePlacement(DynInst &di)
-{
-    if (cfg_.sequentialWakeup()) {
-        if (di.twoPending) {
-            bool right_fast = cfg_.wakeup == WakeupModel::Sequential
-                ? di.predRightLast : true;
-            for (unsigned i = 0; i < di.numSrc; ++i) {
-                OperandState &op = di.src[i];
-                op.slowSide = op.leftField == right_fast;
-            }
-        }
-        // Single pending operands always sit on the fast side.
-    } else if (cfg_.wakeup == WakeupModel::TagElimination) {
-        if (di.twoPending) {
-            for (unsigned i = 0; i < di.numSrc; ++i) {
-                OperandState &op = di.src[i];
-                op.watched = op.leftField != di.predRightLast;
-            }
-        } else {
-            // Watch the pending operand (if any).
-            for (unsigned i = 0; i < di.numSrc; ++i)
-                di.src[i].watched = !di.src[i].readyAtInsert;
-        }
-    }
-}
 
 void
 Core::setupOperands(DynInst &di, int slot)
@@ -1199,7 +1150,8 @@ Core::dispatch()
         di.mispredictedBranch = fi.mispredicted;
 
         setupOperands(di, int(slot));
-        applyWakePlacement(di);
+        schedPlace(di);
+        rfOnDispatch(di);
         updateReadySlot(slot);
         if (di.isStore())
             storeSlots_.push_back(slot);

@@ -6,7 +6,12 @@
  * sequential wakeup (Section 3.3), sequential register access
  * (Section 4.3), tag elimination (Section 3.1 reference scheme), the
  * extra-RF-stage and half-ports+crossbar register files (Section 5.2),
- * and selective recovery (Figure 5).
+ * and selective recovery (Figure 5). The wakeup and register-read
+ * organizations are pluggable strategy structs (sched_policy.hh /
+ * rf_policy.hh, variant-dispatched — see DESIGN.md "Policy API"); two
+ * follow-on designs, load-delay-tracking wakeup and an
+ * operand-prefetch-buffer register file, plug in through the same
+ * surface.
  *
  * Timing conventions (cycle numbers are select-eligibility times):
  *  - Wakeup and select are atomic: an instruction woken at cycle t can
@@ -38,6 +43,8 @@
 #include "core/fu_pool.hh"
 #include "core/inst_source.hh"
 #include "core/last_arrival.hh"
+#include "core/rf_policy.hh"
+#include "core/sched_policy.hh"
 #include "mem/hierarchy.hh"
 #include "sim/error.hh"
 #include "stats/stats.hh"
@@ -104,6 +111,17 @@ struct CoreStats
         "2-source issues needing 2 ports (both ready at insert)"};
     stats::Counter rfNonBackToBack{"rf.non_back_to_back",
         "2-source issues needing 2 ports (issued late)"};
+
+    // --- Per-policy counters (policy zoo). ---
+    stats::Counter dltSaturated{"sched.dlt_saturated",
+        "wake broadcasts deferred to completion by delay-counter "
+        "saturation (load-delay-tracking wakeup)"};
+    stats::Counter prefetchHits{"rf.prefetch_hits",
+        "operands prefetched into the operand buffer at dispatch"};
+    stats::Counter prefetchMisses{"rf.prefetch_misses",
+        "prefetch-eligible operands denied by prefetch bandwidth"};
+    stats::Counter rfPortStalls{"rf.port_stalls",
+        "select attempts deferred by read-port arbitration"};
 
     void regStats(stats::Registry &reg);
 };
@@ -302,8 +320,6 @@ class Core
     void tickGuards();
 
     void setupOperands(DynInst &di, int slot);
-    void applyWakePlacement(DynInst &di);
-    bool schedReady(const DynInst &di) const;
     void updateReadySlot(unsigned slot);
     void readyRemove(unsigned slot);
     void issuedInsert(unsigned slot);
@@ -321,6 +337,109 @@ class Core
     bool wakeOperand(DynInst &ci, OperandState &op, uint64_t now,
                      uint64_t producer_seq, bool slow_bus);
     void noteSecondWake(DynInst &ci, uint64_t now);
+
+    // --- Policy dispatch (hot path: visitPolicy switches on the
+    //     variant index — no virtual calls, every policy hook body
+    //     header-inlined from {sched,rf}_policy.hh). ---
+
+    /** Model readiness predicate: every tag match the wakeup scheme
+     *  requires for issue has been observed. Excludes per-cycle
+     *  issue conditions (dispatch delay, FUs, LSQ, ports) checked
+     *  at select. Pure function of the DynInst, so the periodic
+     *  cross-validation pass can re-derive it from the window. */
+    bool
+    schedReady(const DynInst &di) const
+    {
+        return core::visitPolicy([&](const auto &p) { return p.ready(di); },
+                          sched_);
+    }
+
+    /** Does this operand observe a tag on the fast wakeup bus? */
+    bool
+    schedSeesTag(const OperandState &op) const
+    {
+        return core::visitPolicy(
+            [&](const auto &p) { return p.seesTag(op); }, sched_);
+    }
+
+    /** Does every fast broadcast re-run on the slow bus +1 cycle? */
+    bool
+    schedSlowBus() const
+    {
+        return core::visitPolicy([](const auto &p) { return p.slow_bus; },
+                          sched_);
+    }
+
+    /** Does a scoreboard audit issues for premature operands? */
+    bool
+    schedWatchesPremature() const
+    {
+        return core::visitPolicy(
+            [](const auto &p) { return p.watches_premature; },
+            sched_);
+    }
+
+    /** Operand placement at dispatch (slow-side/watched bits). */
+    void
+    schedPlace(DynInst &di)
+    {
+        core::visitPolicy([&](const auto &p) { p.place(di); }, sched_);
+    }
+
+    /** Accounting: did the last-arriving tag land on the slow bus? */
+    bool
+    schedLastOnSlowBus(const DynInst &ci, bool simultaneous) const
+    {
+        return core::visitPolicy(
+            [&](const auto &p) {
+                return p.lastOnSlowBus(ci, simultaneous);
+            },
+            sched_);
+    }
+
+    /** Producer wake-broadcast timing override (delay-counter
+     *  saturation defers the wake to the completion scoreboard). */
+    uint64_t
+    schedAdjustWake(uint64_t now, uint64_t wake, uint64_t complete)
+    {
+        return core::visitPolicy(
+            [&](const auto &p) {
+                return p.adjustWake(now, wake, complete,
+                                    stats_.dltSaturated);
+            },
+            sched_);
+    }
+
+    /** Must this issue take the sequential register-access penalty? */
+    bool
+    rfSeqAccess(unsigned ports) const
+    {
+        return core::visitPolicy(
+            [&](const auto &p) { return p.seqAccess(ports); }, rf_);
+    }
+
+    /** Issue-time read ports arbitrated across the select group
+     *  (~0u = unconstrained). */
+    unsigned
+    rfPortBudget() const
+    {
+        return core::visitPolicy(
+            [&](const auto &p) { return p.portBudget(cfg_.width); },
+            rf_);
+    }
+
+    /** Dispatch-time hook: the operand prefetch buffer claims its
+     *  per-cycle port bandwidth. */
+    void
+    rfOnDispatch(DynInst &di)
+    {
+        core::visitPolicy(
+            [&](auto &p) {
+                p.onDispatch(di, cycle_, stats_.prefetchHits,
+                             stats_.prefetchMisses);
+            },
+            rf_);
+    }
     void squashWindow(uint64_t first_cycle, uint64_t last_cycle,
                       uint64_t trigger_seq, bool selective);
     void repairConsumersOf(int slot, uint64_t producer_seq);
@@ -334,6 +453,12 @@ class Core
     LastArrivalPredictor lap_;
     LastArrivalMonitor lapMon_;
     CoreStats stats_;
+
+    /** Pluggable wakeup/select and register-file port strategies,
+     *  selected from the config at construction (see
+     *  sched_policy.hh / rf_policy.hh). */
+    SchedPolicy sched_;
+    RFPortPolicy rf_;
 
     uint64_t cycle_ = 0;
     uint64_t nextSeq_ = 0;

@@ -47,6 +47,11 @@ struct OperandState
     bool watched = true;
     /** Value was already available when inserted into the window. */
     bool readyAtInsert = false;
+    /** Operand prefetch buffer holds the value (PrefetchBuffer RF
+     *  policy): costs no issue-time read port. Only set for operands
+     *  with no in-flight producer, so replay repair can never
+     *  invalidate a prefetched value. */
+    bool prefetched = false;
 };
 
 /** A dynamic instruction occupying a window (RUU) slot. */

@@ -1,0 +1,114 @@
+#include "core/policy_registry.hh"
+
+namespace hpa::core
+{
+
+// Registration tables. One entry per line, key first — the hpa-lint
+// HPA006 rule extracts the keys from this file and requires each to
+// be documented in EXPERIMENTS.md.
+
+const std::vector<SchedPolicyInfo> &
+schedPolicies()
+{
+    static const std::vector<SchedPolicyInfo> table = {
+        {"conv", "/conv-wakeup", WakeupModel::Conventional,
+         "conventional broadcast wakeup (two comparators/entry)"},
+        {"seq", "/seq-wakeup", WakeupModel::Sequential,
+         "sequential wakeup with a last-arrival predictor"},
+        {"seq-nopred", "/seq-wakeup-nopred",
+         WakeupModel::SequentialNoPred,
+         "sequential wakeup, right operand statically last"},
+        {"tag-elim", "/tag-elim", WakeupModel::TagElimination,
+         "tag elimination with scoreboard mis-issue detection"},
+        {"dlt", "/dlt-wakeup", WakeupModel::LoadDelayTracking,
+         "load-delay-tracking wakeup (bounded delay counters)"},
+    };
+    return table;
+}
+
+const std::vector<RFPolicyInfo> &
+rfPolicies()
+{
+    static const std::vector<RFPolicyInfo> table = {
+        {"2port", "/2r-port", RegfileModel::TwoPort,
+         "two read ports per issue slot (base machine)"},
+        {"seq", "/seq-rf", RegfileModel::SequentialAccess,
+         "one port per slot, sequential 2-operand access"},
+        {"extra-stage", "/extra-rf-stage", RegfileModel::ExtraStage,
+         "2R/slot register file pipelined over an extra stage"},
+        {"half-xbar", "/half-ports-xbar",
+         RegfileModel::HalfPortCrossbar,
+         "half ports behind a fully connected crossbar"},
+        {"prefetch", "/prefetch-rf", RegfileModel::PrefetchBuffer,
+         "half ports + crossbar with an operand prefetch buffer"},
+    };
+    return table;
+}
+
+const SchedPolicyInfo *
+findSchedPolicy(std::string_view name)
+{
+    for (const SchedPolicyInfo &p : schedPolicies())
+        if (name == p.name)
+            return &p;
+    return nullptr;
+}
+
+const RFPolicyInfo *
+findRFPolicy(std::string_view name)
+{
+    for (const RFPolicyInfo &p : rfPolicies())
+        if (name == p.name)
+            return &p;
+    return nullptr;
+}
+
+const SchedPolicyInfo &
+schedPolicyFor(WakeupModel model)
+{
+    for (const SchedPolicyInfo &p : schedPolicies())
+        if (p.model == model)
+            return p;
+    return schedPolicies().front();
+}
+
+const RFPolicyInfo &
+rfPolicyFor(RegfileModel model)
+{
+    for (const RFPolicyInfo &p : rfPolicies())
+        if (p.model == model)
+            return p;
+    return rfPolicies().front();
+}
+
+namespace
+{
+
+template <typename Table>
+std::string
+joinNames(const Table &table)
+{
+    std::string out;
+    for (const auto &p : table) {
+        if (!out.empty())
+            out += ", ";
+        out += p.name;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+schedPolicyNames()
+{
+    return joinNames(schedPolicies());
+}
+
+std::string
+rfPolicyNames()
+{
+    return joinNames(rfPolicies());
+}
+
+} // namespace hpa::core

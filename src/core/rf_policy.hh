@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Pluggable register-file read-port policies.
+ *
+ * Each read-port organization is a strategy struct held in an
+ * `RFPortPolicy` variant and dispatched through `visitPolicy` — same
+ * contract as `SchedPolicy` (header-inlined hooks, no virtual calls
+ * on the per-cycle path). Hook surface:
+ *
+ *  - `seqAccess(ports)`   — must this issue take the sequential
+ *                           register-access penalty (+1 cycle, one
+ *                           issue slot blocked next cycle)?
+ *  - `portBudget(width)`  — issue-time read ports arbitrated across
+ *                           the select group (~0u = unconstrained).
+ *  - `onDispatch(di,...)` — dispatch-time hook (operand prefetch
+ *                           claims its per-cycle port bandwidth).
+ *
+ * The ExtraStage pipeline effect lives in CoreConfig::schedToExec();
+ * its policy struct therefore carries no hot-path behavior of its
+ * own. To add a policy, follow the recipe in DESIGN.md "Policy API".
+ */
+
+#ifndef HPA_CORE_RF_POLICY_HH
+#define HPA_CORE_RF_POLICY_HH
+
+#include <cstdint>
+#include <variant>
+
+#include "core/config.hh"
+#include "core/dyn_inst.hh"
+#include "stats/stats.hh"
+
+namespace hpa::core
+{
+
+/** Two read ports per issue slot (base machine): no port pressure. */
+struct TwoPortRF
+{
+    bool seqAccess(unsigned) const { return false; }
+    unsigned portBudget(unsigned) const { return ~0u; }
+    void
+    onDispatch(DynInst &, uint64_t, stats::Counter &,
+               stats::Counter &)
+    {
+    }
+};
+
+/** One read port per issue slot; a 2-source instruction whose
+ *  operands both come from the register file reads sequentially
+ *  (Section 4.3). */
+struct SequentialAccessRF
+{
+    bool seqAccess(unsigned ports) const { return ports == 2; }
+    unsigned portBudget(unsigned) const { return ~0u; }
+    void
+    onDispatch(DynInst &, uint64_t, stats::Counter &,
+               stats::Counter &)
+    {
+    }
+};
+
+/** Conventional 2R/slot register file pipelined over one extra
+ *  stage; the timing effect is CoreConfig::schedToExec(). */
+struct ExtraStageRF
+{
+    bool seqAccess(unsigned) const { return false; }
+    unsigned portBudget(unsigned) const { return ~0u; }
+    void
+    onDispatch(DynInst &, uint64_t, stats::Counter &,
+               stats::Counter &)
+    {
+    }
+};
+
+/** Half the read ports behind a fully connected crossbar with
+ *  global arbitration across the issue group (Section 5.2). */
+struct HalfPortCrossbarRF
+{
+    bool seqAccess(unsigned) const { return false; }
+    unsigned portBudget(unsigned width) const { return width; }
+    void
+    onDispatch(DynInst &, uint64_t, stats::Counter &,
+               stats::Counter &)
+    {
+    }
+};
+
+/**
+ * Half ports + crossbar augmented with an operand prefetch buffer
+ * (Los, arXiv 2502.00147): operands whose values already sit in the
+ * architectural register file at dispatch — no in-flight producer
+ * broadcast pending — are read early through `bandwidth` dedicated
+ * prefetch ports per cycle and parked in a buffer beside the window,
+ * so they cost no issue-time read port. Only producer-less operands
+ * are eligible: a prefetched value can never be invalidated by
+ * replay repair, keeping the buffer trivially coherent.
+ */
+struct PrefetchBufferRF
+{
+    unsigned bandwidth;
+
+    uint64_t lastCycle = NO_CYCLE;
+    unsigned usedThisCycle = 0;
+
+    bool seqAccess(unsigned) const { return false; }
+    unsigned portBudget(unsigned width) const { return width; }
+
+    void
+    onDispatch(DynInst &di, uint64_t cycle, stats::Counter &hits,
+               stats::Counter &misses)
+    {
+        for (unsigned i = 0; i < di.numSrc; ++i) {
+            OperandState &op = di.src[i];
+            if (!op.readyAtInsert || op.wakeProducerSeq != NO_SEQ)
+                continue;
+            if (cycle != lastCycle) {
+                lastCycle = cycle;
+                usedThisCycle = 0;
+            }
+            if (usedThisCycle < bandwidth) {
+                ++usedThisCycle;
+                op.prefetched = true;
+                ++hits;
+            } else {
+                ++misses;
+            }
+        }
+    }
+};
+
+/** The closed set of register-file port policies. */
+using RFPortPolicy =
+    std::variant<TwoPortRF, SequentialAccessRF, ExtraStageRF,
+                 HalfPortCrossbarRF, PrefetchBufferRF>;
+
+/** Construction-time selection; never on the per-cycle path. */
+inline RFPortPolicy
+makeRFPolicy(const CoreConfig &cfg)
+{
+    switch (cfg.regfile) {
+      case RegfileModel::SequentialAccess:
+        return SequentialAccessRF{};
+      case RegfileModel::ExtraStage:
+        return ExtraStageRF{};
+      case RegfileModel::HalfPortCrossbar:
+        return HalfPortCrossbarRF{};
+      case RegfileModel::PrefetchBuffer:
+        return PrefetchBufferRF{cfg.width / 2 ? cfg.width / 2 : 1};
+      case RegfileModel::TwoPort:
+      default:
+        return TwoPortRF{};
+    }
+}
+
+} // namespace hpa::core
+
+#endif // HPA_CORE_RF_POLICY_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/policy_registry.hh"
 #include "sim/error.hh"
 
 namespace hpa::sim
@@ -50,21 +51,10 @@ MachineBuilder::from(Machine m)
 MachineBuilder &
 MachineBuilder::wakeup(core::WakeupModel w)
 {
+    // The registry owns the name suffixes (they key the golden IPC
+    // gate); enum and string entry points stay in lockstep.
     m_.cfg.wakeup = w;
-    switch (w) {
-      case core::WakeupModel::Conventional:
-        m_.name += "/conv-wakeup";
-        break;
-      case core::WakeupModel::Sequential:
-        m_.name += "/seq-wakeup";
-        break;
-      case core::WakeupModel::SequentialNoPred:
-        m_.name += "/seq-wakeup-nopred";
-        break;
-      case core::WakeupModel::TagElimination:
-        m_.name += "/tag-elim";
-        break;
-    }
+    m_.name += core::schedPolicyFor(w).suffix;
     return *this;
 }
 
@@ -72,21 +62,30 @@ MachineBuilder &
 MachineBuilder::regfile(core::RegfileModel r)
 {
     m_.cfg.regfile = r;
-    switch (r) {
-      case core::RegfileModel::TwoPort:
-        m_.name += "/2r-port";
-        break;
-      case core::RegfileModel::SequentialAccess:
-        m_.name += "/seq-rf";
-        break;
-      case core::RegfileModel::ExtraStage:
-        m_.name += "/extra-rf-stage";
-        break;
-      case core::RegfileModel::HalfPortCrossbar:
-        m_.name += "/half-ports-xbar";
-        break;
-    }
+    m_.name += core::rfPolicyFor(r).suffix;
     return *this;
+}
+
+MachineBuilder &
+MachineBuilder::schedPolicy(std::string_view name)
+{
+    const core::SchedPolicyInfo *info = core::findSchedPolicy(name);
+    if (!info)
+        throw ConfigError(
+            "unknown scheduler policy '" + std::string(name)
+            + "' (registered: " + core::schedPolicyNames() + ")");
+    return wakeup(info->model);
+}
+
+MachineBuilder &
+MachineBuilder::rfPolicy(std::string_view name)
+{
+    const core::RFPolicyInfo *info = core::findRFPolicy(name);
+    if (!info)
+        throw ConfigError(
+            "unknown register-file policy '" + std::string(name)
+            + "' (registered: " + core::rfPolicyNames() + ")");
+    return regfile(info->model);
 }
 
 MachineBuilder &

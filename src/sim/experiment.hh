@@ -7,9 +7,9 @@
  * fast-forward count and the full statistics snapshot — emittable as
  * schema-versioned JSON. This is the stable programmatic surface the
  * tools, bench harnesses and sweep engine all drive the simulator
- * through; the legacy withWakeup()/withRegfile()/withRecovery()/
- * withRename() free functions are thin deprecated wrappers over the
- * builder (see simulation.hh).
+ * through; the builder is the single machine-construction path, and
+ * policies can be selected by registry name (schedPolicy()/
+ * rfPolicy(), see core/policy_registry.hh) or by enum.
  */
 
 #ifndef HPA_SIM_EXPERIMENT_HH
@@ -18,6 +18,7 @@
 #include <memory>
 #include <ostream>
 #include <string>
+#include <string_view>
 
 #include "sim/error.hh"
 #include "sim/simulation.hh"
@@ -95,9 +96,9 @@ struct RunOutcome
  *                   .regfile(core::RegfileModel::SequentialAccess)
  *                   .build();
  *
- * Each setter updates the configuration and appends the same
- * machine-name suffix the legacy withX() chain produced (the names
- * key the golden IPC gate, so they are part of the stable surface).
+ * Each setter updates the configuration and appends the historical
+ * machine-name suffix from the policy registry (the names key the
+ * golden IPC gate, so they are part of the stable surface).
  * build() — or the implicit Machine conversion — validates the
  * combination and throws std::invalid_argument on contradictions:
  * a lap() table on a predictor-less wakeup scheme, a non-power-of-2
@@ -110,13 +111,23 @@ class MachineBuilder
     /** Start from a Table 1 base machine; width must be 4 or 8. */
     static MachineBuilder base(unsigned width);
 
-    /** Start from an existing machine (legacy-wrapper entry point). */
+    /** Start from an existing machine (modify a built Machine). */
     static MachineBuilder from(Machine m);
 
     MachineBuilder &wakeup(core::WakeupModel w);
     MachineBuilder &regfile(core::RegfileModel r);
     MachineBuilder &recovery(core::RecoveryModel r);
     MachineBuilder &rename(core::RenameModel r);
+
+    /** Select the wakeup/select policy by registry key ("conv",
+     *  "seq", "seq-nopred", "tag-elim", "dlt"); throws ConfigError
+     *  listing the registered names on an unknown key. */
+    MachineBuilder &schedPolicy(std::string_view name);
+
+    /** Select the register-file port policy by registry key
+     *  ("2port", "seq", "extra-stage", "half-xbar", "prefetch");
+     *  throws ConfigError listing the registered names. */
+    MachineBuilder &rfPolicy(std::string_view name);
 
     /** Last-arrival predictor entries (power of 2); only meaningful
      *  — and only accepted — with a predictor-based wakeup scheme

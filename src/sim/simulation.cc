@@ -5,42 +5,6 @@
 namespace hpa::sim
 {
 
-Machine
-baseMachine(unsigned width)
-{
-    // Legacy semantics: any non-8 width silently means 4-wide.
-    return MachineBuilder::base(width == 8 ? 8 : 4).build();
-}
-
-Machine
-withWakeup(Machine m, core::WakeupModel w, unsigned lap_entries)
-{
-    m = MachineBuilder::from(std::move(m)).wakeup(w).build();
-    // Legacy semantics: the lap table size is applied regardless of
-    // the wakeup scheme (the builder's lap() would reject it for
-    // predictor-less schemes).
-    m.cfg.lap_entries = lap_entries;
-    return m;
-}
-
-Machine
-withRegfile(Machine m, core::RegfileModel r)
-{
-    return MachineBuilder::from(std::move(m)).regfile(r).build();
-}
-
-Machine
-withRecovery(Machine m, core::RecoveryModel r)
-{
-    return MachineBuilder::from(std::move(m)).recovery(r).build();
-}
-
-Machine
-withRename(Machine m, core::RenameModel r)
-{
-    return MachineBuilder::from(std::move(m)).rename(r).build();
-}
-
 Simulation::Simulation(const assembler::Program &prog,
                        const core::CoreConfig &cfg, uint64_t max_insts,
                        uint64_t fast_forward_pc)

@@ -43,38 +43,6 @@ struct Machine
 };
 
 /**
- * Base machines from Table 1.
- * @deprecated Use Machine::base(width), which rejects widths outside
- *             Table 1 instead of silently defaulting to 4-wide.
- */
-Machine baseMachine(unsigned width);
-
-/**
- * Apply a wakeup scheme to a machine (Section 5.1).
- * @deprecated Thin wrapper over MachineBuilder::wakeup()/lap(); new
- *             code should use the builder, which validates that a
- *             lap table is only configured with a predictor-based
- *             wakeup scheme.
- */
-Machine withWakeup(Machine m, core::WakeupModel w,
-                   unsigned lap_entries = 1024);
-/**
- * Apply a register-file scheme to a machine (Section 5.2).
- * @deprecated Thin wrapper over MachineBuilder::regfile().
- */
-Machine withRegfile(Machine m, core::RegfileModel r);
-/**
- * Apply a recovery scheme (Section 3.1 discussion).
- * @deprecated Thin wrapper over MachineBuilder::recovery().
- */
-Machine withRecovery(Machine m, core::RecoveryModel r);
-/**
- * Apply a rename-port scheme (Section 6 future-work extension).
- * @deprecated Thin wrapper over MachineBuilder::rename().
- */
-Machine withRename(Machine m, core::RenameModel r);
-
-/**
  * One simulation: the timing core plus its committed-path source.
  * Two source flavours share every other member:
  *  - execution-driven: owns an emulator stepped per instruction

@@ -393,4 +393,26 @@ reproductionMachines()
     return ms;
 }
 
+std::vector<Machine>
+policyZooMachines()
+{
+    // The post-paper policy points, selected through the string
+    // registry (the same path the --sched-policy/--rf-policy CLI
+    // flags take): each new policy alone, the two combined, and one
+    // cross with a paper scheme.
+    std::vector<Machine> ms;
+    for (unsigned width : {4u, 8u}) {
+        ms.push_back(Machine::base(width).schedPolicy("dlt"));
+        ms.push_back(Machine::base(width).rfPolicy("prefetch"));
+        ms.push_back(Machine::base(width)
+                         .schedPolicy("dlt")
+                         .rfPolicy("prefetch"));
+        ms.push_back(Machine::base(width)
+                         .schedPolicy("seq")
+                         .lap(1024)
+                         .rfPolicy("prefetch"));
+    }
+    return ms;
+}
+
 } // namespace hpa::sim

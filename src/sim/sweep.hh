@@ -141,6 +141,16 @@ void requireAllOk(const std::vector<SweepResult> &results);
  */
 std::vector<Machine> reproductionMachines();
 
+/**
+ * The post-paper policy-zoo machines: load-delay-tracking wakeup
+ * ("dlt") and the operand-prefetch register file ("prefetch"), alone
+ * and combined, for both Table 1 widths. This is the sweep dimension
+ * behind `hpa_bench_sweep --zoo` and the EXPERIMENTS.md policy-sweep
+ * guide; unlike reproductionMachines() it is not pinned by the
+ * golden gate and is expected to grow as policies are added.
+ */
+std::vector<Machine> policyZooMachines();
+
 } // namespace hpa::sim
 
 #endif // HPA_SIM_SWEEP_HH

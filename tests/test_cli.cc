@@ -223,6 +223,79 @@ TEST(SimOptionsParse, BadModelNamesAreRejected)
     EXPECT_EQ(parse({"--regfile", "3port"}, o, err), 2);
 }
 
+TEST(SimOptionsParse, PolicyFlagsAliasModelFlags)
+{
+    SimOptions a, b;
+    std::string err;
+    ASSERT_EQ(parse({"--sched-policy", "dlt", "--rf-policy",
+                     "prefetch"},
+                    a, err),
+              0)
+        << err;
+    EXPECT_EQ(a.wakeup, core::WakeupModel::LoadDelayTracking);
+    EXPECT_EQ(a.regfile, core::RegfileModel::PrefetchBuffer);
+    ASSERT_EQ(parse({"--wakeup", "dlt", "--regfile", "prefetch"}, b,
+                    err),
+              0)
+        << err;
+    EXPECT_EQ(b.wakeup, a.wakeup);
+    EXPECT_EQ(b.regfile, a.regfile);
+}
+
+TEST(SimOptionsParse, PolicyListFormSetsBothModels)
+{
+    SimOptions o;
+    std::string err;
+    ASSERT_EQ(parse({"--policy", "sched=tag-elim,rf=half-xbar"}, o,
+                    err),
+              0)
+        << err;
+    EXPECT_EQ(o.wakeup, core::WakeupModel::TagElimination);
+    EXPECT_EQ(o.regfile, core::RegfileModel::HalfPortCrossbar);
+    // Single-item form works too.
+    SimOptions o2;
+    ASSERT_EQ(parse({"--policy", "rf=prefetch"}, o2, err), 0) << err;
+    EXPECT_EQ(o2.regfile, core::RegfileModel::PrefetchBuffer);
+    EXPECT_EQ(o2.wakeup, core::WakeupModel::Conventional);
+}
+
+TEST(SimOptionsParse, UnknownPolicyNamesListTheRegistry)
+{
+    SimOptions o;
+    std::string err;
+    EXPECT_EQ(parse({"--sched-policy", "psychic"}, o, err), 2);
+    for (const char *name :
+         {"conv", "seq", "seq-nopred", "tag-elim", "dlt"})
+        EXPECT_NE(err.find(name), std::string::npos)
+            << "sched error does not list " << name << ": " << err;
+    EXPECT_EQ(parse({"--rf-policy", "3port"}, o, err), 2);
+    for (const char *name :
+         {"2port", "extra-stage", "half-xbar", "prefetch"})
+        EXPECT_NE(err.find(name), std::string::npos)
+            << "rf error does not list " << name << ": " << err;
+    EXPECT_EQ(parse({"--policy", "sched=psychic"}, o, err), 2);
+    EXPECT_NE(err.find("dlt"), std::string::npos) << err;
+    EXPECT_EQ(parse({"--policy", "fetch=wide"}, o, err), 2);
+    EXPECT_NE(err.find("sched or rf"), std::string::npos) << err;
+    EXPECT_EQ(parse({"--policy", "just-a-name"}, o, err), 2);
+    EXPECT_NE(err.find("k=v"), std::string::npos) << err;
+}
+
+TEST(SimOptionsMachine, NewPolicySuffixesComposeTheMachineName)
+{
+    SimOptions o;
+    std::string err;
+    ASSERT_EQ(parse({"--policy", "sched=dlt,rf=prefetch"}, o, err),
+              0)
+        << err;
+    sim::Machine m = tools::machineFor(o);
+    EXPECT_EQ(
+        m.name,
+        "4-wide/dlt-wakeup/prefetch-rf/non-selective/2r-rename");
+    EXPECT_EQ(m.cfg.wakeup, core::WakeupModel::LoadDelayTracking);
+    EXPECT_EQ(m.cfg.regfile, core::RegfileModel::PrefetchBuffer);
+}
+
 TEST(SimOptionsParse, StdoutTargetsSuppressSummary)
 {
     SimOptions o;

@@ -174,6 +174,19 @@ TEST(HotPathAlloc, HalfPriceMachineGzip)
     expectSteadyStateAllocFree("gzip", m.cfg);
 }
 
+/** The new registry policies dispatch through std::visit on the
+ *  policy variants; their hooks (DLT wake adjustment, prefetch
+ *  bandwidth accounting) must stay allocation-free like the paper
+ *  designs. */
+TEST(HotPathAlloc, PolicyZooMachineGzip)
+{
+    sim::Machine m = sim::Machine::base(4)
+                         .schedPolicy("dlt")
+                         .rfPolicy("prefetch")
+                         .build();
+    expectSteadyStateAllocFree("gzip", m.cfg);
+}
+
 /** Batched replay must not reintroduce per-cycle allocation: warm a
  *  batch of lanes over one shared trace, then count across further
  *  tickQuantum rotations. The quantum switchovers themselves are on

@@ -17,7 +17,7 @@ using namespace hpa::sim;
 
 TEST(Machines, FourWideMatchesTable1)
 {
-    auto m = baseMachine(4);
+    Machine m = Machine::base(4);
     EXPECT_EQ(m.name, "4-wide");
     EXPECT_EQ(m.cfg.width, 4u);
     EXPECT_EQ(m.cfg.ruu_size, 64u);
@@ -30,7 +30,7 @@ TEST(Machines, FourWideMatchesTable1)
 
 TEST(Machines, EightWideMatchesTable1)
 {
-    auto m = baseMachine(8);
+    Machine m = Machine::base(8);
     EXPECT_EQ(m.cfg.width, 8u);
     EXPECT_EQ(m.cfg.ruu_size, 128u);
     EXPECT_EQ(m.cfg.lsq_size, 64u);
@@ -40,7 +40,7 @@ TEST(Machines, EightWideMatchesTable1)
 
 TEST(Machines, Table1MemoryAndBpredDefaults)
 {
-    auto m = baseMachine(4);
+    Machine m = Machine::base(4);
     EXPECT_EQ(m.cfg.mem.il1.size_bytes, 64u * 1024);
     EXPECT_EQ(m.cfg.mem.il1.assoc, 2u);
     EXPECT_EQ(m.cfg.mem.il1.line_bytes, 32u);
@@ -57,9 +57,9 @@ TEST(Machines, Table1MemoryAndBpredDefaults)
 
 TEST(Machines, SchemeModifiersComposeNames)
 {
-    auto m = withRegfile(
-        withWakeup(baseMachine(4), core::WakeupModel::Sequential),
-        core::RegfileModel::SequentialAccess);
+    Machine m = Machine::base(4)
+                    .wakeup(core::WakeupModel::Sequential)
+                    .regfile(core::RegfileModel::SequentialAccess);
     EXPECT_EQ(m.name, "4-wide/seq-wakeup/seq-rf");
     EXPECT_EQ(m.cfg.wakeup, core::WakeupModel::Sequential);
     EXPECT_EQ(m.cfg.regfile, core::RegfileModel::SequentialAccess);
@@ -67,28 +67,32 @@ TEST(Machines, SchemeModifiersComposeNames)
 
 TEST(Machines, LapEntriesConfigurable)
 {
-    auto m = withWakeup(baseMachine(4), core::WakeupModel::Sequential,
-                        128);
+    Machine m = Machine::base(4)
+                    .wakeup(core::WakeupModel::Sequential)
+                    .lap(128);
     EXPECT_EQ(m.cfg.lap_entries, 128u);
 }
 
 TEST(Machines, ExtraStageAffectsSchedToExec)
 {
-    auto m = withRegfile(baseMachine(4),
-                         core::RegfileModel::ExtraStage);
-    EXPECT_EQ(m.cfg.schedToExec(), baseMachine(4).cfg.schedToExec() + 1);
+    Machine base = Machine::base(4);
+    Machine m = Machine::base(4).regfile(
+        core::RegfileModel::ExtraStage);
+    EXPECT_EQ(m.cfg.schedToExec(), base.cfg.schedToExec() + 1);
 }
 
 TEST(Machines, RenameModifier)
 {
-    auto m = withRename(baseMachine(4), core::RenameModel::HalfPort);
+    Machine m =
+        Machine::base(4).rename(core::RenameModel::HalfPort);
     EXPECT_EQ(m.cfg.rename, core::RenameModel::HalfPort);
     EXPECT_EQ(m.name, "4-wide/half-rename");
 }
 
 TEST(Machines, BypassWindowDefaultsToOneCycle)
 {
-    EXPECT_EQ(baseMachine(4).cfg.bypass_window, 1u);
+    Machine m = Machine::base(4);
+    EXPECT_EQ(m.cfg.bypass_window, 1u);
 }
 
 TEST(Builder, BaseRejectsWidthsOutsideTable1)
@@ -114,21 +118,56 @@ TEST(Builder, DefaultsMatchTable1)
     EXPECT_EQ(m8.cfg.lsq_size, 64u);
 }
 
-TEST(Builder, ProducesSameMachinesAsLegacyFreeFunctions)
+TEST(Builder, RegistryNamesProduceSameMachinesAsEnums)
 {
-    Machine legacy = withRegfile(
-        withWakeup(baseMachine(4), core::WakeupModel::Sequential,
-                   1024),
-        core::RegfileModel::SequentialAccess);
-    Machine built = Machine::base(4)
-                        .wakeup(core::WakeupModel::Sequential)
-                        .lap(1024)
-                        .regfile(core::RegfileModel::SequentialAccess);
-    EXPECT_EQ(built.name, legacy.name);
-    EXPECT_EQ(built.name, "4-wide/seq-wakeup/seq-rf");
-    EXPECT_EQ(built.cfg.wakeup, legacy.cfg.wakeup);
-    EXPECT_EQ(built.cfg.regfile, legacy.cfg.regfile);
-    EXPECT_EQ(built.cfg.lap_entries, legacy.cfg.lap_entries);
+    Machine by_name = Machine::base(4)
+                          .schedPolicy("seq")
+                          .lap(1024)
+                          .rfPolicy("seq");
+    Machine by_enum = Machine::base(4)
+                          .wakeup(core::WakeupModel::Sequential)
+                          .lap(1024)
+                          .regfile(core::RegfileModel::SequentialAccess);
+    EXPECT_EQ(by_name.name, by_enum.name);
+    EXPECT_EQ(by_name.name, "4-wide/seq-wakeup/seq-rf");
+    EXPECT_EQ(by_name.cfg.wakeup, by_enum.cfg.wakeup);
+    EXPECT_EQ(by_name.cfg.regfile, by_enum.cfg.regfile);
+    EXPECT_EQ(by_name.cfg.lap_entries, by_enum.cfg.lap_entries);
+}
+
+TEST(Builder, UnknownPolicyNamesThrowListingRegistry)
+{
+    try {
+        Machine::base(4).schedPolicy("bogus");
+        FAIL() << "schedPolicy(\"bogus\") did not throw";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("conv"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("dlt"),
+                  std::string::npos);
+    }
+    try {
+        Machine::base(4).rfPolicy("bogus");
+        FAIL() << "rfPolicy(\"bogus\") did not throw";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("2port"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("prefetch"),
+                  std::string::npos);
+    }
+}
+
+TEST(Builder, NewPolicySuffixesComposeNames)
+{
+    EXPECT_EQ(Machine(Machine::base(4).schedPolicy("dlt")).name,
+              "4-wide/dlt-wakeup");
+    EXPECT_EQ(Machine(Machine::base(8).rfPolicy("prefetch")).name,
+              "8-wide/prefetch-rf");
+    EXPECT_EQ(Machine(Machine::base(4)
+                          .schedPolicy("dlt")
+                          .rfPolicy("prefetch"))
+                  .name,
+              "4-wide/dlt-wakeup/prefetch-rf");
 }
 
 TEST(Builder, AppendsEveryLegacyNameSuffix)
@@ -333,8 +372,8 @@ loop:   add r2, #1, r2
         bne r1, loop
         halt)";
     auto p = assembler::assemble(src);
-    Simulation s4(p, baseMachine(4).cfg);
-    Simulation s8(p, baseMachine(8).cfg);
+    Simulation s4(p, Machine(Machine::base(4)).cfg);
+    Simulation s8(p, Machine(Machine::base(8)).cfg);
     s4.run();
     s8.run();
     EXPECT_GE(s8.ipc(), s4.ipc());

@@ -123,6 +123,55 @@ TEST(SweepDeterminism, EightWorkersMatchSerialForEveryPair)
     }
 }
 
+TEST(SweepDeterminism, PolicyZooMatchesSerialAtEveryBatchSize)
+{
+    // The post-paper policy machines (dlt wakeup, prefetch regfile,
+    // combined) go through the same determinism contract as the
+    // reproduction grid: jobs(8) must reproduce jobs(1) bit-for-bit,
+    // and batched replay (batch 8) must reproduce solo replay
+    // (batch 1) bit-for-bit.
+    const uint64_t BUDGET = 2000;
+    auto machines = sim::policyZooMachines();
+    ASSERT_GE(machines.size(), 4u);
+    auto names = workloads::benchmarkNames();
+
+    auto grid = [&](unsigned batch) {
+        std::vector<sim::SweepJob> jobs;
+        for (const auto &m : machines) {
+            for (const auto &n : names) {
+                sim::SweepJob j;
+                j.workload = n;
+                j.machine = m;
+                j.max_insts = BUDGET;
+                j.batch = batch;
+                jobs.push_back(j);
+            }
+        }
+        return jobs;
+    };
+
+    workloads::WorkloadCache cache;
+    auto serial = sim::SweepRunner(1, &cache).run(grid(1));
+    auto parallel = sim::SweepRunner(8, &cache).run(grid(8));
+    ASSERT_EQ(serial.size(), parallel.size());
+
+    for (size_t i = 0; i < serial.size(); ++i) {
+        std::string what = serial[i].spec.machine.name + "|"
+            + serial[i].spec.workload;
+        ASSERT_TRUE(serial[i].outcome.ok()) << what;
+        ASSERT_TRUE(parallel[i].outcome.ok()) << what;
+        EXPECT_EQ(serial[i].ipc, parallel[i].ipc) << what;
+        EXPECT_EQ(serial[i].cycles, parallel[i].cycles) << what;
+        EXPECT_EQ(serial[i].committed, parallel[i].committed)
+            << what;
+
+        std::ostringstream a, b;
+        serial[i].sim->report(a);
+        parallel[i].sim->report(b);
+        EXPECT_EQ(a.str(), b.str()) << what;
+    }
+}
+
 TEST(SweepTraceCache, ReplayGridMatchesEmulatorGridByteForByte)
 {
     // The trace cache is a pure host-side optimization: every cell

@@ -2,8 +2,10 @@
 """Compare two throughput-benchmark JSON artifacts.
 
 Diffs a baseline and a candidate BENCH_sweep.json
-("hpa.bench-sweep.v2") or micro_throughput --json artifact
-("hpa.micro-throughput.v1") and flags throughput regressions:
+("hpa.bench-sweep.v2"/"v3" — v3 only adds per-run policy names, so
+the two are throughput-comparable) or micro_throughput --json
+artifact ("hpa.micro-throughput.v1") and flags throughput
+regressions:
 
   tools/compare_bench.py docs/runs/BENCH_sweep_before.json BENCH_sweep.json
 
@@ -25,6 +27,7 @@ import sys
 
 KNOWN_SCHEMAS = (
     "hpa.bench-sweep.v2",
+    "hpa.bench-sweep.v3",
     "hpa.micro-throughput.v1",
     "hpa.micro-throughput.v2",
 )
@@ -199,7 +202,13 @@ def main():
 
     base = load(args.baseline)
     cand = load(args.candidate)
-    if base.get("schema") != cand.get("schema"):
+
+    # Schemas must be the same *family*; bench-sweep v2 vs v3 is fine
+    # (v3 only adds per-run policy names, the metrics are unchanged).
+    def family(doc):
+        return doc.get("schema", "").rsplit(".", 1)[0]
+
+    if family(base) != family(cand):
         sys.exit(
             f"error: schema mismatch: {base.get('schema')} vs "
             f"{cand.get('schema')}"

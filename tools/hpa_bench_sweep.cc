@@ -4,12 +4,21 @@
  * every (paper machine x benchmark) pair once serially and once on
  * the thread pool, verify the two produce identical IPC (the sweep
  * engine's determinism contract), and emit BENCH_sweep.json
- * ("hpa.bench-sweep.v2") with per-run status, IPC, wall time and
- * simulated-cycles/sec plus the measured serial-to-parallel speedup.
+ * ("hpa.bench-sweep.v3") with per-run status, IPC, wall time,
+ * simulated-cycles/sec and the run's registry policy names
+ * (sched_policy / rf_policy) plus the measured serial-to-parallel
+ * speedup.
  *
  *   hpa_bench_sweep [--insts N] [--jobs N] [--out FILE]
+ *                   [--zoo | --sched-policy P | --rf-policy P]
  *                   [--check GOLDEN] [--write-golden FILE]
  *                   [--inject KIND@INDEX]
+ *
+ * The machine axis defaults to the paper's reproduction grid.
+ * --zoo swaps in sim::policyZooMachines() (the post-paper policies:
+ * dlt wakeup, prefetch register file); --sched-policy/--rf-policy
+ * build a custom two-machine grid (both Table 1 widths) from the
+ * string policy registry — unknown names exit 2 listing it.
  *
  * --check compares the sweep's IPC values against a golden JSON map
  * ("hpa.sweep-golden.v1", tools/golden_sweep_ipc.json in the repo)
@@ -39,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "core/policy_registry.hh"
 #include "sim/sweep.hh"
 #include "stats/json.hh"
 #include "workloads/workloads.hh"
@@ -122,6 +132,9 @@ main(int argc, char **argv)
     std::string out = "BENCH_sweep.json";
     std::string check;
     std::string write_golden;
+    bool zoo = false;
+    std::string sched_policy;
+    std::string rf_policy;
     std::vector<std::pair<sim::FaultKind, size_t>> injections;
 
     auto need = [&](int &i) -> std::string {
@@ -152,6 +165,12 @@ main(int argc, char **argv)
             check = need(i);
         else if (a == "--write-golden")
             write_golden = need(i);
+        else if (a == "--zoo")
+            zoo = true;
+        else if (a == "--sched-policy")
+            sched_policy = need(i);
+        else if (a == "--rf-policy")
+            rf_policy = need(i);
         else if (a == "--inject") {
             std::string v = need(i);
             size_t at = v.find('@');
@@ -181,6 +200,8 @@ main(int argc, char **argv)
                       << "usage: hpa_bench_sweep [--insts N] "
                          "[--jobs N] [--batch B] "
                          "[--trace-cache on|off] "
+                         "[--zoo | --sched-policy P | "
+                         "--rf-policy P] "
                          "[--out FILE] [--check GOLDEN] "
                          "[--write-golden FILE] "
                          "[--inject KIND@INDEX]\n";
@@ -188,7 +209,33 @@ main(int argc, char **argv)
         }
     }
 
-    auto machines = sim::reproductionMachines();
+    if (zoo && (!sched_policy.empty() || !rf_policy.empty())) {
+        std::cerr << "--zoo already selects its machine grid; drop "
+                     "--sched-policy/--rf-policy\n";
+        return 2;
+    }
+    std::vector<sim::Machine> machines;
+    if (!sched_policy.empty() || !rf_policy.empty()) {
+        // Custom grid: the requested policies at both Table 1
+        // widths, built through the string registry so an unknown
+        // name fails here with the registered list.
+        try {
+            for (unsigned w : {4u, 8u}) {
+                auto b = sim::Machine::base(w);
+                if (!sched_policy.empty())
+                    b.schedPolicy(sched_policy);
+                if (!rf_policy.empty())
+                    b.rfPolicy(rf_policy);
+                machines.push_back(b.build());
+            }
+        } catch (const std::invalid_argument &e) {
+            std::cerr << e.what() << "\n";
+            return 2;
+        }
+    } else {
+        machines = zoo ? sim::policyZooMachines()
+                       : sim::reproductionMachines();
+    }
     auto names = workloads::benchmarkNames();
     std::vector<sim::SweepJob> sweep;
     for (const auto &m : machines) {
@@ -326,7 +373,7 @@ main(int argc, char **argv)
         }
         stats::json::JsonWriter jw(os);
         jw.beginObject()
-            .kv("schema", "hpa.bench-sweep.v2")
+            .kv("schema", "hpa.bench-sweep.v3")
             .kv("insts_per_run", insts)
             .kv("trace_cache", trace_cache)
             .kv("batch",
@@ -354,6 +401,12 @@ main(int argc, char **argv)
         for (const auto &r : parallel) {
             jw.beginObject()
                 .kv("machine", r.spec.machine.name)
+                .kv("sched_policy",
+                    core::schedPolicyFor(r.spec.machine.cfg.wakeup)
+                        .name)
+                .kv("rf_policy",
+                    core::rfPolicyFor(r.spec.machine.cfg.regfile)
+                        .name)
                 .kv("workload", r.spec.workload)
                 .kv("status", sim::statusName(r.outcome.status))
                 .kv("valid", r.valid())

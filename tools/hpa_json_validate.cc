@@ -51,6 +51,11 @@ requiredFields()
              {"insts_per_run", "batch", "batches_formed",
               "lanes_max", "ok_runs", "failed_runs", "runs",
               "status", "valid"}},
+            // v3 adds the per-run registry policy names.
+            {"hpa.bench-sweep.v3",
+             {"insts_per_run", "batch", "batches_formed",
+              "lanes_max", "ok_runs", "failed_runs", "runs",
+              "status", "valid", "sched_policy", "rf_policy"}},
             {"hpa.sweep-golden.v1", {"insts_per_run"}},
             {"hpa.micro-throughput.v1",
              {"insts_per_run", "total_simulated_cycles",

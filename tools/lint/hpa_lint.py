@@ -28,6 +28,11 @@ now enforced only by convention and review:
                            registered with a Registry (reg.add(&x))
                            somewhere in src/, or it silently vanishes
                            from every report, JSON and CSV artifact.
+  HPA006 policy-docs       every policy key registered in
+                           src/core/policy_registry.cc must be
+                           documented in EXPERIMENTS.md, so the
+                           sweepable policy zoo and its guide can
+                           never drift apart.
   HPA000 suppression       hpa-nolint hygiene: a suppression must
                            name known rules, carry a reason, and
                            actually suppress something.
@@ -83,6 +88,8 @@ HOT_PATH_FILES = {
     "src/core/core.cc",
     "src/core/core.hh",
     "src/core/dyn_inst.hh",
+    "src/core/sched_policy.hh",
+    "src/core/rf_policy.hh",
     "src/core/event_queue.hh",
     "src/core/containers.hh",
     "src/core/fu_pool.cc",
@@ -152,6 +159,13 @@ STAT_MEMBER_RE = re.compile(
 )
 STAT_REGISTER_RE = re.compile(r"\badd\(\s*&(?:\w+\.)*([A-Za-z_]\w*)\s*\)")
 
+# --- HPA006 -----------------------------------------------------------
+# Registration tables keep one entry per line, key first (the
+# registry source says so); this regex is that convention.
+POLICY_REGISTRY_SOURCE = "src/core/policy_registry.cc"
+POLICY_ENTRY_RE = re.compile(r'^\s*\{"([a-z0-9-]+)",')
+POLICY_DOC = "EXPERIMENTS.md"
+
 RULES = {
     "HPA000": "hpa-nolint suppressions must name known rules, carry "
               "a reason, and suppress at least one finding",
@@ -162,6 +176,8 @@ RULES = {
               "hpa_json_validate.cc and documented in markdown",
     "HPA004": "per-directory banned includes",
     "HPA005": "stats members must be registered with a Registry",
+    "HPA006": "policy keys registered in policy_registry.cc must be "
+              "documented in EXPERIMENTS.md",
 }
 
 NOLINT_RE = re.compile(
@@ -378,6 +394,26 @@ class LintRun:
                         f.relpath, idx, "HPA004",
                         "banned include %s: %s" % (m.group(0), why))
 
+    def check_policy_docs(self):
+        # Silent when the registry source is not part of the scanned
+        # tree (e.g. the self-test's synthetic temp repos).
+        reg = next((f for f in self.files
+                    if f.relpath == POLICY_REGISTRY_SOURCE), None)
+        if reg is None:
+            return
+        doc_path = os.path.join(self.root, POLICY_DOC)
+        doc_text = ""
+        if os.path.exists(doc_path):
+            with open(doc_path, encoding="utf-8") as fh:
+                doc_text = fh.read()
+        for idx, line in enumerate(reg.raw_lines, start=1):
+            m = POLICY_ENTRY_RE.match(line)
+            if m and m.group(1) not in doc_text:
+                self.report(
+                    reg.relpath, idx, "HPA006",
+                    "registered policy '%s' is not documented in %s"
+                    % (m.group(1), POLICY_DOC))
+
     def check_stats_registry(self):
         registered = set()
         for f in self.files:
@@ -454,6 +490,7 @@ class LintRun:
             self.check_includes(f)
         self.check_schemas()
         self.check_stats_registry()
+        self.check_policy_docs()
         self.apply_suppressions()
         self.findings.sort(key=Finding.sort_key)
         return self.findings
@@ -517,6 +554,16 @@ SELF_TEST_CASES = [
      "#include <mutex>\n", ["HPA004"]),
     ("unregistered stat member is flagged", "src/x/a.hh",
      'stats::Counter bogus{"x", "y"};\n', ["HPA005"]),
+    ("undocumented policy key is flagged",
+     "src/core/policy_registry.cc",
+     '        {"zzz-policy", "/zzz", WakeupModel::Conventional,\n'
+     '         "test entry"},\n', ["HPA006"]),
+    ("documented policy key is clean",
+     {"src/core/policy_registry.cc":
+      '        {"zzz-policy", "/zzz", WakeupModel::Conventional,\n'
+      '         "test entry"},\n',
+      "EXPERIMENTS.md": "The `zzz-policy` scheduler.\n"},
+     None, []),
 ]
 
 
@@ -526,10 +573,15 @@ def self_test():
     failures = []
     for desc, relpath, source, expected in SELF_TEST_CASES:
         with tempfile.TemporaryDirectory() as tmp:
-            path = os.path.join(tmp, relpath)
-            os.makedirs(os.path.dirname(path), exist_ok=True)
-            with open(path, "w", encoding="utf-8") as fh:
-                fh.write(source)
+            # A case is one (relpath, source) file, or a dict of
+            # several when a rule spans files (HPA006's doc lookup).
+            files = (relpath if isinstance(relpath, dict)
+                     else {relpath: source})
+            for rel, text in files.items():
+                path = os.path.join(tmp, rel)
+                os.makedirs(os.path.dirname(path), exist_ok=True)
+                with open(path, "w", encoding="utf-8") as fh:
+                    fh.write(text)
             run = LintRun(tmp)
             got = sorted(f.rule for f in run.run()
                          if f.rule != "HPA003" or "nosuch" in f.message)

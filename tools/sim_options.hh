@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "core/policy_registry.hh"
 #include "sim/experiment.hh"
 
 namespace hpa::tools
@@ -88,35 +89,27 @@ parseNumber(const std::string &text, uint64_t &out)
     return true;
 }
 
+/** Scheduler-policy lookup over the registry ("conv", "seq",
+ *  "seq-nopred", "tag-elim", "dlt", ...). */
 inline bool
 parseWakeupModel(const std::string &v, core::WakeupModel &out)
 {
-    if (v == "conv")
-        out = core::WakeupModel::Conventional;
-    else if (v == "seq")
-        out = core::WakeupModel::Sequential;
-    else if (v == "seq-nopred")
-        out = core::WakeupModel::SequentialNoPred;
-    else if (v == "tag-elim")
-        out = core::WakeupModel::TagElimination;
-    else
+    const core::SchedPolicyInfo *info = core::findSchedPolicy(v);
+    if (!info)
         return false;
+    out = info->model;
     return true;
 }
 
+/** Register-file-policy lookup over the registry ("2port", "seq",
+ *  "extra-stage", "half-xbar", "prefetch", ...). */
 inline bool
 parseRegfileModel(const std::string &v, core::RegfileModel &out)
 {
-    if (v == "2port")
-        out = core::RegfileModel::TwoPort;
-    else if (v == "seq")
-        out = core::RegfileModel::SequentialAccess;
-    else if (v == "extra-stage")
-        out = core::RegfileModel::ExtraStage;
-    else if (v == "half-xbar")
-        out = core::RegfileModel::HalfPortCrossbar;
-    else
+    const core::RFPolicyInfo *info = core::findRFPolicy(v);
+    if (!info)
         return false;
+    out = info->model;
     return true;
 }
 
@@ -225,14 +218,51 @@ parseSimOptions(const std::vector<std::string> &args, SimOptions &opt,
         } else if (a == "--width") {
             if (!needUnsigned(&opt.width))
                 return 2;
-        } else if (a == "--wakeup") {
+        } else if (a == "--wakeup" || a == "--sched-policy") {
             if (!need(&v) || !parseWakeupModel(v, opt.wakeup))
-                return fail("--wakeup expects conv | seq | "
-                            "seq-nopred | tag-elim");
-        } else if (a == "--regfile") {
+                return fail(a + " expects a registered scheduler "
+                                "policy ("
+                            + core::schedPolicyNames() + ")");
+        } else if (a == "--regfile" || a == "--rf-policy") {
             if (!need(&v) || !parseRegfileModel(v, opt.regfile))
-                return fail("--regfile expects 2port | seq | "
-                            "extra-stage | half-xbar");
+                return fail(a + " expects a registered register-file "
+                                "policy ("
+                            + core::rfPolicyNames() + ")");
+        } else if (a == "--policy") {
+            // k=v list form: --policy sched=dlt,rf=prefetch
+            if (!need(&v))
+                return fail("--policy needs a k=v list "
+                            "(sched=NAME,rf=NAME)");
+            std::string list = v;
+            while (!list.empty()) {
+                size_t comma = list.find(',');
+                std::string item = list.substr(0, comma);
+                list = comma == std::string::npos
+                    ? std::string() : list.substr(comma + 1);
+                size_t eq = item.find('=');
+                if (eq == std::string::npos)
+                    return fail("--policy item '" + item
+                                + "' is not k=v (sched=NAME or "
+                                  "rf=NAME)");
+                std::string key = item.substr(0, eq);
+                std::string val = item.substr(eq + 1);
+                if (key == "sched") {
+                    if (!parseWakeupModel(val, opt.wakeup))
+                        return fail(
+                            "--policy sched: unknown policy '" + val
+                            + "' (registered: "
+                            + core::schedPolicyNames() + ")");
+                } else if (key == "rf") {
+                    if (!parseRegfileModel(val, opt.regfile))
+                        return fail(
+                            "--policy rf: unknown policy '" + val
+                            + "' (registered: "
+                            + core::rfPolicyNames() + ")");
+                } else {
+                    return fail("--policy key must be sched or rf, "
+                                "got '" + key + "'");
+                }
+            }
         } else if (a == "--recovery") {
             if (!need(&v) || !parseRecoveryModel(v, opt.recovery))
                 return fail("--recovery expects nonsel | sel");
@@ -298,8 +328,8 @@ applyRobustnessKnobs(const SimOptions &opt, core::CoreConfig &cfg)
 
 /**
  * Assemble the machine the options describe. Every model setter is
- * applied (in the legacy withX() order) so the machine name keeps
- * its historical five-component form; lap() is only forwarded when
+ * applied (wakeup, regfile, recovery, rename) so the machine name
+ * keeps its historical five-component form; lap() is only forwarded when
  * --lap was given, because the builder rejects a predictor table on
  * predictor-less wakeup schemes. Throws hpa::ConfigError (a
  * std::invalid_argument) on invalid combinations (bad width, --lap

@@ -1,0 +1,533 @@
+#include "sim/shard.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+#include <unistd.h>
+
+#include "sim/error.hh"
+#include "sim/sweep.hh"
+#include "workloads/workloads.hh"
+
+namespace fs = std::filesystem;
+
+namespace hpa::sim
+{
+
+namespace
+{
+
+uint64_t
+fnv1a64(std::string_view data)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : data) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::string
+readFirstLine(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return "";
+    char buf[256];
+    std::string line;
+    if (std::fgets(buf, sizeof buf, f))
+        line = buf;
+    std::fclose(f);
+    while (!line.empty()
+           && (line.back() == '\n' || line.back() == '\r'))
+        line.pop_back();
+    return line;
+}
+
+/** Base of the lease-reclaim backoff gate — coarser than the
+ *  in-process retry base: restarting a crashed cell costs a whole
+ *  workload build. */
+constexpr unsigned RECLAIM_BACKOFF_BASE_MS = 100;
+
+} // namespace
+
+// --- LeaseManager --------------------------------------------------
+
+LeaseManager::LeaseManager(std::string store_dir,
+                           std::string worker_id, LeaseOptions opts)
+    : dir_(std::move(store_dir)), worker_(std::move(worker_id)),
+      opts_(opts)
+{
+    token_ = worker_ + "." + std::to_string(::getpid());
+    std::error_code ec;
+    fs::create_directories(fs::path(dir_) / "leases", ec);
+    fs::create_directories(fs::path(dir_) / "retry", ec);
+    if (ec)
+        throw WorkloadError("lease manager: cannot create lease "
+                            "directories under " + dir_ + ": "
+                            + ec.message());
+}
+
+std::string
+LeaseManager::leasePath(const std::string &key) const
+{
+    return (fs::path(dir_) / "leases" / (key + ".lease")).string();
+}
+
+std::string
+LeaseManager::retryPath(const std::string &key) const
+{
+    return (fs::path(dir_) / "retry" / key).string();
+}
+
+int64_t
+LeaseManager::nowMs() const
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+bool
+LeaseManager::readRetry(const std::string &key, unsigned &att,
+                        int64_t &not_before_ms) const
+{
+    const std::string line = readFirstLine(retryPath(key));
+    if (line.empty())
+        return false;
+    char *end = nullptr;
+    unsigned long a = std::strtoul(line.c_str(), &end, 10);
+    if (end == line.c_str())
+        return false;
+    att = unsigned(a);
+    not_before_ms = std::strtoll(end, nullptr, 10);
+    return true;
+}
+
+void
+LeaseManager::writeRetry(const std::string &key, unsigned att,
+                         int64_t not_before_ms)
+{
+    // tmp + rename: readers never see a half-written gate file.
+    const std::string tmp = retryPath(key) + ".tmp-" + token_;
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        throw WorkloadError("lease manager: cannot write retry gate "
+                            + tmp);
+    std::fprintf(f, "%u %lld\n", att,
+                 static_cast<long long>(not_before_ms));
+    std::fclose(f);
+    std::error_code ec;
+    fs::rename(tmp, retryPath(key), ec);
+    if (ec)
+        throw WorkloadError("lease manager: retry gate rename failed "
+                            "for " + key + ": " + ec.message());
+}
+
+unsigned
+LeaseManager::attempts(const std::string &key) const
+{
+    unsigned att = 0;
+    int64_t nb = 0;
+    readRetry(key, att, nb);
+    return att;
+}
+
+bool
+LeaseManager::tryAcquire(const std::string &key)
+{
+    unsigned att = 0;
+    int64_t nb = 0;
+    if (readRetry(key, att, nb) && nowMs() < nb)
+        return false; // backoff gate still closed
+    // "wx" = O_CREAT|O_EXCL: exactly one claimant wins; losers see
+    // the existing lease and move on (stale ones are reclaimed, not
+    // stolen — reclaimExpired() is the only path that removes a
+    // lease this process does not hold).
+    const std::string path = leasePath(key);
+    std::FILE *f = std::fopen(path.c_str(), "wx");
+    if (!f)
+        return false;
+    std::string tok;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        tok = token_ + "." + std::to_string(seq_++);
+        held_[key] = tok;
+    }
+    std::fputs((tok + "\n").c_str(), f);
+    std::fflush(f);
+    std::fclose(f);
+    // This claim is attempt #att+1 — counted at start, so a crash
+    // mid-cell still consumed an attempt.
+    writeRetry(key, att + 1, nb);
+    return true;
+}
+
+bool
+LeaseManager::forceAcquire(const std::string &key)
+{
+    const std::string path = leasePath(key);
+    std::FILE *f = std::fopen(path.c_str(), "wx");
+    if (!f)
+        return false;
+    std::string tok;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        tok = token_ + "." + std::to_string(seq_++);
+        held_[key] = tok;
+    }
+    std::fputs((tok + "\n").c_str(), f);
+    std::fflush(f);
+    std::fclose(f);
+    return true;
+}
+
+bool
+LeaseManager::owned(const std::string &key) const
+{
+    std::string tok;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = held_.find(key);
+        if (it == held_.end())
+            return false;
+        tok = it->second;
+    }
+    return readFirstLine(leasePath(key)) == tok;
+}
+
+bool
+LeaseManager::renew(const std::string &key)
+{
+    if (!owned(key))
+        return false;
+    std::error_code ec;
+    fs::last_write_time(leasePath(key),
+                        fs::file_time_type::clock::now(), ec);
+    return !ec;
+}
+
+void
+LeaseManager::release(const std::string &key)
+{
+    bool was_held;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        was_held = held_.erase(key) > 0;
+    }
+    if (!was_held)
+        return;
+    std::error_code ec;
+    fs::remove(leasePath(key), ec);
+}
+
+void
+LeaseManager::releaseAll()
+{
+    std::vector<std::string> keys;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto &[key, tok] : held_)
+            keys.push_back(key);
+    }
+    for (const std::string &key : keys)
+        if (owned(key))
+            release(key);
+        else {
+            std::lock_guard<std::mutex> lock(mu_);
+            held_.erase(key);
+        }
+}
+
+size_t
+LeaseManager::reclaimExpired()
+{
+    const auto timeout =
+        std::chrono::duration_cast<fs::file_time_type::duration>(
+            std::chrono::duration<double>(opts_.timeout_seconds));
+    const auto now = fs::file_time_type::clock::now();
+
+    size_t reclaimed = 0;
+    std::error_code ec;
+    for (const auto &e :
+         fs::directory_iterator(fs::path(dir_) / "leases", ec)) {
+        const std::string name = e.path().filename().string();
+        // Leftover reclaim tombstones (a reclaimer crashed between
+        // rename and unlink) are garbage-collected once stale.
+        const bool tombstone =
+            name.find(".reclaim-") != std::string::npos;
+        if (!tombstone
+            && (name.size() <= 6
+                || name.compare(name.size() - 6, 6, ".lease") != 0))
+            continue;
+        std::error_code mec;
+        const auto mtime = fs::last_write_time(e.path(), mec);
+        if (mec || now - mtime <= timeout)
+            continue;
+        if (tombstone) {
+            fs::remove(e.path(), mec);
+            continue;
+        }
+        const std::string key = name.substr(0, name.size() - 6);
+        // Atomic rename: of N concurrent reclaimers exactly one
+        // succeeds and does the retry-gate bookkeeping; the holder's
+        // token no longer resolves, so its in-flight result will be
+        // discarded (owned() == false).
+        std::string grave;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            grave = (fs::path(dir_) / "leases"
+                     / (key + ".reclaim-" + token_ + "."
+                        + std::to_string(seq_++)))
+                        .string();
+        }
+        std::error_code rec;
+        fs::rename(e.path(), grave, rec);
+        if (rec)
+            continue; // a peer won the reclaim
+        unsigned att = 0;
+        int64_t nb = 0;
+        readRetry(key, att, nb);
+        const unsigned delay = SweepRunner::backoffDelayMs(
+            att > 0 ? att : 1, fnv1a64(key),
+            RECLAIM_BACKOFF_BASE_MS);
+        writeRetry(key, att, nowMs() + int64_t(delay));
+        fs::remove(grave, rec);
+        ++reclaimed;
+    }
+    return reclaimed;
+}
+
+// --- ShardWorker ---------------------------------------------------
+
+ShardWorker::ShardWorker(JobStore &store,
+                         std::vector<ExperimentSpec> jobs,
+                         ShardOptions opts)
+    : store_(store), jobs_(std::move(jobs)), opts_(opts),
+      leases_(store.dir(), store.workerId(), opts.lease)
+{
+    keys_.reserve(jobs_.size());
+    for (const ExperimentSpec &job : jobs_)
+        keys_.push_back(JobStore::specKey(job));
+}
+
+ShardWorker::~ShardWorker()
+{
+    {
+        std::lock_guard<std::mutex> lock(hbMu_);
+        hbStop_ = true;
+    }
+    hbCv_.notify_all();
+    if (hbThread_.joinable())
+        hbThread_.join();
+}
+
+bool
+ShardWorker::stopRequested() const
+{
+    return opts_.stop && opts_.stop->load();
+}
+
+void
+ShardWorker::setHeartbeat(const std::string &key, bool suppressed)
+{
+    {
+        std::lock_guard<std::mutex> lock(hbMu_);
+        hbKey_ = key;
+        hbSuppressed_ = suppressed;
+    }
+    hbCv_.notify_all();
+}
+
+void
+ShardWorker::heartbeatLoop()
+{
+    const auto interval = std::max(
+        std::chrono::milliseconds(50),
+        std::chrono::milliseconds(int64_t(
+            opts_.lease.timeout_seconds * 1000.0 / 4.0)));
+    std::unique_lock<std::mutex> lock(hbMu_);
+    while (!hbStop_) {
+        hbCv_.wait_for(lock, interval);
+        if (hbStop_)
+            break;
+        if (hbKey_.empty() || hbSuppressed_)
+            continue;
+        const std::string key = hbKey_;
+        lock.unlock();
+        leases_.renew(key);
+        lock.lock();
+    }
+}
+
+ShardSummary
+ShardWorker::run()
+{
+    ShardSummary s;
+    if (!hbThread_.joinable())
+        hbThread_ = std::thread([this] { heartbeatLoop(); });
+
+    const size_t n = jobs_.size();
+    // Rotate each worker's scan start so a fleet doesn't contend on
+    // the same cells in the same order.
+    const size_t start =
+        n ? size_t(fnv1a64(store_.workerId()) % n) : 0;
+
+    bool first_pass = true;
+    while (!stopRequested()) {
+        size_t pending = 0;
+        bool claimed_any = false;
+        for (size_t j = 0; j < n && !stopRequested(); ++j) {
+            const size_t i = (start + j) % n;
+            const std::string &key = keys_[i];
+            if (store_.find(key)) {
+                if (first_pass)
+                    ++s.resumed;
+                continue;
+            }
+            ++pending;
+            if (leases_.attemptsExhausted(key)) {
+                // Crash-retry cap reached: record the permanent
+                // failure exactly once (plain O_EXCL claim, no
+                // attempt bookkeeping) so the sweep can finish.
+                if (!leases_.forceAcquire(key))
+                    continue;
+                store_.reload();
+                if (!store_.find(key)) {
+                    store_.appendFailure(
+                        jobs_[i], "crash",
+                        "worker process died on every attempt "
+                        "(attempt cap reached)",
+                        leases_.attempts(key));
+                    ++s.failed_permanent;
+                }
+                leases_.release(key);
+                continue;
+            }
+            if (!leases_.tryAcquire(key))
+                continue;
+            // Close the lost-update window: a peer may have finished
+            // this cell between our index snapshot and the claim —
+            // its record is durable before its lease release, so a
+            // fresh scan is authoritative.
+            store_.reload();
+            if (store_.find(key)) {
+                leases_.release(key);
+                continue;
+            }
+            claimed_any = true;
+
+            ExperimentSpec spec = jobs_[i];
+            bool crash_armed = false;
+            bool stall_armed = false;
+            if (spec.fault == FaultKind::CrashProcess) {
+                crash_armed = store_.armInjectionOnce("crash", i);
+                spec.fault = FaultKind::None;
+            } else if (spec.fault == FaultKind::StallHeartbeat) {
+                stall_armed =
+                    store_.armInjectionOnce("stall-heartbeat", i);
+                spec.fault = FaultKind::None;
+            }
+
+            if (stall_armed) {
+                // Injected stall: hold the lease but stop renewing,
+                // and outlive the timeout so peers reclaim the cell
+                // while we are still "running" it.
+                setHeartbeat(key, true);
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(
+                        opts_.lease.timeout_seconds * 2.5));
+            } else {
+                setHeartbeat(key, false);
+            }
+
+            RunResult r =
+                SweepRunner::runOne(spec, workloads::globalCache());
+            setHeartbeat("", false);
+
+            if (!leases_.owned(key)) {
+                // Lease lost mid-run (reclaimed as stale): someone
+                // else owns — or already finished — this cell.
+                // Discard, never journal: the zero-duplicate rule.
+                ++s.discarded;
+                leases_.release(key);
+                continue;
+            }
+            if (crash_armed) {
+                // Injected crash: die after computing the result but
+                // before it reaches the journal — the worst-case
+                // window a real SIGKILL can hit.
+                std::raise(SIGKILL);
+            }
+            store_.append(spec, r);
+            ++s.executed;
+            leases_.release(key);
+        }
+        first_pass = false;
+        if (pending == 0)
+            break;
+        if (!claimed_any && !stopRequested()) {
+            // Nothing claimable but cells remain: some peer holds
+            // them (alive or dead) or a backoff gate is closed.
+            leases_.reclaimExpired();
+            store_.reload();
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(opts_.poll_ms));
+        }
+    }
+    s.stopped = stopRequested();
+    leases_.releaseAll();
+    return s;
+}
+
+// --- Single-process store-backed runner ----------------------------
+
+ShardSummary
+runWithStore(JobStore &store, const std::vector<ExperimentSpec> &jobs,
+             unsigned threads, std::atomic<bool> *stop)
+{
+    ShardSummary s;
+    std::vector<size_t> todo;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        if (store.find(JobStore::specKey(jobs[i])))
+            ++s.resumed;
+        else
+            todo.push_back(i);
+    }
+
+    std::atomic<size_t> executed{0};
+    SweepRunner::parallelFor(
+        todo.size(), SweepRunner::resolveJobs(threads),
+        [&](size_t t) {
+            if (stop && stop->load())
+                return; // drain: claimed-but-unstarted cells skip
+            const size_t i = todo[t];
+            ExperimentSpec spec = jobs[i];
+            bool crash_armed = false;
+            if (spec.fault == FaultKind::CrashProcess) {
+                crash_armed = store.armInjectionOnce("crash", i);
+                spec.fault = FaultKind::None;
+            } else if (spec.fault == FaultKind::StallHeartbeat) {
+                // Lease-specific; meaningless without sharding.
+                spec.fault = FaultKind::None;
+            }
+            RunResult r =
+                SweepRunner::runOne(spec, workloads::globalCache());
+            if (crash_armed)
+                std::raise(SIGKILL);
+            store.append(spec, r);
+            ++executed;
+        });
+    s.executed = executed.load();
+    s.stopped = stop && stop->load();
+    return s;
+}
+
+} // namespace hpa::sim

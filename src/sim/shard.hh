@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Multi-process sweep sharding over a persistent JobStore: worker
+ * processes claim sweep cells via on-disk lease files with heartbeat
+ * renewal, run them, and stream the results into the journal; a
+ * coordinator (or any peer) reclaims leases whose heartbeat expired —
+ * the worker died mid-cell — and re-queues the cell behind an
+ * exponential-backoff gate with an attempt cap.
+ *
+ * The protocol is built from three atomic filesystem primitives, so
+ * it needs no server and survives SIGKILL at any instruction:
+ *
+ *   claim    `open(leases/<key>.lease, O_CREAT|O_EXCL)` — exactly one
+ *            winner; the file body is the claimant's unique token.
+ *   renew    bump the lease file's mtime (the heartbeat). A lease
+ *            whose mtime is older than the timeout is *stale*: its
+ *            holder is presumed dead.
+ *   reclaim  `rename(<key>.lease, <key>.reclaim-<token>)` — atomic,
+ *            so concurrent reclaimers get exactly one winner — then
+ *            set the retry gate and unlink. The stalled holder, if it
+ *            was merely slow, discovers the loss because its token no
+ *            longer matches (owned() == false) and discards its
+ *            result instead of appending a duplicate.
+ *
+ * Attempt accounting lives in `retry/<key>` ("attempts not_before_ms",
+ * written atomically via rename): each successful claim counts one
+ * attempt, a reclaim arms an exponential not-before gate, and a cell
+ * whose attempts reach the cap is recorded as a permanent failure
+ * instead of looping forever.
+ */
+
+#ifndef HPA_SIM_SHARD_HH
+#define HPA_SIM_SHARD_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/job_store.hh"
+
+namespace hpa::sim
+{
+
+/** Lease-protocol tuning. */
+struct LeaseOptions
+{
+    /** Heartbeat staleness threshold in seconds: a lease not renewed
+     *  for this long is presumed orphaned and may be reclaimed.
+     *  Holders renew every timeout/4. */
+    double timeout_seconds = 30.0;
+    /** Total times a cell may be started before it is recorded as a
+     *  permanent failure (crash-retry cap). */
+    unsigned max_attempts = 3;
+};
+
+/**
+ * The lease half of the sharding protocol (claim / renew / reclaim /
+ * attempt bookkeeping) over a JobStore directory. One instance per
+ * worker process; every method is safe against concurrent instances
+ * in other processes, and renew()/owned() are additionally
+ * thread-safe against the owner's heartbeat thread.
+ */
+class LeaseManager
+{
+  public:
+    /** @param store_dir the JobStore directory (leases/ and retry/
+     *  are created beneath it)
+     *  @param worker_id unique writer identity (same token the
+     *  JobStore shard uses) */
+    LeaseManager(std::string store_dir, std::string worker_id,
+                 LeaseOptions opts = {});
+
+    const LeaseOptions &options() const { return opts_; }
+
+    /**
+     * Try to claim @p key: respects the retry not-before gate, never
+     * steals a live (or even stale) lease — stale ones must be
+     * reclaim()ed first — and on success counts one attempt in
+     * retry/<key>. @return true iff this process now holds the lease.
+     */
+    bool tryAcquire(const std::string &key);
+
+    /**
+     * Claim @p key ignoring the retry gate and without attempt
+     * bookkeeping — used to serialize the permanent-failure record
+     * of a cell that exhausted its attempts (exactly one worker
+     * writes it). Never steals an existing lease.
+     */
+    bool forceAcquire(const std::string &key);
+
+    /** Renew the heartbeat on a lease this process holds. @return
+     *  false when the lease was lost (reclaimed by a peer). */
+    bool renew(const std::string &key);
+
+    /** Does this process still hold @p key? Reads the lease file and
+     *  compares tokens — a reclaimed or re-claimed lease no longer
+     *  matches, and the caller must discard its result. */
+    bool owned(const std::string &key) const;
+
+    /** Release a held lease (unlink; no-op if already lost). */
+    void release(const std::string &key);
+
+    /** Release every lease this process still holds (signal-exit
+     *  path, so peers need not wait out the timeout). */
+    void releaseAll();
+
+    /**
+     * Scan leases/ for stale entries and reclaim them: atomically
+     * rename (single winner among concurrent reclaimers), arm the
+     * exponential not-before gate for the cell's next attempt, and
+     * unlink. @return leases reclaimed by this call.
+     */
+    size_t reclaimExpired();
+
+    /** Attempts already started for @p key (0 = never claimed). */
+    unsigned attempts(const std::string &key) const;
+
+    /** Attempts reached the cap and the cell still has no durable
+     *  result — it must be recorded as a permanent failure. */
+    bool
+    attemptsExhausted(const std::string &key) const
+    {
+        return attempts(key) >= opts_.max_attempts;
+    }
+
+  private:
+    std::string leasePath(const std::string &key) const;
+    std::string retryPath(const std::string &key) const;
+    /** Read retry/<key>; false when absent/garbled. */
+    bool readRetry(const std::string &key, unsigned &att,
+                   int64_t &not_before_ms) const;
+    void writeRetry(const std::string &key, unsigned att,
+                    int64_t not_before_ms);
+    int64_t nowMs() const;
+
+    std::string dir_;
+    std::string worker_;
+    LeaseOptions opts_;
+    /** Unique claim-token prefix (worker id + pid). */
+    std::string token_;
+    uint64_t seq_ = 0;
+    mutable std::mutex mu_;
+    /** key -> token written into the lease file we hold. */
+    std::unordered_map<std::string, std::string> held_;
+};
+
+/** Shared knobs of both store-backed execution modes. */
+struct ShardOptions
+{
+    LeaseOptions lease;
+    /** Cooperative stop flag (SIGINT/SIGTERM): finish the in-flight
+     *  cell, journal it, release leases, return. */
+    std::atomic<bool> *stop = nullptr;
+    /** Idle poll interval while waiting for claimable work (ms). */
+    unsigned poll_ms = 200;
+};
+
+/** What a worker/runner actually did (its exit report). */
+struct ShardSummary
+{
+    /** Cells this process executed and journaled. */
+    size_t executed = 0;
+    /** Cells found already completed in the journal (skipped). */
+    size_t resumed = 0;
+    /** Permanent-failure records this process appended (cells whose
+     *  crash-retry attempts were exhausted). */
+    size_t failed_permanent = 0;
+    /** Results computed but discarded because the lease was lost
+     *  mid-run (stalled heartbeat — never journaled, no duplicate). */
+    size_t discarded = 0;
+    /** True when the run ended early on the stop flag. */
+    bool stopped = false;
+};
+
+/**
+ * One sharded worker: loops over the job list claiming unfinished
+ * cells by lease, runs each via SweepRunner::runOne with a heartbeat
+ * thread renewing the lease, re-verifies ownership before journaling
+ * (a lost lease discards the result — the zero-duplicate guarantee),
+ * reclaims expired peer leases while idle, and exits when every cell
+ * has a durable record or the stop flag is raised.
+ *
+ * Process-level fault injection (FaultKind::CrashProcess /
+ * StallHeartbeat on a spec) is honoured here: armed exactly once per
+ * store via JobStore::armInjectionOnce, stripped from the spec before
+ * simulation, so the reclaimed retry runs clean and bit-identical.
+ */
+class ShardWorker
+{
+  public:
+    ShardWorker(JobStore &store, std::vector<ExperimentSpec> jobs,
+                ShardOptions opts = {});
+    ~ShardWorker();
+
+    ShardWorker(const ShardWorker &) = delete;
+    ShardWorker &operator=(const ShardWorker &) = delete;
+
+    /** Run until all cells are durable (or stop). */
+    ShardSummary run();
+
+    LeaseManager &leases() { return leases_; }
+
+  private:
+    void heartbeatLoop();
+    void setHeartbeat(const std::string &key, bool suppressed);
+    bool stopRequested() const;
+
+    JobStore &store_;
+    std::vector<ExperimentSpec> jobs_;
+    std::vector<std::string> keys_;
+    ShardOptions opts_;
+    LeaseManager leases_;
+
+    std::thread hbThread_;
+    std::mutex hbMu_;
+    std::condition_variable hbCv_;
+    std::string hbKey_;
+    bool hbSuppressed_ = false;
+    bool hbStop_ = false;
+};
+
+/**
+ * Single-process store-backed sweep: run every cell of @p jobs that
+ * has no journal record yet on @p threads pool threads (dynamic
+ * claiming, SweepRunner::parallelFor), journaling each result as it
+ * completes — so a crash costs at most the in-flight cells and a
+ * subsequent --resume run executes only the remainder. No leases:
+ * within one process the store index is the claim set. CrashProcess
+ * injection is honoured (armed once via the store marker);
+ * StallHeartbeat is lease-specific and ignored here.
+ */
+ShardSummary runWithStore(JobStore &store,
+                          const std::vector<ExperimentSpec> &jobs,
+                          unsigned threads,
+                          std::atomic<bool> *stop = nullptr);
+
+} // namespace hpa::sim
+
+#endif // HPA_SIM_SHARD_HH

@@ -200,15 +200,45 @@ runBatch(const std::vector<SweepJob> &jobs,
 
 } // namespace
 
+unsigned
+SweepRunner::backoffDelayMs(unsigned attempt, uint64_t seed,
+                            unsigned base_ms)
+{
+    if (base_ms == 0)
+        return 0;
+    const unsigned shift = std::min(attempt > 0 ? attempt - 1 : 0u,
+                                    16u);
+    uint64_t delay =
+        std::min<uint64_t>(uint64_t(base_ms) << shift, 2000);
+    // Deterministic jitter (splitmix-style finalizer): reproducible
+    // for a given (seed, attempt), decorrelated across cells.
+    uint64_t h = seed ^ (uint64_t(attempt) * 1099511628211ull);
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+    delay += h % (delay / 4 + 1);
+    return unsigned(delay);
+}
+
 SweepResult
 SweepRunner::runOne(const SweepJob &job,
                     workloads::WorkloadCache &cache)
 {
     SweepResult r;
     r.spec = job;
+    // Jitter seed: stable per cell, so retries of the same cell back
+    // off identically run to run while distinct cells decorrelate.
+    uint64_t seed = 1469598103934665603ull;
+    for (unsigned char c : job.workload + "|" + job.machine.name) {
+        seed ^= c;
+        seed *= 1099511628211ull;
+    }
+    // Survives the per-attempt outcome reset below.
+    uint64_t backoff_total = 0;
     for (unsigned attempt = 1;; ++attempt) {
         r.outcome = RunOutcome{};
         r.outcome.attempts = attempt;
+        r.outcome.backoffMs = backoff_total;
         try {
             runAttempt(job, attempt, cache, r);
             return r;
@@ -239,6 +269,16 @@ SweepRunner::runOne(const SweepJob &job,
             o.context.workload = job.workload;
             if (attempt > job.max_retries)
                 return r;
+            // Exponential backoff + jitter before the next attempt —
+            // a transient failure (flaky workload build, host
+            // pressure) is given room instead of a hot retry loop.
+            const unsigned delay = backoffDelayMs(
+                attempt, seed, job.retry_backoff_ms);
+            backoff_total += delay;
+            o.backoffMs = backoff_total;
+            if (delay)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(delay));
         }
     }
 }

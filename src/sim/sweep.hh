@@ -93,6 +93,17 @@ class SweepRunner
     /** Resolve a --jobs style request: 0 means hardware threads. */
     static unsigned resolveJobs(unsigned requested);
 
+    /**
+     * Exponential retry backoff with deterministic jitter: the sleep
+     * before attempt @p attempt + 1, in milliseconds —
+     * base * 2^(attempt-1), capped at 2 s, plus a hash-derived jitter
+     * of up to 25% so co-failing workers decorrelate without any
+     * global randomness (same seed + attempt → same delay, so runs
+     * stay reproducible). @p base_ms 0 disables sleeping (tests).
+     */
+    static unsigned backoffDelayMs(unsigned attempt, uint64_t seed,
+                                   unsigned base_ms = 25);
+
     /** Batched-replay width when ExperimentSpec::batch is 0 (auto).
      *  Eight lanes keep the shared trace span cache-resident while
      *  amortizing its decode across most of a reproduction sweep's

@@ -10,6 +10,7 @@
 #include "asm/assembler.hh"
 #include "bpred/bpred.hh"
 #include "core/core.hh"
+#include "core/inst_source.hh"
 #include "func/emulator.hh"
 #include "mem/hierarchy.hh"
 #include "workloads/workloads.hh"
@@ -102,6 +103,39 @@ BM_CoreTick(benchmark::State &state)
         benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_CoreTick);
+
+/**
+ * The scheduler inner loop in isolation: a dependence-dense
+ * synthetic stream on the 8-wide machine keeps the window full, so
+ * nearly every tick pays wakeup broadcasts plus the age-ordered
+ * select scan rather than fetch or memory. Arg selects the engine
+ * (0 = masked bit planes, 1 = reference chains) — the pair
+ * quantifies exactly the structure the sched_engine knob swaps.
+ */
+void
+BM_WakeupSelect(benchmark::State &state)
+{
+    core::CoreConfig cfg = core::eightWideConfig();
+    cfg.sched_engine = state.range(0) == 0
+        ? core::SchedEngine::Masked
+        : core::SchedEngine::Reference;
+    core::SyntheticParams p;
+    p.num_insts = uint64_t(1) << 40; // never drains in-bench
+    p.two_source_frac = 0.6;         // dense wakeup traffic
+    p.dep_distance_p = 0.5;          // short dependence distances
+    p.load_frac = 0.1;
+    p.store_frac = 0.05;
+    p.branch_frac = 0.05;
+    core::SyntheticSource src(p);
+    core::Core c(cfg, src);
+    for (auto _ : state)
+        c.tick();
+    state.counters["issued_per_cycle"] = benchmark::Counter(
+        double(c.stats().issued.value()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_WakeupSelect)
+    ->Arg(0)->Arg(1)
+    ->ArgName("engine");
 
 void
 BM_WorkloadBuild(benchmark::State &state)

@@ -16,11 +16,21 @@
  * appends at most two consumer entries, and a producer's list is
  * cleared no later than its slot is reused), so after warm-up the
  * steady state performs zero heap allocation.
+ *
+ * The bit-plane scan helpers at the bottom are the traversal
+ * primitives of the masked scheduler engine (issue_window.hh): the
+ * window is a FIFO ring, so scanning the two segments [head, slots)
+ * then [0, head) visits set bits in age (= seq = program) order,
+ * which is exactly the oldest-first priority the seq-ordered side
+ * chains provide. Each scan loads a word once and pops set bits
+ * with countr_zero (tzcnt), so the per-visited-bit cost is a few
+ * branch-free ALU ops instead of a pointer chase.
  */
 
 #ifndef HPA_CORE_CONTAINERS_HH
 #define HPA_CORE_CONTAINERS_HH
 
+#include <bit>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -282,6 +292,119 @@ class PooledLists
     std::vector<int32_t> tail_;
     int32_t free_ = NIL;
 };
+
+// --------------------------------------------------------------------
+// Bit-plane scan primitives (masked scheduler engine)
+// --------------------------------------------------------------------
+
+/** Visit the set bits of word array @p w inside [lo, hi) in
+ *  ascending index order. @p fn(bit) returns false to stop.
+ *  @return false when the callback stopped the scan. */
+template <typename Fn>
+inline bool
+scanSetBits(const uint64_t *w, unsigned lo, unsigned hi, Fn &&fn)
+{
+    if (lo >= hi)
+        return true;
+    unsigned wlo = lo >> 6;
+    unsigned whi = (hi - 1) >> 6;
+    for (unsigned wi = wlo; wi <= whi; ++wi) {
+        uint64_t word = w[wi];
+        if (wi == wlo)
+            word &= ~uint64_t(0) << (lo & 63);
+        if (wi == whi && (hi & 63) != 0)
+            word &= ~uint64_t(0) >> (64 - (hi & 63));
+        while (word) {
+            unsigned bit = unsigned(std::countr_zero(word));
+            word &= word - 1;
+            if (!fn(wi * 64 + bit))
+                return false;
+        }
+    }
+    return true;
+}
+
+/** Visit the set bits of @p w over a @p slots-entry ring in age
+ *  order from @p head: segment [head, slots), then [0, head).
+ *  @p fn(bit) returns false to stop early (select's width budget). */
+template <typename Fn>
+inline void
+scanSetBitsFrom(const uint64_t *w, unsigned slots, unsigned head,
+                Fn &&fn)
+{
+    if (scanSetBits(w, head, slots, fn))
+        scanSetBits(w, 0, head, fn);
+}
+
+/** Like scanSetBitsFrom over the intersection a & b (or a & ~b when
+ *  @p complement_b): select's priority-class split scans
+ *  ready & highPrio then ready & ~highPrio, so neither pass loads
+ *  the DynInsts of the other class. @p fn(bit) returns false to
+ *  stop early (the width budget). */
+template <typename Fn>
+inline void
+scanSetBitsFromAnd(const uint64_t *a, const uint64_t *b,
+                   bool complement_b, unsigned slots, unsigned head,
+                   Fn &&fn)
+{
+    auto seg = [&](unsigned lo, unsigned hi) {
+        if (lo >= hi)
+            return true;
+        unsigned wlo = lo >> 6;
+        unsigned whi = (hi - 1) >> 6;
+        for (unsigned wi = wlo; wi <= whi; ++wi) {
+            uint64_t word = a[wi] & (complement_b ? ~b[wi] : b[wi]);
+            if (wi == wlo)
+                word &= ~uint64_t(0) << (lo & 63);
+            if (wi == whi && (hi & 63) != 0)
+                word &= ~uint64_t(0) >> (64 - (hi & 63));
+            while (word) {
+                unsigned bit = unsigned(std::countr_zero(word));
+                word &= word - 1;
+                if (!fn(wi * 64 + bit))
+                    return false;
+            }
+        }
+        return true;
+    };
+    if (seg(head, slots))
+        seg(0, head);
+}
+
+/** Like scanSetBitsFrom over the union of two planes (the two
+ *  operand rows of a producer's dependency vector): @p fn(bit, in_a,
+ *  in_b) says which plane(s) held the bit, so the caller touches
+ *  operand 0 before operand 1 — the consumer-list append order the
+ *  reference engine visits in. */
+template <typename Fn>
+inline void
+scanSetBitsFrom2(const uint64_t *a, const uint64_t *b, unsigned slots,
+                 unsigned head, Fn &&fn)
+{
+    auto seg = [&](unsigned lo, unsigned hi) {
+        if (lo >= hi)
+            return;
+        unsigned wlo = lo >> 6;
+        unsigned whi = (hi - 1) >> 6;
+        for (unsigned wi = wlo; wi <= whi; ++wi) {
+            uint64_t wa = a[wi];
+            uint64_t wb = b[wi];
+            uint64_t word = wa | wb;
+            if (wi == wlo)
+                word &= ~uint64_t(0) << (lo & 63);
+            if (wi == whi && (hi & 63) != 0)
+                word &= ~uint64_t(0) >> (64 - (hi & 63));
+            while (word) {
+                unsigned bit = unsigned(std::countr_zero(word));
+                uint64_t m = word & (~word + 1);
+                word &= word - 1;
+                fn(wi * 64 + bit, (wa & m) != 0, (wb & m) != 0);
+            }
+        }
+    };
+    seg(head, slots);
+    seg(0, head);
+}
 
 } // namespace hpa::core
 

@@ -78,18 +78,29 @@ CoreStats::regStats(stats::Registry &reg)
 Core::Core(const CoreConfig &cfg, InstSource &source)
     : cfg_(cfg), source_(source), hier_(cfg.mem), bp_(cfg.bpred),
       fu_(cfg), lap_(cfg.lap_entries), sched_(makeSchedPolicy(cfg)),
-      rf_(makeRFPolicy(cfg)), window_(cfg.ruu_size)
+      rf_(makeRFPolicy(cfg)), window_(cfg.ruu_size),
+      masked_(cfg.sched_engine == SchedEngine::Masked)
 {
     // Every hot-path container is sized to its configuration bound
     // here so steady-state simulation allocates nothing: each
     // in-window instruction contributes at most two consumer-pool
     // entries, stores never outnumber window slots, and the fetch
-    // queue is capped by the front-end depth.
-    consumers_.reset(cfg.ruu_size, 2 * size_t(cfg.ruu_size));
+    // queue is capped by the front-end depth. Only the active
+    // engine's structures are sized; the other stays empty.
+    HPA_CHECK(cfg.ruu_size > 0 && cfg.ruu_size <= 32767,
+              "ruu_size must fit Event::slot (int16)");
     storeSlots_.reset(cfg.ruu_size);
     fetchQueue_.reset(size_t(cfg.front_end_depth) * cfg.width);
-    ready_.reset(cfg.ruu_size);
-    issued_.reset(cfg.ruu_size);
+    if (masked_) {
+        masks_.reset(cfg.ruu_size);
+    } else {
+        consumers_.reset(cfg.ruu_size, 2 * size_t(cfg.ruu_size));
+        ready_.reset(cfg.ruu_size);
+        issued_.reset(cfg.ruu_size);
+    }
+    slowBus_ = schedSlowBus();
+    readyAllSrc_ = core::visitPolicy(
+        [](const auto &p) { return p.mask_ready_all_src; }, sched_);
     squashCandidates_.reserve(cfg.ruu_size);
     squashList_.reserve(cfg.ruu_size);
     squashTainted_.reserve(size_t(cfg.ruu_size) + 1);
@@ -110,12 +121,27 @@ Core::Core(const CoreConfig &cfg, InstSource &source)
 // Scheduler side lists
 // --------------------------------------------------------------------
 
-/** Reconcile one slot's ready-list membership with its state. Call
+/** Reconcile one slot's ready membership with its state. Call
  *  after any transition that can change schedReady()/issued. */
 void
 Core::updateReadySlot(unsigned slot)
 {
     DynInst &di = window_[slot];
+    if (masked_) {
+        // Ready-plane update: for mask_ready_all_src policies the
+        // model predicate folds to allSrcReady() without a policy
+        // dispatch; tag elimination keeps its per-entry rule.
+        bool want = di.inWindow && !di.issued && !di.completed
+            && (readyAllSrc_ ? di.allSrcReady() : schedReady(di));
+        if (want == di.inReadyList)
+            return;
+        if (want)
+            masks_.ready.set(slot);
+        else
+            masks_.ready.clear(slot);
+        di.inReadyList = want;
+        return;
+    }
     bool want = di.inWindow && !di.issued && !di.completed
         && schedReady(di);
     if (want == di.inReadyList)
@@ -196,10 +222,10 @@ Core::sideListDivergence() const
         }
         idx = (idx + 1) % cfg_.ruu_size;
     }
-    std::vector<unsigned> have_ready = ready_.toVector();
+    std::vector<unsigned> have_ready = readyListSnapshot();
     if (want_ready != have_ready)
         return listText("ready list", have_ready, want_ready);
-    std::vector<unsigned> have_issued = issued_.toVector();
+    std::vector<unsigned> have_issued = issuedListSnapshot();
     if (want_issued != have_issued)
         return listText("issued list", have_issued, want_issued);
     std::vector<unsigned> have_stores;
@@ -338,12 +364,24 @@ Core::tick()
 void
 Core::tickGuards()
 {
+    // Every guard below is time-predictable, so the common case is a
+    // single compare: nextGuardCycle_ under-approximates the next
+    // cycle any guard could fire (a too-early visit merely re-arms;
+    // a fire is never missed — the fault setters reset the gate).
+    if (cycle_ < nextGuardCycle_)
+        return;
+
     if (cycle_ == corruptAt_) {
-        // Test hook: append a duplicate (or, on an empty list, a
-        // phantom) slot — guaranteed to diverge from the re-derived
-        // list whatever the window holds.
-        ready_.testAppendPhantom(ready_.empty() ? head_
-                                                : unsigned(ready_.head()));
+        // Test hook: corrupt the incremental ready structure so the
+        // periodic cross-validation must diverge whatever the window
+        // holds. Reference: append a duplicate (or, on an empty
+        // list, a phantom) slot. Masked: toggle the head slot's
+        // ready bit — flipping membership diverges either way.
+        if (masked_)
+            masks_.ready.testFlip(head_);
+        else
+            ready_.testAppendPhantom(
+                ready_.empty() ? head_ : unsigned(ready_.head()));
     }
 
     if (cfg_.check_interval && cycle_ % cfg_.check_interval == 0)
@@ -360,6 +398,24 @@ Core::tickGuards()
         && std::chrono::steady_clock::now() > deadline_)
         throw hpa::Timeout("wall-clock budget exceeded",
                            invariantContext());
+
+    // Re-arm: the earliest cycle any guard can fire next. The
+    // watchdog term uses the current lastCommitCycle_; commits in
+    // the meantime only push the real deadline later, so the visit
+    // at the recorded cycle finds nothing and re-arms — exact fire
+    // timing, at most one spare visit per watchdog period.
+    uint64_t next = NO_CYCLE;
+    if (corruptAt_ != NO_CYCLE && corruptAt_ > cycle_)
+        next = std::min(next, corruptAt_);
+    if (cfg_.check_interval)
+        next = std::min(next, cycle_ + cfg_.check_interval
+                                  - cycle_ % cfg_.check_interval);
+    if (cfg_.watchdog_cycles)
+        next = std::min(next,
+                        lastCommitCycle_ + cfg_.watchdog_cycles + 1);
+    if (hasDeadline_)
+        next = std::min(next, (cycle_ | 0xFFF) + 1);
+    nextGuardCycle_ = next;
 }
 
 // --------------------------------------------------------------------
@@ -409,7 +465,17 @@ Core::commit()
         commitFormatStats(di);
         if (commitListener_)
             commitListener_(di, cycle_);
-        consumers_.clear(head_);
+        if (masked_) {
+            // The producer's dependency rows are left stale: commit
+            // is in order and every consumer is younger, so a
+            // committed slot's rows can never be scanned again
+            // before its re-dispatch clears them (the reference
+            // engine's consumers_.clear is O(1), the row clear is
+            // not — deferring it keeps commit row-free).
+            masks_.occupancy.clear(head_);
+        } else {
+            consumers_.clear(head_);
+        }
         di.inWindow = false;
         if (di.isStore()) {
             HPA_CHECK_CTX(!storeSlots_.empty()
@@ -442,7 +508,7 @@ Core::scheduleEvent(uint64_t when, Event ev)
                   "event scheduled for cycle " + std::to_string(when)
                       + ", not in the future",
                   invariantContext());
-    events_.schedule(when, cycle_, ev);
+    events_.schedule(when, cycle_, ev, unsigned(eventRank(ev.kind)));
 }
 
 void
@@ -451,20 +517,18 @@ Core::processEvents()
     // beginCycle() must run every cycle (it migrates far-future
     // events into ring range before anything can schedule at this
     // cycle), even when this cycle's bucket turns out empty.
-    std::vector<Event> &bucket = events_.beginCycle(cycle_);
-    if (bucket.empty())
-        return;
+    auto &bucket = events_.beginCycle(cycle_);
 
-    // Three rank-ordered passes replace the old stable_sort-by-rank:
-    // identical delivery order (rank class ascending, schedule order
-    // within a class) with zero copying or allocation. Handlers only
-    // schedule strictly-future events, so the bucket is never
-    // appended to mid-iteration; the staleness filter runs at
-    // delivery time, exactly as the sorted single pass did.
+    // The calendar splits each cycle's events by rank at schedule
+    // time, so delivery is one compare-free pass per rank class:
+    // identical order to the old flat bucket's three filtered scans
+    // (rank class ascending, schedule order within a class) without
+    // re-walking the whole cycle once per class. Handlers only
+    // schedule strictly-future events, so no vector is appended to
+    // mid-iteration; the staleness filter runs at delivery time,
+    // exactly as before.
     for (int rank = 0; rank < 3; ++rank) {
-        for (const Event &ev : bucket) {
-            if (eventRank(ev.kind) != rank)
-                continue;
+        for (const Event &ev : bucket[size_t(rank)]) {
             DynInst &di = window_[ev.slot];
             if (!di.inWindow || di.seq != ev.seq || !di.issued
                 || di.issueToken != ev.token)
@@ -581,25 +645,90 @@ Core::wakeOperand(DynInst &ci, OperandState &op, uint64_t now,
 void
 Core::handleFastWake(const Event &ev)
 {
-    consumers_.forEach(unsigned(ev.slot), [&](const Consumer &c) {
-        DynInst &ci = window_[c.slot];
-        if (!ci.inWindow || ci.seq != c.seq)
-            return;
-        OperandState &op = ci.src[c.opIdx];
-        if (op.producerSeq != ev.seq)
-            return;
-        if (wakeOperand(ci, op, cycle_, ev.seq, false))
-            updateReadySlot(unsigned(c.slot));
-    });
-    if (schedSlowBus())
+    bool need_slow = slowBus_;
+    if (masked_) {
+        // Dependency-vector broadcast: one masked scan of the
+        // producer's two operand rows in age order from head_
+        // reproduces the consumer-list append order (consumers in
+        // seq order; a consumer matches a given producer in at most
+        // one plane). The producer passed the event staleness check,
+        // so — commit being in order — every bit still names the
+        // consumer it was set for: no per-entry seq guards needed.
+        const unsigned p = unsigned(ev.slot);
+        if (slowBus_) {
+            masks_.slowPend.clearRow(p);
+            need_slow = false;
+        }
+        scanSetBitsFrom2(
+            masks_.dep[0].row(p), masks_.dep[1].row(p),
+            cfg_.ruu_size, head_,
+            [&](unsigned s, bool in0, bool in1) {
+                DynInst &ci = window_[s];
+                for (unsigned k = 0; k < 2; ++k) {
+                    if (!(k == 0 ? in0 : in1))
+                        continue;
+                    OperandState &op = ci.src[k];
+                    if (wakeOperand(ci, op, cycle_, ev.seq, false))
+                        updateReadySlot(s);
+                    // File the slow-plane residue: consumers whose
+                    // tag match arrives only on the +1 re-broadcast.
+                    if (slowBus_ && !op.ready && op.dataReady
+                        && schedMaskSlowPlane(op)) {
+                        masks_.slowPend.set(p, s);
+                        need_slow = true;
+                    }
+                }
+            });
+    } else {
+        consumers_.forEach(unsigned(ev.slot), [&](const Consumer &c) {
+            DynInst &ci = window_[c.slot];
+            if (!ci.inWindow || ci.seq != c.seq)
+                return;
+            OperandState &op = ci.src[c.opIdx];
+            if (op.producerSeq != ev.seq)
+                return;
+            if (wakeOperand(ci, op, cycle_, ev.seq, false))
+                updateReadySlot(unsigned(c.slot));
+        });
+    }
+    // The masked engine knows at broadcast time whether any consumer
+    // still owes its tag match to the slow bus; an empty slow plane
+    // makes the +1 re-broadcast a provable no-op (no consumer can
+    // become slow-eligible in between: a later dispatch against an
+    // already-broadcast producer inserts fully ready), so the event
+    // is never scheduled. The reference engine schedules it
+    // unconditionally and re-filters per consumer — identical
+    // results, the handler would simply find nothing to wake.
+    if (need_slow)
         scheduleEvent(cycle_ + 1,
-                      Event{EventKind::SlowWake, ev.slot, ev.seq,
-                            ev.token});
+                      Event{ev.seq, ev.token, ev.slot,
+                            EventKind::SlowWake});
 }
 
 void
 Core::handleSlowWake(const Event &ev)
 {
+    if (masked_) {
+        // The slow plane recorded at fast-broadcast time holds
+        // exactly the consumers whose tag match is still owed; the
+        // wake condition is re-verified per visit (a detection-rank
+        // repair this very cycle may have cleared dataReady).
+        const unsigned p = unsigned(ev.slot);
+        scanSetBitsFrom(
+            masks_.slowPend.row(p), cfg_.ruu_size, head_,
+            [&](unsigned s) {
+                DynInst &ci = window_[s];
+                for (unsigned k = 0; k < 2; ++k) {
+                    if (!masks_.dep[k].test(p, s))
+                        continue;
+                    if (wakeOperand(ci, ci.src[k], cycle_, ev.seq,
+                                    true))
+                        updateReadySlot(s);
+                }
+                return true;
+            });
+        return;
+    }
     consumers_.forEach(unsigned(ev.slot), [&](const Consumer &c) {
         DynInst &ci = window_[c.slot];
         if (!ci.inWindow || ci.seq != c.seq)
@@ -618,7 +747,10 @@ Core::handleComplete(const Event &ev)
     DynInst &di = window_[ev.slot];
     di.completed = true;
     di.completeCycle = cycle_;
-    issuedRemove(unsigned(ev.slot));
+    if (masked_)
+        masks_.issued.clear(unsigned(ev.slot));
+    else
+        issuedRemove(unsigned(ev.slot));
 
     if (di.mispredictedBranch && fetchStalledOnBranch_) {
         fetchStalledOnBranch_ = false;
@@ -631,11 +763,8 @@ Core::handleComplete(const Event &ev)
 void
 Core::repairConsumersOf(int slot, uint64_t producer_seq)
 {
-    consumers_.forEach(unsigned(slot), [&](const Consumer &c) {
-        DynInst &ci = window_[c.slot];
-        if (!ci.inWindow || ci.seq != c.seq)
-            return;
-        OperandState &op = ci.src[c.opIdx];
+    // Un-wake every operand this producer speculatively woke.
+    auto repairOp = [&](DynInst &ci, OperandState &op, unsigned s) {
         if (op.producerSeq != producer_seq
             || op.wakeProducerSeq != producer_seq)
             return;
@@ -653,7 +782,28 @@ Core::repairConsumersOf(int slot, uint64_t producer_seq)
         op.wakeCycle = NO_CYCLE;
         op.dataReadyCycle = NO_CYCLE;
         op.wakeProducerSeq = NO_SEQ;
-        updateReadySlot(unsigned(c.slot));
+        updateReadySlot(s);
+    };
+
+    if (masked_) {
+        const unsigned p = unsigned(slot);
+        scanSetBitsFrom2(
+            masks_.dep[0].row(p), masks_.dep[1].row(p),
+            cfg_.ruu_size, head_,
+            [&](unsigned s, bool in0, bool in1) {
+                DynInst &ci = window_[s];
+                if (in0)
+                    repairOp(ci, ci.src[0], s);
+                if (in1)
+                    repairOp(ci, ci.src[1], s);
+            });
+        return;
+    }
+    consumers_.forEach(unsigned(slot), [&](const Consumer &c) {
+        DynInst &ci = window_[c.slot];
+        if (!ci.inWindow || ci.seq != c.seq)
+            return;
+        repairOp(ci, ci.src[c.opIdx], unsigned(c.slot));
     });
 }
 
@@ -668,13 +818,21 @@ Core::squashWindow(uint64_t first_cycle, uint64_t last_cycle,
     // size), so recovery allocates nothing once warm.
     std::vector<int> &candidates = squashCandidates_;
     candidates.clear();
-    for (int32_t it = issued_.head(); it != SlotChain::NIL;
-         it = issued_.next(unsigned(it))) {
-        unsigned slot = unsigned(it);
+    auto consider = [&](unsigned slot) {
         DynInst &di = window_[slot];
         if (di.seq != trigger_seq && di.issueCycle >= first_cycle
             && di.issueCycle <= last_cycle)
             candidates.push_back(int(slot));
+    };
+    if (masked_) {
+        masks_.issued.forEachFrom(head_, [&](unsigned slot) {
+            consider(slot);
+            return true;
+        });
+    } else {
+        for (int32_t it = issued_.head(); it != SlotChain::NIL;
+             it = issued_.next(unsigned(it)))
+            consider(unsigned(it));
     }
 
     std::vector<int> &squash = squashList_;
@@ -725,7 +883,10 @@ Core::squashWindow(uint64_t first_cycle, uint64_t last_cycle,
             di.requireDataReady = true;
         }
         ++stats_.squashedIssues;
-        issuedRemove(unsigned(slot));
+        if (masked_)
+            masks_.issued.clear(unsigned(slot));
+        else
+            issuedRemove(unsigned(slot));
         updateReadySlot(unsigned(slot));
         repairConsumersOf(slot, di.seq);
     }
@@ -761,8 +922,8 @@ Core::handleLoadMiss(const Event &ev)
     if (dest != isa::NO_REG && !isa::isZeroReg(dest)
         && true_wake > cycle_)
         scheduleEvent(true_wake,
-                      Event{EventKind::FastWake, ev.slot, ev.seq,
-                            ev.token});
+                      Event{ev.seq, ev.token, ev.slot,
+                            EventKind::FastWake});
 }
 
 void
@@ -850,18 +1011,22 @@ Core::computeRfPorts(const DynInst &di) const
 }
 
 void
-Core::issueInst(DynInst &di, int slot)
+Core::issueInst(DynInst &di, int slot, unsigned ports)
 {
     di.issued = true;
     di.issueCycle = cycle_;
     ++di.issueToken;
     ++stats_.issued;
-    readyRemove(unsigned(slot));
+    if (masked_) {
+        masks_.ready.clear(unsigned(slot));
+        masks_.issued.set(unsigned(slot));
+    } else {
+        readyRemove(unsigned(slot));
+        issuedInsert(unsigned(slot));
+    }
     di.inReadyList = false;
-    issuedInsert(unsigned(slot));
     bool first_issue = di.issueToken == 1;
 
-    unsigned ports = computeRfPorts(di);
     di.rfPorts = ports;
 
     di.seqRegAccess = rfSeqAccess(ports);
@@ -920,8 +1085,8 @@ Core::issueInst(DynInst &di, int slot)
             di.loadMissReplay = true;
             ++stats_.loadMissReplays;
             scheduleEvent(cycle_ + assumed_total + cfg_.replay_shadow,
-                          Event{EventKind::LoadMissDetect, slot,
-                                di.seq, di.issueToken});
+                          Event{di.seq, di.issueToken, int16_t(slot),
+                                EventKind::LoadMissDetect});
         } else {
             di.loadMissReplay = false;
         }
@@ -940,14 +1105,14 @@ Core::issueInst(DynInst &di, int slot)
                                      complete_cycle);
         di.wakeBroadcastCycle = wake_cycle;
         scheduleEvent(wake_cycle,
-                      Event{EventKind::FastWake, slot, di.seq,
-                            di.issueToken});
+                      Event{di.seq, di.issueToken, int16_t(slot),
+                            EventKind::FastWake});
     } else {
         di.wakeBroadcastCycle = cycle_;
     }
     scheduleEvent(complete_cycle,
-                  Event{EventKind::Complete, slot, di.seq,
-                        di.issueToken});
+                  Event{di.seq, di.issueToken, int16_t(slot),
+                        EventKind::Complete});
 
     // Tag elimination: the scoreboard detects issues whose unwatched
     // operands were not actually data-ready.
@@ -962,10 +1127,45 @@ Core::issueInst(DynInst &di, int slot)
             di.tagElimMisissue = true;
             ++stats_.tagElimMisissues;
             scheduleEvent(cycle_ + cfg_.tagelim_detect_delay + 1,
-                          Event{EventKind::TagElimDetect, slot,
-                                di.seq, di.issueToken});
+                          Event{di.seq, di.issueToken, int16_t(slot),
+                                EventKind::TagElimDetect});
         }
     }
+}
+
+/** One select-candidate attempt, shared by both engines (the ready
+ *  structures guarantee identical candidate order, so the issue
+ *  decisions are engine-invariant). @return false once the width
+ *  budget is spent — the caller stops scanning. */
+bool
+Core::selectTry(unsigned slot, int pass, unsigned &avail,
+                unsigned &ports_left, bool arbitrated)
+{
+    DynInst &di = window_[slot];
+
+    bool high_prio = di.selectHighPrio();
+    if ((pass == 0) != high_prio || !eligible(di))
+        return true;
+    if (di.isLoad() && !lsqAllowsLoad(di))
+        return true;
+    unsigned ports = ~0u;
+    if (arbitrated) {
+        ports = computeRfPorts(di);
+        if (ports > ports_left) {
+            ++stats_.rfPortStalls;
+            return true;
+        }
+        ports_left -= ports;
+    }
+    if (!fu_.acquire(di.rec->inst.opClass(), cycle_)) {
+        if (arbitrated)
+            ports_left += ports;
+        return true;
+    }
+    if (!arbitrated)
+        ports = computeRfPorts(di);
+    issueInst(di, int(slot), ports);
+    return --avail > 0;
 }
 
 void
@@ -976,47 +1176,42 @@ Core::select()
 
     unsigned avail = cfg_.width > blockedSlots_
         ? cfg_.width - blockedSlots_ : 0;
+    if (avail == 0)
+        return;
     unsigned ports_left = rfPortBudget();
     const bool arbitrated = ports_left != ~0u;
 
     // Oldest-first, loads and branches prioritized (Section 2.1).
-    // The ready list holds exactly the unissued instructions whose
-    // required tag matches have been observed, sorted oldest first
-    // (seq order == window order), so iterating it reproduces the
+    // The ready structure holds exactly the unissued instructions
+    // whose required tag matches have been observed, oldest first
+    // (seq order == window order), so scanning it reproduces the
     // full-window scan's issue decisions bit-for-bit while touching
-    // only ready instructions. issueInst() erases the current entry;
+    // only ready instructions. issueInst() clears the current entry;
     // nothing is inserted during select (all wakeups are scheduled
-    // for strictly later cycles).
+    // for strictly later cycles) — the chain walk grabs its
+    // successor first, the mask scan iterates a register copy of
+    // each plane word.
+    if (masked_) {
+        // Each pass scans only its own priority class: the highPrio
+        // plane (fixed at dispatch) filters at the word level, so
+        // pass 0 never loads a low-priority DynInst and vice versa.
+        for (int pass = 0; pass < 2 && avail > 0; ++pass)
+            scanSetBitsFromAnd(
+                masks_.ready.words(), masks_.highPrio.words(),
+                pass != 0, cfg_.ruu_size, head_,
+                [&](unsigned slot) {
+                    return selectTry(slot, pass, avail, ports_left,
+                                     arbitrated);
+                });
+        return;
+    }
     for (int pass = 0; pass < 2 && avail > 0; ++pass) {
         int32_t it = ready_.head();
         while (it != SlotChain::NIL && avail > 0) {
             unsigned slot = unsigned(it);
-            // issueInst() unlinks the current entry; grab the
-            // successor first (nothing is inserted during select —
-            // all wakeups are scheduled for strictly later cycles).
             it = ready_.next(slot);
-            DynInst &di = window_[slot];
-
-            bool high_prio = di.isLoad() || di.isControl();
-            if ((pass == 0) != high_prio || !eligible(di))
-                continue;
-            if (di.isLoad() && !lsqAllowsLoad(di))
-                continue;
-            if (arbitrated) {
-                unsigned ports = computeRfPorts(di);
-                if (ports > ports_left) {
-                    ++stats_.rfPortStalls;
-                    continue;
-                }
-                ports_left -= ports;
-            }
-            if (!fu_.acquire(di.rec->inst.opClass(), cycle_)) {
-                if (arbitrated)
-                    ports_left += computeRfPorts(di);
-                continue;
-            }
-            issueInst(di, int(slot));
-            --avail;
+            if (!selectTry(slot, pass, avail, ports_left, arbitrated))
+                break;
         }
     }
 }
@@ -1070,8 +1265,15 @@ Core::setupOperands(DynInst &di, int slot)
                               + " no longer holds seq "
                               + std::to_string(pr.seq),
                           invariantContext());
-            consumers_.append(unsigned(pr.slot),
-                              Consumer{slot, uint8_t(i), di.seq});
+            // File the dependence: a dependency-matrix bit (masked)
+            // or a pooled consumer-list node (reference). Operand
+            // plane i keeps the two engines' broadcast visit orders
+            // identical (plane 0 before plane 1 == append order).
+            if (masked_)
+                masks_.dep[i].set(unsigned(pr.slot), unsigned(slot));
+            else
+                consumers_.append(unsigned(pr.slot),
+                                  Consumer{slot, uint8_t(i), di.seq});
             op.producerSeq = pr.seq;
             ready_now = p.issued
                 && p.wakeBroadcastCycle != NO_CYCLE
@@ -1140,7 +1342,17 @@ Core::dispatch()
         unsigned slot = tail_;
         DynInst &di = window_[slot];
         di = DynInst{};
-        consumers_.clear(slot);
+        if (masked_) {
+            // Slot reuse: retire the previous tenant's planes (its
+            // occupancy/ready/issued bits were cleared on its way
+            // out; the row clears mirror consumers_.clear below).
+            masks_.clearProducer(slot);
+            masks_.ready.clear(slot);
+            masks_.issued.clear(slot);
+            masks_.occupancy.set(slot);
+        } else {
+            consumers_.clear(slot);
+        }
 
         di.rec = fi.rec;
         di.seq = nextSeq_++;
@@ -1148,6 +1360,14 @@ Core::dispatch()
         di.fetchCycle = fi.fetchCycle;
         di.dispatchCycle = cycle_;
         di.mispredictedBranch = fi.mispredicted;
+
+        if (masked_) {
+            // Cache the fixed pass-0 select class in the bit plane.
+            if (di.selectHighPrio())
+                masks_.highPrio.set(slot);
+            else
+                masks_.highPrio.clear(slot);
+        }
 
         setupOperands(di, int(slot));
         schedPlace(di);

@@ -42,6 +42,7 @@
 #include "core/event_queue.hh"
 #include "core/fu_pool.hh"
 #include "core/inst_source.hh"
+#include "core/issue_window.hh"
 #include "core/last_arrival.hh"
 #include "core/rf_policy.hh"
 #include "core/sched_policy.hh"
@@ -183,12 +184,26 @@ class Core
 
     // --- Testing hooks (scheduler data-structure invariants). ---
 
-    /** Snapshot of the incremental ready list: window slots of
-     *  unissued, scheduler-ready instructions, oldest first. */
-    std::vector<unsigned> readyListSnapshot() const
+    /** Snapshot of the incremental ready set: window slots of
+     *  unissued, scheduler-ready instructions, oldest first —
+     *  whichever engine maintains it. */
+    std::vector<unsigned>
+    readyListSnapshot() const
     {
-        return ready_.toVector();
+        return masked_ ? masks_.ready.toVector(head_)
+                       : ready_.toVector();
     }
+
+    /** Snapshot of the issued-but-incomplete set, oldest first. */
+    std::vector<unsigned>
+    issuedListSnapshot() const
+    {
+        return masked_ ? masks_.issued.toVector(head_)
+                       : issued_.toVector();
+    }
+
+    /** The masked engine's bit planes (ReadyMaskFuzz inspection). */
+    const IssueWindowMasks &issueMasks() const { return masks_; }
 
     /**
      * Recompute scheduler readiness by brute force over the whole
@@ -229,6 +244,7 @@ class Core
                   std::chrono::steady_clock::duration>(
                   std::chrono::duration<double>(seconds));
         hasDeadline_ = true;
+        nextGuardCycle_ = 0; // re-arm the guard gate
     }
 
     // --- Test-only fault injection (sim/sweep fault hooks). ---
@@ -236,7 +252,12 @@ class Core
     /** At @p cycle, corrupt the incremental ready list (append a
      *  duplicate/phantom slot) — the periodic cross-validation must
      *  then report an InvariantViolation. Test-only. */
-    void testCorruptSchedulerAt(uint64_t cycle) { corruptAt_ = cycle; }
+    void
+    testCorruptSchedulerAt(uint64_t cycle)
+    {
+        corruptAt_ = cycle;
+        nextGuardCycle_ = 0; // re-arm the guard gate
+    }
 
     /** After @p cycle, commit() retires nothing — forward progress
      *  stops and the watchdog must report a Deadlock. Test-only. */
@@ -257,12 +278,14 @@ class Core
         TagElimDetect,  ///< scoreboard flags a premature issue
     };
 
+    /** 16 bytes — ~7 events per simulated cycle flow through the
+     *  calendar, so the packed layout is worth the int16 slot. */
     struct Event
     {
-        EventKind kind;
-        int slot;
         uint64_t seq;
         uint32_t token;
+        int16_t slot;
+        EventKind kind;
     };
 
     struct Consumer
@@ -327,7 +350,13 @@ class Core
     bool eligible(const DynInst &di) const;
     bool lsqAllowsLoad(const DynInst &load) const;
     unsigned computeRfPorts(const DynInst &di) const;
-    void issueInst(DynInst &di, int slot);
+    /** One select-candidate attempt shared by both engines; issues
+     *  on success. @return false when the width budget is spent. */
+    bool selectTry(unsigned slot, int pass, unsigned &avail,
+                   unsigned &ports_left, bool arbitrated);
+    /** @p ports is the candidate's computeRfPorts() value, computed
+     *  once by selectTry (the arbitrated path already needs it). */
+    void issueInst(DynInst &di, int slot, unsigned ports);
     void scheduleEvent(uint64_t cycle, Event ev);
     void handleFastWake(const Event &ev);
     void handleSlowWake(const Event &ev);
@@ -384,6 +413,16 @@ class Core
     schedPlace(DynInst &di)
     {
         core::visitPolicy([&](const auto &p) { p.place(di); }, sched_);
+    }
+
+    /** Mask-level entry point: does this operand's tag match ride
+     *  the slow-bus re-broadcast (slowPend plane membership)? */
+    bool
+    schedMaskSlowPlane(const OperandState &op) const
+    {
+        return core::visitPolicy(
+            [&](const auto &p) { return p.maskSlowPlane(op); },
+            sched_);
     }
 
     /** Accounting: did the last-arriving tag land on the slow bus? */
@@ -489,8 +528,22 @@ class Core
      *  candidate set of squashWindow(). Seq-ordered chain. */
     SlotChain issued_;
     /** In-window stores in program order (LSQ overlap searches);
-     *  occupancy bounded by the window size. */
+     *  occupancy bounded by the window size. Both engines share it. */
     BoundedRing<unsigned> storeSlots_;
+
+    // --- Masked engine (CoreConfig::sched_engine == Masked). ---
+    // The SoA bit planes replace the ready/issued chains and the
+    // pooled consumer lists; age order from head_ equals seq order
+    // (FIFO window), so every scan reproduces the chains' oldest-
+    // first visit order bit for bit. See issue_window.hh.
+    IssueWindowMasks masks_;
+    /** Engine select, fixed at construction. */
+    bool masked_;
+    /** Cached policy traits (construction-time visitPolicy): does
+     *  every fast broadcast re-run on the slow bus, and does the
+     *  ready predicate reduce to allSrcReady() (mask_ready_all_src)? */
+    bool slowBus_ = false;
+    bool readyAllSrc_ = true;
 
     // squashWindow() scratch, members so recovery (a steady-state
     // occurrence under speculative scheduling) stops allocating
@@ -508,7 +561,10 @@ class Core
     };
     ProducerRef lastProducer_[isa::NUM_UNIFIED_REGS];
 
-    CalendarQueue<Event> events_;
+    /** Rank-split calendar: one vector per (cycle, delivery rank),
+     *  rank fixed at schedule time (eventRank), so processEvents()
+     *  drains each rank in one compare-free pass. */
+    CalendarQueue<Event, 3> events_;
 
     // Front end; occupancy bounded by front_end_depth x width.
     BoundedRing<FetchedInst> fetchQueue_;
@@ -531,6 +587,10 @@ class Core
     std::unordered_map<uint64_t, uint8_t> orderHistory_;
 
     uint64_t lastCommitCycle_ = 0;
+
+    /** Earliest cycle any tickGuards() condition can fire next; 0
+     *  forces a (re)evaluation on the next tick. */
+    uint64_t nextGuardCycle_ = 0;
 
     /** Wall-clock deadline (setWallDeadline); checked every 4096
      *  cycles when armed. */

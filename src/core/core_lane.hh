@@ -3,11 +3,13 @@
  * One replay lane of a batched trace sweep: a private TraceSource
  * cursor plus a full Core, bound to a shared immutable
  * CommittedTrace. All mutable per-cell state — the window, the
- * ready/issued chains, the calendar event queue, the pooled consumer
- * lists, the cache/bpred models — lives inside the lane's Core, so
- * any number of lanes can replay one trace concurrently or
- * interleaved: the trace is the only shared data and it is
- * read-only.
+ * scheduler engine's structures (ready/issued bit planes and the
+ * dependency matrix on the masked engine; the seq-ordered chains and
+ * pooled consumer lists on the reference engine), the rank-split
+ * calendar event queue, the cache/bpred models — lives inside the
+ * lane's Core, so any number of lanes can replay one trace
+ * concurrently or interleaved: the trace is the only shared data and
+ * it is read-only.
  *
  * A lane advances in quanta (tickQuantum) so a batch scheduler
  * (sim::BatchedSimulation) can rotate the decode stream through B

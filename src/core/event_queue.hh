@@ -8,9 +8,16 @@
  * path: schedule and drain become an index into the ring instead of
  * a tree walk with node allocation/rebalancing.
  *
+ * Buckets are split by delivery rank (NumRanks vectors per cycle
+ * slot, rank fixed at schedule time), so draining a cycle is one
+ * pass per rank over exactly that rank's events — no per-event rank
+ * compares, and no re-scanning the whole bucket once per rank class
+ * as the flat layout required.
+ *
  * Ordering invariants (the core's bit-identity depends on these):
- *  - Per cycle, events are delivered in global schedule order. Ring
- *    appends preserve it trivially. Overflow entries for cycle c are
+ *  - Per cycle, events are delivered rank-ascending, and in global
+ *    schedule order within a rank. Ring appends preserve the
+ *    within-rank order trivially. Overflow entries for cycle c are
  *    only ever scheduled while c is out of ring range (c - now >
  *    mask) and are migrated into the ring by beginCycle() at the
  *    first cycle where c enters range — before any in-range
@@ -28,6 +35,7 @@
 #ifndef HPA_CORE_EVENT_QUEUE_HH
 #define HPA_CORE_EVENT_QUEUE_HH
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 // hpa-nolint(HPA002): overflow map for beyond-horizon events only
@@ -37,10 +45,13 @@
 namespace hpa::core
 {
 
-template <typename T>
+template <typename T, unsigned NumRanks = 1>
 class CalendarQueue
 {
   public:
+    /** One cycle's events, one vector per delivery rank. */
+    using Bucket = std::array<std::vector<T>, NumRanks>;
+
     /** @param log2_slots ring size as a power of 2. The default 256
      *  covers every default-config event horizon (memory latency +
      *  L2 + L1 + sched-to-exec is ~65 cycles); longer latencies are
@@ -61,19 +72,22 @@ class CalendarQueue
     reserveSlots(size_t per_slot)
     {
         for (auto &s : slots_)
-            s.reserve(per_slot);
+            for (auto &r : s)
+                r.reserve(per_slot);
     }
 
-    /** Append @p ev for cycle @p when; @p now is the current cycle
-     *  and @p when must be strictly in the future. */
+    /** Append @p ev for cycle @p when at delivery rank @p rank;
+     *  @p now is the current cycle and @p when must be strictly in
+     *  the future. */
     void
-    schedule(uint64_t when, uint64_t now, const T &ev)
+    schedule(uint64_t when, uint64_t now, const T &ev,
+             unsigned rank = 0)
     {
         ++pending_;
         if (when - now <= mask_)
-            slots_[when & mask_].push_back(ev);
+            slots_[when & mask_][rank].push_back(ev);
         else
-            overflow_[when].push_back(ev);
+            overflow_[when][rank].push_back(ev);
     }
 
     /**
@@ -84,15 +98,16 @@ class CalendarQueue
      * bucket has been handled. The reference stays valid while
      * handlers schedule new events (they can never land in it).
      */
-    std::vector<T> &
+    Bucket &
     beginCycle(uint64_t now)
     {
         while (!overflow_.empty()
                && overflow_.begin()->first - now <= mask_) {
             auto it = overflow_.begin();
-            std::vector<T> &dst = slots_[it->first & mask_];
-            dst.insert(dst.end(), it->second.begin(),
-                       it->second.end());
+            Bucket &dst = slots_[it->first & mask_];
+            for (unsigned r = 0; r < NumRanks; ++r)
+                dst[r].insert(dst[r].end(), it->second[r].begin(),
+                              it->second[r].end());
             overflow_.erase(it);
         }
         return slots_[now & mask_];
@@ -102,9 +117,11 @@ class CalendarQueue
     void
     endCycle(uint64_t now)
     {
-        std::vector<T> &b = slots_[now & mask_];
-        pending_ -= b.size();
-        b.clear();
+        Bucket &b = slots_[now & mask_];
+        for (auto &r : b) {
+            pending_ -= r.size();
+            r.clear();
+        }
     }
 
     /** Events scheduled and not yet drained. */
@@ -116,12 +133,13 @@ class CalendarQueue
     {
         size_t n = 0;
         for (const auto &[when, evs] : overflow_)
-            n += evs.size();
+            for (const auto &r : evs)
+                n += r.size();
         return n;
     }
 
   private:
-    std::vector<std::vector<T>> slots_;
+    std::vector<Bucket> slots_;
     uint64_t mask_;
     size_t pending_ = 0;
     /** when -> events, for when - now > mask_ at schedule time.
@@ -129,7 +147,7 @@ class CalendarQueue
      *  (the default config never does); correctness needs the
      *  ordered walk in beginCycle(). */
     // hpa-nolint(HPA002): beyond-horizon overflow path, not per-cycle
-    std::map<uint64_t, std::vector<T>> overflow_;
+    std::map<uint64_t, Bucket> overflow_;
 };
 
 } // namespace hpa::core

@@ -3,31 +3,6 @@
 namespace hpa::core
 {
 
-FuGroup
-fuGroup(isa::OpClass cls)
-{
-    using isa::OpClass;
-    switch (cls) {
-      case OpClass::IntAlu:
-      case OpClass::Branch:
-      case OpClass::System:
-        return FuGroup::IntAlu;
-      case OpClass::FpAlu:
-        return FuGroup::FpAlu;
-      case OpClass::IntMult:
-      case OpClass::IntDiv:
-        return FuGroup::IntMulDiv;
-      case OpClass::FpMult:
-      case OpClass::FpDiv:
-        return FuGroup::FpMulDiv;
-      case OpClass::MemRead:
-      case OpClass::MemWrite:
-        return FuGroup::MemPort;
-      default:
-        return FuGroup::IntAlu;
-    }
-}
-
 FuPool::FuPool(const CoreConfig &cfg)
 {
     units_[size_t(FuGroup::IntAlu)].assign(cfg.num_int_alu, 0);
@@ -35,21 +10,6 @@ FuPool::FuPool(const CoreConfig &cfg)
     units_[size_t(FuGroup::IntMulDiv)].assign(cfg.num_int_muldiv, 0);
     units_[size_t(FuGroup::FpMulDiv)].assign(cfg.num_fp_muldiv, 0);
     units_[size_t(FuGroup::MemPort)].assign(cfg.num_mem_ports, 0);
-}
-
-bool
-FuPool::acquire(isa::OpClass cls, uint64_t cycle)
-{
-    auto &group = units_[size_t(fuGroup(cls))];
-    unsigned occupancy = isa::opClassUnpipelined(cls)
-        ? isa::opClassLatency(cls) : 1;
-    for (uint64_t &busy_until : group) {
-        if (busy_until <= cycle) {
-            busy_until = cycle + occupancy;
-            return true;
-        }
-    }
-    return false;
 }
 
 unsigned

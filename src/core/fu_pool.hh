@@ -28,8 +28,32 @@ enum class FuGroup : uint8_t
     NumGroups,
 };
 
-/** Map an op class onto its unit group. */
-FuGroup fuGroup(isa::OpClass cls);
+/** Map an op class onto its unit group. Header-inline: acquire()
+ *  runs once per select candidate, and the switch folds into it. */
+inline FuGroup
+fuGroup(isa::OpClass cls)
+{
+    using isa::OpClass;
+    switch (cls) {
+      case OpClass::IntAlu:
+      case OpClass::Branch:
+      case OpClass::System:
+        return FuGroup::IntAlu;
+      case OpClass::FpAlu:
+        return FuGroup::FpAlu;
+      case OpClass::IntMult:
+      case OpClass::IntDiv:
+        return FuGroup::IntMulDiv;
+      case OpClass::FpMult:
+      case OpClass::FpDiv:
+        return FuGroup::FpMulDiv;
+      case OpClass::MemRead:
+      case OpClass::MemWrite:
+        return FuGroup::MemPort;
+      default:
+        return FuGroup::IntAlu;
+    }
+}
 
 /** Per-cycle reservation tracker for all functional units. */
 class FuPool
@@ -40,10 +64,24 @@ class FuPool
     /**
      * Try to reserve a unit of the group serving @p cls at @p cycle.
      * Pipelined units are busy for one cycle; unpipelined (divide)
-     * units for the op latency.
+     * units for the op latency. Header-inline: this is the per-
+     * select-candidate hot path (a ≤4-entry scan).
      * @return true when a unit was available and is now reserved.
      */
-    bool acquire(isa::OpClass cls, uint64_t cycle);
+    bool
+    acquire(isa::OpClass cls, uint64_t cycle)
+    {
+        auto &group = units_[size_t(fuGroup(cls))];
+        unsigned occupancy = isa::opClassUnpipelined(cls)
+            ? isa::opClassLatency(cls) : 1;
+        for (uint64_t &busy_until : group) {
+            if (busy_until <= cycle) {
+                busy_until = cycle + occupancy;
+                return true;
+            }
+        }
+        return false;
+    }
 
     /** Units in the group serving @p cls. */
     unsigned count(isa::OpClass cls) const;

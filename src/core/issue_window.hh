@@ -1,0 +1,214 @@
+/**
+ * @file
+ * SoA bitmask state of the issue window (the "masked" scheduler
+ * engine, CoreConfig::sched_engine). The per-entry AoS DynInst array
+ * stays the architectural record; this header holds the structure-
+ * of-arrays index planes the hot wakeup/select loops actually walk:
+ *
+ *  - occupancy / ready / issued / highPrio: one bit per window slot.
+ *    The ready plane mirrors the reference engine's seq-ordered
+ *    ready chain (bit set <=> DynInst::inReadyList); select is a
+ *    tzcnt scan of it in age order (containers.hh scan helpers).
+ *    The issued plane replaces the issued chain for replay-shadow
+ *    candidate collection. highPrio caches the loads-and-branches-
+ *    first select class, fixed at dispatch, so each select pass
+ *    scans only its own class (ready & highPrio, then
+ *    ready & ~highPrio).
+ *
+ *  - dep[2]: the dependency matrix, one producer -> consumers
+ *    bit-vector per window slot and source-operand plane. Bit s of
+ *    dep[k].row(p) means window slot s's operand k names the
+ *    instruction in slot p as its producer. A broadcast visits
+ *    row(p) with one OR of a few words instead of chasing a pooled
+ *    linked list; an instruction's two scheduling operands always
+ *    name distinct producers (one destination per instruction), so
+ *    a consumer appears in at most one plane per producer and the
+ *    plane-0-before-plane-1 visit order reproduces the reference
+ *    engine's consumer-list append order exactly.
+ *
+ *  - slowPend: the sequential-wakeup slow plane. The fast broadcast
+ *    records here which consumers still owe their tag match to the
+ *    slow bus (policy hook maskSlowPlane); the SlowWake event one
+ *    cycle later ORs exactly those bits back through the ready-plane
+ *    update instead of re-walking every consumer.
+ *
+ * Lifetime invariant (why no seq-staleness checks are needed on the
+ * masked wake path): commit is in order and a consumer is strictly
+ * younger than its producer, so while a producer is in the window
+ * every one of its dependency bits still names the consumer it was
+ * set for. A producer's rows are cleared when its slot is
+ * re-dispatched (clearProducer); the stale rows a committed slot
+ * leaves behind are harmless in between, because only an in-window
+ * producer's rows are ever scanned, and a consumer bit cannot go
+ * stale while its producer is still in the window (the strictly
+ * younger consumer commits later).
+ *
+ * All planes live in flat vectors sized once at reset(); steady-state
+ * operation is allocation-free (test_hotpath_alloc covers this
+ * engine too).
+ */
+
+#ifndef HPA_CORE_ISSUE_WINDOW_HH
+#define HPA_CORE_ISSUE_WINDOW_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/containers.hh"
+
+namespace hpa::core
+{
+
+/** One bit per window slot, with age-ordered scans. */
+class SlotMask
+{
+  public:
+    void
+    reset(unsigned slots)
+    {
+        slots_ = slots;
+        words_.assign(wordCount(slots), 0);
+    }
+
+    bool
+    test(unsigned s) const
+    {
+        return (words_[s >> 6] >> (s & 63)) & 1;
+    }
+
+    void set(unsigned s) { words_[s >> 6] |= uint64_t(1) << (s & 63); }
+
+    void
+    clear(unsigned s)
+    {
+        words_[s >> 6] &= ~(uint64_t(1) << (s & 63));
+    }
+
+    /** Test-only corruption hook: toggle membership of @p s, which
+     *  diverges from the re-derived window state whichever way the
+     *  bit was (the masked analog of SlotChain::testAppendPhantom). */
+    void
+    testFlip(unsigned s)
+    {
+        words_[s >> 6] ^= uint64_t(1) << (s & 63);
+    }
+
+    const uint64_t *words() const { return words_.data(); }
+    unsigned capacity() const { return slots_; }
+
+    /** Visit members in age order from @p head; @p fn(slot) returns
+     *  false to stop. */
+    template <typename Fn>
+    void
+    forEachFrom(unsigned head, Fn &&fn) const
+    {
+        scanSetBitsFrom(words_.data(), slots_, head, fn);
+    }
+
+    /** Materialize the members in age order (cold diagnostics). */
+    std::vector<unsigned>
+    toVector(unsigned head) const
+    {
+        std::vector<unsigned> v;
+        forEachFrom(head, [&](unsigned s) {
+            v.push_back(s);
+            return true;
+        });
+        return v;
+    }
+
+    static size_t
+    wordCount(unsigned slots)
+    {
+        return (size_t(slots) + 63) / 64;
+    }
+
+  private:
+    std::vector<uint64_t> words_;
+    unsigned slots_ = 0;
+};
+
+/** One slot-mask row per window slot, stored flat. */
+class DepMatrix
+{
+  public:
+    void
+    reset(unsigned slots)
+    {
+        slots_ = slots;
+        rowWords_ = SlotMask::wordCount(slots);
+        bits_.assign(rowWords_ * slots, 0);
+    }
+
+    const uint64_t *
+    row(unsigned slot) const
+    {
+        return bits_.data() + size_t(slot) * rowWords_;
+    }
+
+    void
+    set(unsigned row_slot, unsigned bit)
+    {
+        bits_[size_t(row_slot) * rowWords_ + (bit >> 6)] |=
+            uint64_t(1) << (bit & 63);
+    }
+
+    bool
+    test(unsigned row_slot, unsigned bit) const
+    {
+        return (bits_[size_t(row_slot) * rowWords_ + (bit >> 6)]
+                >> (bit & 63))
+            & 1;
+    }
+
+    void
+    clearRow(unsigned row_slot)
+    {
+        uint64_t *r = bits_.data() + size_t(row_slot) * rowWords_;
+        for (size_t i = 0; i < rowWords_; ++i)
+            r[i] = 0;
+    }
+
+  private:
+    std::vector<uint64_t> bits_;
+    size_t rowWords_ = 0;
+    unsigned slots_ = 0;
+};
+
+/** The masked engine's full plane set, sized to the window. */
+struct IssueWindowMasks
+{
+    SlotMask occupancy; ///< in-window slots (dispatch .. commit)
+    SlotMask ready;     ///< unissued, scheduler-ready (select scan)
+    SlotMask issued;    ///< issued-but-incomplete (replay candidates)
+    SlotMask highPrio;  ///< loads/branches (pass-0 select class)
+    DepMatrix dep[2];   ///< producer -> consumers, per operand plane
+    DepMatrix slowPend; ///< slow-bus re-delivery plane (seq wakeup)
+
+    void
+    reset(unsigned slots)
+    {
+        occupancy.reset(slots);
+        ready.reset(slots);
+        issued.reset(slots);
+        highPrio.reset(slots);
+        dep[0].reset(slots);
+        dep[1].reset(slots);
+        slowPend.reset(slots);
+    }
+
+    /** Drop every dependency bit owned by @p slot (commit / slot
+     *  reuse — the pooled consumer-list clear of the masked world). */
+    void
+    clearProducer(unsigned slot)
+    {
+        dep[0].clearRow(slot);
+        dep[1].clearRow(slot);
+        slowPend.clearRow(slot);
+    }
+};
+
+} // namespace hpa::core
+
+#endif // HPA_CORE_ISSUE_WINDOW_HH

@@ -12,22 +12,6 @@ LastArrivalPredictor::LastArrivalPredictor(unsigned entries)
         throw ConfigError("predictor entries must be a power of 2");
 }
 
-bool
-LastArrivalPredictor::predictRightLast(uint64_t pc) const
-{
-    return table_[index(pc)] >= 2;
-}
-
-void
-LastArrivalPredictor::update(uint64_t pc, bool right_last)
-{
-    uint8_t &c = table_[index(pc)];
-    if (right_last && c < 3)
-        ++c;
-    else if (!right_last && c > 0)
-        --c;
-}
-
 const unsigned LastArrivalMonitor::SIZES[NUM_SIZES] = {
     128, 512, 1024, 4096,
 };

@@ -24,14 +24,31 @@ class LastArrivalPredictor
   public:
     explicit LastArrivalPredictor(unsigned entries);
 
-    /** @return true when the right-hand operand is predicted last. */
-    bool predictRightLast(uint64_t pc) const;
+    /** @return true when the right-hand operand is predicted last.
+     *  Header-inline: consulted at dispatch for every 2-pending
+     *  instruction on the sequential-wakeup/tag-elim paths (it
+     *  decides which operand the masked engine's slow plane and the
+     *  reference chains watch). */
+    bool
+    predictRightLast(uint64_t pc) const
+    {
+        return table_[index(pc)] >= 2;
+    }
 
     /**
-     * Train with the observed arrival order.
+     * Train with the observed arrival order. Header-inline: runs
+     * once per resolved 2-pending instruction (noteSecondWake).
      * @param right_last the right operand actually arrived last
      */
-    void update(uint64_t pc, bool right_last);
+    void
+    update(uint64_t pc, bool right_last)
+    {
+        uint8_t &c = table_[index(pc)];
+        if (right_last && c < 3)
+            ++c;
+        else if (!right_last && c > 0)
+            --c;
+    }
 
     unsigned entries() const { return unsigned(table_.size()); }
 

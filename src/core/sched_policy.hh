@@ -27,6 +27,24 @@
  *  - `adjustWake()`     — producer wake-broadcast timing override
  *                         (load-delay-tracking counter saturation).
  *
+ * Mask-level entry points (consulted by the masked scheduler engine,
+ * CoreConfig::sched_engine — the per-entry hooks above remain the
+ * reference semantics both engines must reproduce bit for bit):
+ *
+ *  - `mask_ready_all_src` — true when `ready(di)` reduces to "every
+ *                         scheduling operand has its tag match"
+ *                         (di.allSrcReady()), so the engine can fold
+ *                         readiness into the ready-plane update
+ *                         without consulting the per-entry hook.
+ *                         Policies with extra per-entry state (tag
+ *                         elimination's watched/scoreboard rules)
+ *                         set it false and fall back to `ready()`.
+ *  - `maskSlowPlane(op)` — does this operand's tag match arrive on
+ *                         the slow-bus re-broadcast? The fast
+ *                         broadcast files such consumers on the
+ *                         slowPend plane and the SlowWake event one
+ *                         cycle later visits only that plane.
+ *
  * To add a policy: define a struct with these hooks, append it to
  * the `SchedPolicy` variant, construct it in `makeSchedPolicy()`,
  * and register its name in `policy_registry.cc` (see DESIGN.md
@@ -52,9 +70,11 @@ struct ConventionalSched
 {
     static constexpr bool slow_bus = false;
     static constexpr bool watches_premature = false;
+    static constexpr bool mask_ready_all_src = true;
 
     bool ready(const DynInst &di) const { return di.allSrcReady(); }
     bool seesTag(const OperandState &) const { return true; }
+    bool maskSlowPlane(const OperandState &) const { return false; }
     void place(DynInst &) const {}
     bool lastOnSlowBus(const DynInst &, bool) const { return false; }
     uint64_t
@@ -72,9 +92,15 @@ struct SequentialSched
 {
     static constexpr bool slow_bus = true;
     static constexpr bool watches_premature = false;
+    static constexpr bool mask_ready_all_src = true;
 
     bool ready(const DynInst &di) const { return di.allSrcReady(); }
     bool seesTag(const OperandState &op) const { return !op.slowSide; }
+    bool
+    maskSlowPlane(const OperandState &op) const
+    {
+        return op.slowSide;
+    }
 
     void
     place(DynInst &di) const
@@ -141,6 +167,9 @@ struct TagElimSched
 {
     static constexpr bool slow_bus = false;
     static constexpr bool watches_premature = true;
+    static constexpr bool mask_ready_all_src = false;
+
+    bool maskSlowPlane(const OperandState &) const { return false; }
 
     bool
     ready(const DynInst &di) const
@@ -199,9 +228,11 @@ struct LoadDelaySched
 
     static constexpr bool slow_bus = false;
     static constexpr bool watches_premature = false;
+    static constexpr bool mask_ready_all_src = true;
 
     bool ready(const DynInst &di) const { return di.allSrcReady(); }
     bool seesTag(const OperandState &) const { return true; }
+    bool maskSlowPlane(const OperandState &) const { return false; }
     void place(DynInst &) const {}
     bool lastOnSlowBus(const DynInst &, bool) const { return false; }
 

@@ -67,9 +67,12 @@ isFpReg(RegIndex unified)
 inline std::string
 regName(RegIndex unified)
 {
-    if (isFpReg(unified))
-        return "f" + std::to_string(unified - NUM_INT_REGS);
-    return "r" + std::to_string(unified);
+    // Appends, not operator+ chains: GCC 12 -Wrestrict misfires on
+    // temporary-string concatenation at -O3 (GCC PR105329).
+    std::string s(1, isFpReg(unified) ? 'f' : 'r');
+    s += std::to_string(isFpReg(unified) ? unified - NUM_INT_REGS
+                                         : unified);
+    return s;
 }
 
 } // namespace hpa::isa

@@ -35,11 +35,17 @@ SimContext::summary() const
     return s;
 }
 
+// Built with appends rather than operator+ chains: GCC 12's -Wrestrict
+// misfires on temporary-string concatenation at -O3 (GCC PR105329).
 std::string
 SimError::oneLine() const
 {
-    return "[" + std::string(kindName(kind())) + "] " + message()
-        + context().summary();
+    std::string s = "[";
+    s += kindName(kind());
+    s += "] ";
+    s += message();
+    s += context().summary();
+    return s;
 }
 
 namespace detail
@@ -48,10 +54,15 @@ namespace detail
 std::string
 compose(ErrorKind kind, const std::string &msg, const SimContext &ctx)
 {
-    std::string s =
-        "[" + std::string(kindName(kind)) + "] " + msg + ctx.summary();
-    if (!ctx.dump.empty())
-        s += "\n" + ctx.dump;
+    std::string s = "[";
+    s += kindName(kind);
+    s += "] ";
+    s += msg;
+    s += ctx.summary();
+    if (!ctx.dump.empty()) {
+        s += '\n';
+        s += ctx.dump;
+    }
     return s;
 }
 

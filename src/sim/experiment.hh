@@ -163,6 +163,11 @@ class MachineBuilder
     /** Bypass-network window in cycles (>= 1, Section 4.2). */
     MachineBuilder &bypassWindow(unsigned cycles);
 
+    /** Scheduler data-structure engine (masked or reference).
+     *  Result-invariant simulator implementation choice — never
+     *  appended to the machine name (see core::SchedEngine). */
+    MachineBuilder &schedEngine(core::SchedEngine e);
+
     /** Tag-elimination scoreboard detection delay (>= 1); requires
      *  WakeupModel::TagElimination. */
     MachineBuilder &detectDelay(unsigned cycles);

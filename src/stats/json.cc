@@ -420,7 +420,11 @@ validate(std::string_view text, std::string *err)
 std::string
 findStringField(std::string_view text, std::string_view key)
 {
-    std::string needle = "\"" + std::string(key) + "\"";
+    // Appends, not operator+ chains: GCC 12 -Wrestrict misfires on
+    // temporary-string concatenation at -O3 (GCC PR105329).
+    std::string needle = "\"";
+    needle += key;
+    needle += '"';
     size_t k = text.find(needle);
     if (k == std::string_view::npos)
         return "";

@@ -13,6 +13,7 @@
 #include "core/core.hh"
 #include "core/event_queue.hh"
 #include "core/inst_source.hh"
+#include "core/issue_window.hh"
 #include "func/emulator.hh"
 #include "mem/cache.hh"
 
@@ -266,16 +267,20 @@ TEST(CoreReadyListFuzz, IncrementalListsMatchBruteForceEveryCycle)
 TEST(CalendarQueueFuzz, MatchesMapReferenceIncludingOverflow)
 {
     // Differential fuzz of the calendar event queue against the
-    // std::map<cycle, vector> structure it replaced: random deltas
-    // spanning the ring (1..255), the exact ring horizon (255/256
-    // boundary) and far-future overflow territory (up to ~8 ring
-    // spans), with new events scheduled while a bucket is being
-    // drained — exactly what core event handlers do. Per cycle the
-    // drained bucket must match the reference in content AND order.
+    // std::map<cycle, per-rank vectors> structure it replaced: random
+    // deltas spanning the ring (1..255), the exact ring horizon
+    // (255/256 boundary) and far-future overflow territory (up to ~8
+    // ring spans), with new events scheduled while a bucket is being
+    // drained — exactly what core event handlers do, and a random
+    // delivery rank per event so the rank-split planes (including
+    // overflow migration per plane) are exercised. Per cycle each
+    // rank's drained vector must match the reference in content AND
+    // order.
+    using RankedBucket = std::array<std::vector<uint32_t>, 3>;
     for (uint64_t seed : {7ull, 1234ull, 998877ull}) {
         std::mt19937_64 rng(seed);
-        core::CalendarQueue<uint32_t> q; // 256-slot default ring
-        std::map<uint64_t, std::vector<uint32_t>> ref;
+        core::CalendarQueue<uint32_t, 3> q; // 256-slot default ring
+        std::map<uint64_t, RankedBucket> ref;
         uint32_t next_id = 0;
 
         auto scheduleRandom = [&](uint64_t now) {
@@ -295,26 +300,30 @@ TEST(CalendarQueueFuzz, MatchesMapReferenceIncludingOverflow)
                 break;
             }
             uint32_t id = next_id++;
-            q.schedule(now + delta, now, id);
-            ref[now + delta].push_back(id);
+            unsigned rank = unsigned(rng() % 3);
+            q.schedule(now + delta, now, id, rank);
+            ref[now + delta][rank].push_back(id);
         };
 
         uint64_t now = 0;
         for (int step = 0; step < 4000; ++step) {
             ++now;
-            std::vector<uint32_t> &bucket = q.beginCycle(now);
+            RankedBucket &bucket = q.beginCycle(now);
             auto it = ref.find(now);
-            const std::vector<uint32_t> empty;
-            const std::vector<uint32_t> &want =
+            const RankedBucket empty;
+            const RankedBucket &want =
                 it != ref.end() ? it->second : empty;
             ASSERT_EQ(bucket, want)
                 << "seed " << seed << " cycle " << now;
             // Handlers schedule follow-up events mid-drain; the
             // bucket reference must stay valid and unperturbed.
-            size_t before = bucket.size();
+            size_t before = bucket[0].size() + bucket[1].size()
+                + bucket[2].size();
             for (unsigned k = rng() % 4; k > 0; --k)
                 scheduleRandom(now);
-            ASSERT_EQ(bucket.size(), before)
+            ASSERT_EQ(bucket[0].size() + bucket[1].size()
+                          + bucket[2].size(),
+                      before)
                 << "seed " << seed << " cycle " << now;
             q.endCycle(now);
             if (it != ref.end())
@@ -324,18 +333,20 @@ TEST(CalendarQueueFuzz, MatchesMapReferenceIncludingOverflow)
         // Drain everything left so the accounting closes.
         size_t left = 0;
         for (const auto &[when, evs] : ref)
-            left += evs.size();
+            for (const auto &r : evs)
+                left += r.size();
         ASSERT_EQ(q.pending(), left) << "seed " << seed;
         while (!ref.empty()) {
             ++now;
-            std::vector<uint32_t> &bucket = q.beginCycle(now);
+            RankedBucket &bucket = q.beginCycle(now);
             auto it = ref.find(now);
             if (it != ref.end()) {
                 ASSERT_EQ(bucket, it->second)
                     << "seed " << seed << " cycle " << now;
                 ref.erase(it);
             } else {
-                ASSERT_TRUE(bucket.empty())
+                ASSERT_TRUE(bucket[0].empty() && bucket[1].empty()
+                            && bucket[2].empty())
                     << "seed " << seed << " cycle " << now;
             }
             q.endCycle(now);
@@ -378,6 +389,140 @@ TEST(CoreEventOverflowFuzz, FarFutureLatenciesKeepListsConsistent)
         }
         ASSERT_TRUE(c.done()) << "seed " << seed;
         EXPECT_EQ(c.stats().committed.value(), sp.num_insts)
+            << "seed " << seed;
+    }
+}
+
+/**
+ * ReadyMaskFuzz: the masked engine's bit planes on randomized
+ * dependence chains. Every N cycles the planes are cross-validated
+ * against readyListConsistent()'s brute-force model-readiness
+ * predicate (same members, oldest-first order), and the structural
+ * plane invariants are checked directly: ready and issued are
+ * disjoint, both are subsets of occupancy, and a dependency-matrix
+ * bit only ever names an occupied consumer slot while its producer
+ * is in the window. Trials randomize the chain shape (dependence
+ * distance, two-source fraction, memory mix) and rotate the wakeup
+ * model so the fast/slow planes and the tag-elimination path all
+ * get traffic.
+ */
+TEST(ReadyMaskFuzz, PlanesMatchModelReadinessOnRandomDepChains)
+{
+    const core::WakeupModel wakeups[] = {
+        core::WakeupModel::Conventional,
+        core::WakeupModel::Sequential,
+        core::WakeupModel::SequentialNoPred,
+        core::WakeupModel::TagElimination,
+        core::WakeupModel::LoadDelayTracking,
+    };
+    std::mt19937_64 rng(20260808);
+    for (int trial = 0; trial < 10; ++trial) {
+        core::SyntheticParams sp;
+        sp.num_insts = 2500;
+        sp.seed = rng();
+        sp.two_source_frac = 0.15 + 0.15 * double(trial % 5);
+        sp.dep_distance_p = 0.15 + 0.20 * double(trial % 4);
+        sp.load_frac = 0.10 + 0.10 * double(trial % 3);
+        sp.store_frac = (trial % 2) ? 0.10 : 0.0;
+        core::SyntheticSource src(sp);
+
+        core::CoreConfig cfg = core::fourWideConfig();
+        cfg.ruu_size = 32;
+        cfg.lsq_size = 16;
+        cfg.wakeup = wakeups[trial % 5];
+        cfg.sched_engine = core::SchedEngine::Masked;
+        core::Core c(cfg, src);
+
+        const unsigned N = 3; // validate every N cycles
+        uint64_t guard = 0;
+        while (!c.done() && guard++ < 400000) {
+            c.tick();
+            if (guard % N)
+                continue;
+            ASSERT_TRUE(c.readyListConsistent())
+                << "trial " << trial << " cycle " << c.cycle();
+            const core::IssueWindowMasks &m = c.issueMasks();
+            for (unsigned s = 0; s < cfg.ruu_size; ++s) {
+                ASSERT_FALSE(m.ready.test(s) && m.issued.test(s))
+                    << "slot " << s << " both ready and issued, "
+                    << "trial " << trial << " cycle " << c.cycle();
+                if (m.ready.test(s) || m.issued.test(s)) {
+                    ASSERT_TRUE(m.occupancy.test(s))
+                        << "slot " << s << " ready/issued but "
+                        << "unoccupied, trial " << trial << " cycle "
+                        << c.cycle();
+                }
+            }
+            // While a producer is in the window, each of its
+            // dependency bits must name an occupied consumer slot
+            // (the header's lifetime invariant).
+            for (unsigned p = 0; p < cfg.ruu_size; ++p) {
+                if (!m.occupancy.test(p))
+                    continue;
+                for (int plane = 0; plane < 2; ++plane) {
+                    for (unsigned s = 0; s < cfg.ruu_size; ++s) {
+                        if (m.dep[plane].test(p, s)) {
+                            ASSERT_TRUE(m.occupancy.test(s))
+                                << "dep[" << plane << "] row " << p
+                                << " names unoccupied slot " << s
+                                << ", trial " << trial << " cycle "
+                                << c.cycle();
+                        }
+                    }
+                }
+            }
+        }
+        ASSERT_TRUE(c.done()) << "trial " << trial;
+        EXPECT_EQ(c.stats().committed.value(), sp.num_insts)
+            << "trial " << trial;
+    }
+}
+
+/**
+ * Lock-step differential: one masked-engine core and one
+ * reference-engine core over the same synthetic stream must agree on
+ * the ready and issued sets (members AND age order) every single
+ * cycle, and on the cycle/commit totals at the end. This is the
+ * strongest engine-equivalence statement short of the golden sweep:
+ * not just same final IPC, same scheduler state at every step.
+ */
+TEST(ReadyMaskFuzz, LockstepEnginesAgreeEveryCycle)
+{
+    for (uint64_t seed : {11ull, 2025ull, 777777ull}) {
+        core::SyntheticParams sp;
+        sp.num_insts = 2000;
+        sp.seed = seed;
+        sp.load_frac = 0.25;
+        sp.store_frac = 0.10;
+        sp.two_source_frac = 0.5;
+        core::SyntheticSource srcA(sp), srcB(sp);
+
+        core::CoreConfig cfg = core::fourWideConfig();
+        cfg.ruu_size = 32;
+        cfg.lsq_size = 16;
+        cfg.wakeup = core::WakeupModel::Sequential;
+        cfg.regfile = core::RegfileModel::SequentialAccess;
+
+        core::CoreConfig cfgA = cfg, cfgB = cfg;
+        cfgA.sched_engine = core::SchedEngine::Masked;
+        cfgB.sched_engine = core::SchedEngine::Reference;
+        core::Core a(cfgA, srcA), b(cfgB, srcB);
+
+        uint64_t guard = 0;
+        while ((!a.done() || !b.done()) && guard++ < 400000) {
+            a.tick();
+            b.tick();
+            ASSERT_EQ(a.readyListSnapshot(), b.readyListSnapshot())
+                << "seed " << seed << " cycle " << a.cycle();
+            ASSERT_EQ(a.issuedListSnapshot(), b.issuedListSnapshot())
+                << "seed " << seed << " cycle " << a.cycle();
+        }
+        ASSERT_TRUE(a.done() && b.done()) << "seed " << seed;
+        EXPECT_EQ(a.cycle(), b.cycle()) << "seed " << seed;
+        EXPECT_EQ(a.stats().committed.value(),
+                  b.stats().committed.value())
+            << "seed " << seed;
+        EXPECT_EQ(a.stats().issued.value(), b.stats().issued.value())
             << "seed " << seed;
     }
 }

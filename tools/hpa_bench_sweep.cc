@@ -268,6 +268,7 @@ struct ArtifactMeta
 {
     uint64_t insts = 0;
     bool trace_cache = true;
+    const char *sched_engine = "masked";
     unsigned batch = 0;
     uint64_t batches_formed = 0;
     uint64_t lanes_max = 0;
@@ -312,6 +313,7 @@ emitArtifact(const std::string &out, const std::vector<Row> &rows,
         .kv("schema", "hpa.bench-sweep.v3")
         .kv("insts_per_run", m.insts)
         .kv("trace_cache", m.trace_cache)
+        .kv("sched_engine", m.sched_engine)
         .kv("batch", uint64_t(sim::SweepRunner::resolveBatch(m.batch)))
         .kv("batches_formed", m.batches_formed)
         .kv("lanes_max", m.lanes_max)
@@ -768,6 +770,7 @@ main(int argc, char **argv)
     unsigned jobs = 0;
     unsigned batch = 0;
     bool trace_cache = true;
+    core::SchedEngine engine = core::SchedEngine::Masked;
     std::string out = "BENCH_sweep.json";
     std::string check;
     std::string write_golden;
@@ -801,6 +804,13 @@ main(int argc, char **argv)
                 return 2;
             }
             trace_cache = (v == "on");
+        } else if (a == "--sched-engine") {
+            std::string v = need(i);
+            if (!core::parseSchedEngine(v, engine)) {
+                std::cerr << "--sched-engine expects masked | "
+                             "reference\n";
+                return 2;
+            }
         } else if (a == "--out")
             out = need(i);
         else if (a == "--check")
@@ -859,6 +869,7 @@ main(int argc, char **argv)
                       << "usage: hpa_bench_sweep [--insts N] "
                          "[--jobs N] [--batch B] "
                          "[--trace-cache on|off] "
+                         "[--sched-engine masked|reference] "
                          "[--zoo | --sched-policy P | "
                          "--rf-policy P] "
                          "[--out FILE] [--check GOLDEN] "
@@ -942,6 +953,11 @@ main(int argc, char **argv)
         machines = zoo ? sim::policyZooMachines()
                        : sim::reproductionMachines();
     }
+    // The engine knob is a result-invariant simulator implementation
+    // choice: apply it to every machine in the grid (names and spec
+    // keys are unchanged, so goldens/stores stay comparable).
+    for (auto &m : machines)
+        m.cfg.sched_engine = engine;
     auto names = workloads::benchmarkNames();
     std::vector<sim::SweepJob> sweep;
     for (const auto &m : machines) {
@@ -995,6 +1011,7 @@ main(int argc, char **argv)
     ArtifactMeta meta;
     meta.insts = insts;
     meta.trace_cache = trace_cache;
+    meta.sched_engine = core::schedEngineName(engine);
     meta.batch = batch;
     meta.hw = hw;
     meta.requested_jobs = requested_jobs;

@@ -53,11 +53,17 @@ elif command -v gprof >/dev/null 2>&1; then
     cmake -B build-prof -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DCMAKE_CXX_FLAGS="-pg" -DCMAKE_EXE_LINKER_FLAGS="-pg"
     cmake --build build-prof -j"$(nproc)" --target hpa_bench_sweep
-    (cd "$OUT" && ../build-prof/tools/hpa_bench_sweep "${ARGS[@]}")
-    gprof ./build-prof/tools/hpa_bench_sweep "$OUT/gmon.out" \
-        > "$OUT/gprof.txt"
+    # Absolute binary path: gmon.out lands in the CWD of the run, so
+    # we cd into $OUT (which may itself be absolute, e.g. when ctest
+    # sets HPA_PROFILE_DIR) and invoke the binary from the repo root.
+    BIN="$PWD/build-prof/tools/hpa_bench_sweep"
+    (cd "$OUT" && "$BIN" "${ARGS[@]}")
+    gprof "$BIN" "$OUT/gmon.out" > "$OUT/gprof.txt"
     echo "wrote $OUT/gprof.txt (flat profile + call graph)"
 else
-    echo "error: neither perf nor gprof is available" >&2
-    exit 1
+    # Exit 77 — the conventional "skip" status — so the ctest
+    # wrapper (SKIP_RETURN_CODE 77) reports SKIP, not FAIL, on
+    # containers that ship neither profiler.
+    echo "skip: neither perf nor gprof is available" >&2
+    exit 77
 fi

@@ -28,6 +28,7 @@
 #ifndef HPA_CORE_CORE_HH
 #define HPA_CORE_CORE_HH
 
+// hpa-nolint(HPA007): wall-clock watchdog support (setWallDeadline); guard-only
 #include <chrono>
 #include <functional>
 #include <ostream>
@@ -239,6 +240,7 @@ class Core
     void
     setWallDeadline(double seconds)
     {
+        // hpa-nolint(HPA007): converts the caller's wall budget to a watchdog deadline; guard-only
         deadline_ = std::chrono::steady_clock::now()
             + std::chrono::duration_cast<
                   std::chrono::steady_clock::duration>(
@@ -594,6 +596,7 @@ class Core
 
     /** Wall-clock deadline (setWallDeadline); checked every 4096
      *  cycles when armed. */
+    // hpa-nolint(HPA007): watchdog deadline storage; guard-only
     std::chrono::steady_clock::time_point deadline_{};
     bool hasDeadline_ = false;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cerrno>
+// hpa-nolint(HPA007): lease/heartbeat timing for crash recovery; host-side, never simulated state
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -90,6 +91,7 @@ LeaseManager::retryPath(const std::string &key) const
 int64_t
 LeaseManager::nowMs() const
 {
+    // hpa-nolint(HPA007): lease timestamps (ms since epoch) for worker liveness
     return std::chrono::duration_cast<std::chrono::milliseconds>(
                std::chrono::system_clock::now().time_since_epoch())
         .count();
@@ -250,6 +252,7 @@ size_t
 LeaseManager::reclaimExpired()
 {
     const auto timeout =
+        // hpa-nolint(HPA007): stale-lease timeout for crash recovery
         std::chrono::duration_cast<fs::file_time_type::duration>(
             std::chrono::duration<double>(opts_.timeout_seconds));
     const auto now = fs::file_time_type::clock::now();
@@ -350,6 +353,7 @@ void
 ShardWorker::heartbeatLoop()
 {
     const auto interval = std::max(
+        // hpa-nolint(HPA007): heartbeat cadence for the lease-renewal thread
         std::chrono::milliseconds(50),
         std::chrono::milliseconds(int64_t(
             opts_.lease.timeout_seconds * 1000.0 / 4.0)));
@@ -442,6 +446,7 @@ ShardWorker::run()
                 // while we are still "running" it.
                 setHeartbeat(key, true);
                 std::this_thread::sleep_for(
+                    // hpa-nolint(HPA007): chaos hook: hold a lease past its timeout on purpose
                     std::chrono::duration<double>(
                         opts_.lease.timeout_seconds * 2.5));
             } else {
@@ -479,6 +484,7 @@ ShardWorker::run()
             leases_.reclaimExpired();
             store_.reload();
             std::this_thread::sleep_for(
+                // hpa-nolint(HPA007): poll backoff while waiting for unclaimed jobs
                 std::chrono::milliseconds(opts_.poll_ms));
         }
     }

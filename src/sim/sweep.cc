@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+// hpa-nolint(HPA007): host wall-time measurement for throughput reporting; never simulated state
 #include <chrono>
 #include <exception>
 #include <map>
@@ -100,9 +101,12 @@ runAttempt(const SweepJob &job, unsigned attempt,
     if (job.fault == FaultKind::BlockCommit)
         r.sim->core().testBlockCommitAfter(job.fault_cycle);
 
+    // hpa-nolint(HPA007): wall-time around the run; reported, never fed back
     auto t0 = std::chrono::steady_clock::now();
     r.sim->run(job.max_cycles);
+    // hpa-nolint(HPA007): wall-time around the run; reported, never fed back
     auto t1 = std::chrono::steady_clock::now();
+    // hpa-nolint(HPA007): wall-time around the run; reported, never fed back
     r.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
     r.ipc = r.sim->ipc();
     r.committed = r.sim->core().stats().committed.value();
@@ -162,10 +166,13 @@ runBatch(const std::vector<SweepJob> &jobs,
         }
 
         BatchedSimulation batch(std::move(lanes));
+        // hpa-nolint(HPA007): wall-time around the run; reported, never fed back
         auto t0 = std::chrono::steady_clock::now();
         batch.run(caps);
+        // hpa-nolint(HPA007): wall-time around the run; reported, never fed back
         auto t1 = std::chrono::steady_clock::now();
         double wall =
+            // hpa-nolint(HPA007): wall-time around the run; reported, never fed back
             std::chrono::duration<double>(t1 - t0).count();
 
         uint64_t total_cycles = 0;
@@ -278,6 +285,7 @@ SweepRunner::runOne(const SweepJob &job,
             o.backoffMs = backoff_total;
             if (delay)
                 std::this_thread::sleep_for(
+                    // hpa-nolint(HPA007): retry backoff between sweep attempts
                     std::chrono::milliseconds(delay));
         }
     }

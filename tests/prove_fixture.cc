@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Deliberately-violating fixture TU for `hpa_prove --self-test`.
+ *
+ * NOT part of any build target: the self-test compiles this file on
+ * its own (with and without -fcallgraph-info=su,da) and asserts that
+ * every property P1-P4 catches its planted violation, that the
+ * pruned guard subtree is NOT flagged, and that an
+ * hpa-prove-allow'd call site is excused. Keep the function names in
+ * sync with FIXTURE_* in tools/analyze/hpa_prove.py.
+ *
+ * Everything is noinline so the emitted call graph keeps the shape
+ * the assertions expect regardless of optimization level.
+ */
+
+#include <cstddef>
+#include <string>
+
+#define FIX_NOINLINE __attribute__((noinline))
+
+namespace provefix
+{
+
+/** P3 bait: a guaranteed-indirect call through a volatile pointer
+ *  (the compiler cannot devirtualize or constant-fold it). */
+using Callback = int (*)(int);
+
+struct FixCore
+{
+    static int tick(int x, Callback cb);
+    static int cleanTick(int x);
+
+    static int hotAlloc(int n);
+    static int hotThrow(int x);
+    static int hotIndirect(int x, Callback cb);
+    static int hotStack(int seed);
+    static int hotRecurse(int n);
+    static int allowedAlloc(int n);
+    static int allowedDeep(int n);
+    static int guards(int x);
+    static int guardAlloc(int n);
+    static int cleanLeaf(int x);
+};
+
+/** Escape hatch: pointers stored here are visible outside the TU,
+ *  so -O2 cannot elide the new/delete pairs (-fallocation-dce would
+ *  otherwise delete the planted P1 violations outright). */
+int *g_escape[4];
+
+/** P1 violation: reachable operator new[]. */
+FIX_NOINLINE int
+FixCore::hotAlloc(int n)
+{
+    int *p = new int[static_cast<size_t>(n) + 1];
+    p[0] = n;
+    g_escape[0] = p;
+    return p[0];
+}
+
+/** P2 violation: reachable __cxa_throw. */
+FIX_NOINLINE int
+FixCore::hotThrow(int x)
+{
+    if (x < 0)
+        throw x;
+    return x + 1;
+}
+
+/** P3 violation: indirect call site. The +1 keeps it a real
+ *  `call *` — a bare `return fp(x)` becomes an indirect *jump*
+ *  (tail call), which the objdump fallback deliberately treats as
+ *  switch-table control flow. */
+FIX_NOINLINE int
+FixCore::hotIndirect(int x, Callback cb)
+{
+    Callback volatile fp = cb;
+    return fp(x) + 1;
+}
+
+/** P4 violation: an 8 KiB frame (the self-test proves with a 4 KiB
+ *  stack limit). */
+FIX_NOINLINE int
+FixCore::hotStack(int seed)
+{
+    volatile char buf[8192];
+    buf[0] = static_cast<char>(seed);
+    buf[sizeof(buf) - 1] = static_cast<char>(seed >> 1);
+    return buf[0] + buf[sizeof(buf) - 1];
+}
+
+/** P4 violation: recursion makes the static stack bound
+ *  meaningless. Mutual recursion between two noinline functions —
+ *  plain self-recursion with an accumulator gets rewritten into a
+ *  loop at -O2 and would leave no cycle in the emitted graph. */
+FIX_NOINLINE static int
+hotRecurseB(int n)
+{
+    if (n <= 0)
+        return 2;
+    return FixCore::hotRecurse(n - 1) * 3 - n;
+}
+
+FIX_NOINLINE int
+FixCore::hotRecurse(int n)
+{
+    if (n <= 1)
+        return 1;
+    return n + hotRecurseB(n - 1);
+}
+
+/** Allowed allocation: the hpa-prove-allow on the call line excuses
+ *  this edge for P1 (and only P1). */
+FIX_NOINLINE int
+FixCore::allowedAlloc(int n)
+{
+    // hpa-prove-allow(P1): fixture exercises the suppression path
+    int *p = new int[static_cast<size_t>(n) + 1];
+    int r = p[0] = n;
+    g_escape[1] = p;
+    return r;
+}
+
+/** Function-level allow: the allocation happens inside inlined
+ *  std::to_string machinery, so every violating callsite is a
+ *  libstdc++ header line that no repo-line allow can name; the allow
+ *  above the definition excuses this function's edges into non-repo
+ *  code (edges to repo functions would stay checked). */
+// hpa-prove-allow(P1,P2): fixture exercises the function-level suppression path
+FIX_NOINLINE int
+FixCore::allowedDeep(int n)
+{
+    std::string s = std::to_string(n + 41);
+    return static_cast<int>(s.size());
+}
+
+/** Pruned guard subtree: allocates AND throws, but the self-test
+ *  prunes it (like the real tickGuards whitelist), so neither may be
+ *  reported. */
+FIX_NOINLINE int
+FixCore::guardAlloc(int n)
+{
+    int *p = new int[static_cast<size_t>(n) + 2];
+    p[1] = n;
+    g_escape[2] = p;
+    if (p[1] < 0)
+        throw n;
+    return p[1];
+}
+
+FIX_NOINLINE int
+FixCore::guards(int x)
+{
+    return guardAlloc(x) + 1;
+}
+
+/** The violating root: reaches every planted violation. */
+FIX_NOINLINE int
+FixCore::tick(int x, Callback cb)
+{
+    int acc = hotAlloc(x);
+    acc += hotThrow(acc);
+    acc += hotIndirect(acc, cb);
+    acc += hotStack(acc);
+    acc += hotRecurse(acc & 7);
+    acc += allowedAlloc(acc);
+    acc += allowedDeep(acc);
+    acc += guards(acc);
+    return acc;
+}
+
+/** The clean root: arithmetic only — P1-P3 must prove. */
+FIX_NOINLINE int
+FixCore::cleanLeaf(int x)
+{
+    return x * 2 + 1;
+}
+
+FIX_NOINLINE int
+FixCore::cleanTick(int x)
+{
+    int acc = 0;
+    for (int i = 0; i < 4; ++i)
+        acc += cleanLeaf(x + i);
+    return acc;
+}
+
+} // namespace provefix
+
+/** Keep every root alive through the object file. */
+int
+prove_fixture_entry(int x, provefix::Callback cb)
+{
+    return provefix::FixCore::tick(x, cb)
+        + provefix::FixCore::cleanTick(x);
+}

@@ -43,6 +43,9 @@ requiredFields()
             {"hpa.lint.v1",
              {"files_scanned", "rules", "findings", "suppressed",
               "ok"}},
+            {"hpa.prove.v1",
+             {"mode", "roots", "properties", "stale_allows",
+              "ok"}},
             {"hpa.run.v2",
              {"workload", "machine", "status", "valid",
               "steady_missing", "attempts", "ipc", "committed",

@@ -33,9 +33,26 @@ now enforced only by convention and review:
                            documented in EXPERIMENTS.md, so the
                            sweepable policy zoo and its guide can
                            never drift apart.
+  HPA007 determinism       simulated behavior must be a pure
+                           function of config + workload: no
+                           wall-clock (<chrono>, time(), clock()),
+                           no randomness sources (rand, random_device)
+                           anywhere in src/, and no iteration over
+                           std::unordered_* containers in the
+                           deterministic sim core (src/core,
+                           src/func) — hash-order iteration makes
+                           output depend on pointer values. The
+                           sweep engine's timing/backoff uses are
+                           suppressed with reasons.
   HPA000 suppression       hpa-nolint hygiene: a suppression must
                            name known rules, carry a reason, and
-                           actually suppress something.
+                           actually suppress something. Also checks
+                           `hpa-prove-allow(P*): reason` comments
+                           (tools/analyze/hpa_prove.py suppressions):
+                           known property ids P1-P4, reason present.
+                           Staleness of prove-allows is reported by
+                           hpa_prove itself (stale_allows), which is
+                           the only tool that knows what matched.
 
 Suppressions: append `// hpa-nolint(RULE): reason` to the offending
 line, or put it alone on the line directly above. Multiple rules:
@@ -44,6 +61,12 @@ line, or put it alone on the line directly above. Multiple rules:
 Output: human-readable findings (default) or a machine-readable
 hpa.lint.v1 JSON document (--json FILE, '-' = stdout), validated in
 ctest by hpa_json_validate. Exit 0 = clean, 1 = findings, 2 = usage.
+
+`--changed-only` filters the REPORT to files touched per git (working
+tree + index + untracked) for fast pre-commit runs; the scan itself
+still covers the whole tree because the cross-file rules (HPA003,
+HPA005, HPA006) need global context, so the filtered findings are
+exactly the full scan's findings on those files.
 
 Standard library only, by design: the linter must run anywhere the
 repo builds, including minimal CI containers.
@@ -167,9 +190,36 @@ POLICY_REGISTRY_SOURCE = "src/core/policy_registry.cc"
 POLICY_ENTRY_RE = re.compile(r'^\s*\{"([a-z0-9-]+)",')
 POLICY_DOC = "EXPERIMENTS.md"
 
+# --- HPA007 -----------------------------------------------------------
+# The deterministic sim core: simulated state may depend only on
+# config + workload. Wall-clock and randomness are banned across
+# src/ (the sweep/shard engines' timing and backoff uses carry
+# hpa-nolint(HPA007) suppressions with reasons); hash-order
+# iteration is banned in the layers that produce simulated output.
+DETERMINISM_SCOPE = ("src/",)
+DETERMINISM_ITER_SCOPE = ("src/core/", "src/func/")
+WALLCLOCK_RE = re.compile(
+    r"#\s*include\s*<chrono>"
+    r"|std::chrono\b"
+    r"|\b(?:time|clock|gettimeofday|clock_gettime)\s*\("
+    r"|\b(?:rand|srand|rand_r|drand48|random)\s*\("
+    r"|\brandom_device\b"
+)
+UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s+"
+    r"([A-Za-z_]\w*)\s*[;{=(]"
+)
+
+# --- hpa-prove-allow hygiene (reported as HPA000) ---------------------
+PROVE_ALLOW_RE = re.compile(
+    r"//\s*hpa-prove-allow\(([^)]*)\)\s*(?::\s*(.*\S))?\s*$"
+)
+PROVE_PROPERTIES = {"P1", "P2", "P3", "P4"}
+
 RULES = {
-    "HPA000": "hpa-nolint suppressions must name known rules, carry "
-              "a reason, and suppress at least one finding",
+    "HPA000": "hpa-nolint/hpa-prove-allow suppressions must name "
+              "known rules/properties, carry a reason, and (for "
+              "hpa-nolint) suppress at least one finding",
     "HPA001": "throw must construct a SimError-taxonomy class",
     "HPA002": "no node-based heap containers or naked new in the "
               "Core::tick call graph",
@@ -179,6 +229,9 @@ RULES = {
     "HPA005": "stats members must be registered with a Registry",
     "HPA006": "policy keys registered in policy_registry.cc must be "
               "documented in EXPERIMENTS.md",
+    "HPA007": "no wall-clock/randomness in src/ and no hash-order "
+              "iteration in the deterministic sim core (src/core, "
+              "src/func)",
 }
 
 NOLINT_RE = re.compile(
@@ -395,6 +448,70 @@ class LintRun:
                         f.relpath, idx, "HPA004",
                         "banned include %s: %s" % (m.group(0), why))
 
+    def check_determinism(self, f):
+        if not f.relpath.startswith(DETERMINISM_SCOPE):
+            return
+        # Consecutive matching lines coalesce into one finding (a
+        # multi-line chrono statement needs one suppression, not
+        # four); the suppression goes on the first line of the run.
+        last = -2
+        for idx, line in enumerate(f.lines, start=1):
+            if WALLCLOCK_RE.search(line):
+                if idx != last + 1:
+                    self.report(
+                        f.relpath, idx, "HPA007",
+                        "wall-clock/randomness source in src/; "
+                        "simulated behavior must be a pure function "
+                        "of config + workload")
+                last = idx
+        if not f.relpath.startswith(DETERMINISM_ITER_SCOPE):
+            return
+        names = set(UNORDERED_DECL_RE.findall(
+            re.sub(r"\s+", " ", "\n".join(f.lines))))
+        if not names:
+            return
+        iter_res = [
+            (name,
+             re.compile(r"for\s*\([^;)]*:\s*(?:this->)?%s\s*\)"
+                        % re.escape(name)),
+             re.compile(r"\b%s\s*\.\s*(?:c?begin|c?end)\s*\("
+                        % re.escape(name)))
+            for name in names
+        ]
+        for idx, line in enumerate(f.lines, start=1):
+            for name, range_re, begin_re in iter_res:
+                if range_re.search(line) or begin_re.search(line):
+                    self.report(
+                        f.relpath, idx, "HPA007",
+                        "iteration over std::unordered_* '%s' is "
+                        "hash-order-dependent; snapshot into a "
+                        "sorted sequence or use an ordered "
+                        "container" % name)
+
+    def check_prove_allows(self, f):
+        # Hygiene only: hpa_prove reports stale allows itself (it is
+        # the only tool that knows which edges matched).
+        for idx, line in enumerate(f.raw_lines, start=1):
+            m = PROVE_ALLOW_RE.search(line)
+            if not m:
+                continue
+            props = [p.strip() for p in m.group(1).split(",")
+                     if p.strip()]
+            unknown = [p for p in props if p not in PROVE_PROPERTIES]
+            if unknown or not props:
+                self.report(
+                    f.relpath, idx, "HPA000",
+                    "hpa-prove-allow names unknown propert%s: %s "
+                    "(known: %s)"
+                    % ("y" if len(unknown) <= 1 else "ies",
+                       ", ".join(unknown) or "<none>",
+                       ", ".join(sorted(PROVE_PROPERTIES))))
+            elif not (m.group(2) or ""):
+                self.report(
+                    f.relpath, idx, "HPA000",
+                    "hpa-prove-allow has no reason; write "
+                    "hpa-prove-allow(P*): why this edge is exempt")
+
     def check_policy_docs(self):
         # Silent when the registry source is not part of the scanned
         # tree (e.g. the self-test's synthetic temp repos).
@@ -489,6 +606,8 @@ class LintRun:
             self.check_throws(f)
             self.check_hot_path(f)
             self.check_includes(f)
+            self.check_determinism(f)
+            self.check_prove_allows(f)
         self.check_schemas()
         self.check_stats_registry()
         self.check_policy_docs()
@@ -497,10 +616,31 @@ class LintRun:
         return self.findings
 
 
-def to_json(run):
+def changed_files(root):
+    """Files touched per git: working tree + index + untracked.
+    Returns None when git is unavailable or root is not a repo."""
+    import subprocess
+    changed = set()
+    for cmd in (["git", "-C", root, "diff", "--name-only", "HEAD"],
+                ["git", "-C", root, "ls-files", "--others",
+                 "--exclude-standard"]):
+        try:
+            r = subprocess.run(cmd, capture_output=True, text=True,
+                               timeout=60)
+        except (OSError, subprocess.SubprocessError):
+            return None
+        if r.returncode != 0:
+            return None
+        changed.update(l.strip() for l in r.stdout.splitlines()
+                       if l.strip())
+    return changed
+
+
+def to_json(run, changed_only=False):
     return {
         "schema": LINT_SCHEMA,
         "root": os.path.abspath(run.root),
+        "changed_only": changed_only,
         "files_scanned": len(run.files),
         "rules": [{"id": rid, "description": desc}
                   for rid, desc in sorted(RULES.items())],
@@ -565,6 +705,43 @@ SELF_TEST_CASES = [
       '         "test entry"},\n',
       "EXPERIMENTS.md": "The `zzz-policy` scheduler.\n"},
      None, []),
+    ("chrono in src is flagged", "src/x/a.cc",
+     "#include <chrono>\n", ["HPA007"]),
+    ("multi-line chrono statement coalesces to one finding",
+     "src/x/a.cc",
+     "auto a = std::chrono::steady_clock::now();\n"
+     "auto b = std::chrono::steady_clock::now();\n", ["HPA007"]),
+    ("rand in src is flagged", "src/x/a.cc",
+     "int f() { return rand(); }\n", ["HPA007"]),
+    ("chrono in tools is clean", "tools/t.cc",
+     "#include <chrono>\n", []),
+    ("identifier containing time is clean", "src/x/a.cc",
+     "int arrival_time(int x) { return x; }\n"
+     "int g() { return arrival_time(3); }\n", []),
+    ("suppressed chrono with reason is clean", "src/sim/shard.cc",
+     "#include <chrono> "
+     "// hpa-nolint(HPA007): lease timing, not simulated state\n",
+     []),
+    ("unordered iteration in sim core is flagged", "src/func/m.hh",
+     "std::unordered_map<int, int> pages;\n"
+     "int f() { int s = 0;"
+     " for (auto &kv : pages) s += kv.second; return s; }\n",
+     ["HPA007"]),
+    ("unordered lookup without iteration is clean", "src/func/m.hh",
+     "std::unordered_map<int, int> pages;\n"
+     "int f(int k) { return pages.count(k); }\n", []),
+    ("unordered iteration outside the sim core is clean",
+     "src/sim/j.hh",
+     "std::unordered_map<int, int> jobs;\n"
+     "int f() { int s = 0;"
+     " for (auto &kv : jobs) s += kv.second; return s; }\n", []),
+    ("prove-allow with unknown property is flagged", "src/x/a.cc",
+     "int x; // hpa-prove-allow(P9): nope\n", ["HPA000"]),
+    ("prove-allow without reason is flagged", "src/x/a.cc",
+     "int x; // hpa-prove-allow(P1)\n", ["HPA000"]),
+    ("well-formed prove-allow is clean", "src/x/a.cc",
+     "int x; // hpa-prove-allow(P1): warm-up only, proven quiescent\n",
+     []),
 ]
 
 
@@ -592,6 +769,50 @@ def self_test():
                                 % (desc, want, got,
                                    "; ".join(f.message
                                              for f in run.findings)))
+    # --changed-only equivalence: a filtered run reports exactly the
+    # full scan's findings on the changed files (the scan itself is
+    # never narrowed, so cross-file rules keep their context).
+    import contextlib
+    import io
+    with tempfile.TemporaryDirectory() as tmp:
+        files = {
+            "src/x/a.cc":
+                'void f() { throw std::runtime_error("a"); }\n',
+            "src/x/b.cc":
+                'void g() { throw std::runtime_error("b"); }\n'
+                "#include <iostream>\n",
+        }
+        for rel, text in files.items():
+            path = os.path.join(tmp, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(text)
+        clist = os.path.join(tmp, "changed.txt")
+        with open(clist, "w", encoding="utf-8") as fh:
+            fh.write("src/x/b.cc\n")
+        full_json = os.path.join(tmp, "full.json")
+        part_json = os.path.join(tmp, "part.json")
+        with contextlib.redirect_stdout(io.StringIO()):
+            main(["--root", tmp, "--json", full_json])
+            main(["--root", tmp, "--changed-list", clist,
+                  "--json", part_json])
+        with open(full_json, encoding="utf-8") as fh:
+            full = json.load(fh)
+        with open(part_json, encoding="utf-8") as fh:
+            part = json.load(fh)
+        want = [f for f in full["findings"]
+                if f["file"] == "src/x/b.cc"]
+        if not want:
+            failures.append("changed-only: expected findings in "
+                            "src/x/b.cc, full scan found none")
+        if part["findings"] != want:
+            failures.append(
+                "changed-only: filtered findings %r != full-scan "
+                "findings on the changed files %r"
+                % (part["findings"], want))
+        if not part["changed_only"] or full["changed_only"]:
+            failures.append("changed-only: JSON flag wrong")
+
     # The taxonomy list must stay in sync with src/sim/error.hh.
     repo = os.path.dirname(os.path.dirname(os.path.dirname(
         os.path.abspath(__file__))))
@@ -622,6 +843,17 @@ def main(argv=None):
     ap.add_argument("--json", metavar="FILE",
                     help="write an %s document ('-' = stdout)"
                          % LINT_SCHEMA)
+    ap.add_argument("--changed-only", action="store_true",
+                    help="report findings only for files git "
+                         "considers changed (working tree + index + "
+                         "untracked); the scan still covers the "
+                         "whole tree so cross-file rules keep their "
+                         "context")
+    ap.add_argument("--changed-list", metavar="FILE",
+                    help="like --changed-only but read the changed "
+                         "file list (one repo-relative path per "
+                         "line) from FILE instead of git; used by "
+                         "the self-test")
     ap.add_argument("--rules", action="store_true",
                     help="list rule ids and descriptions, then exit")
     ap.add_argument("--self-test", action="store_true",
@@ -640,11 +872,26 @@ def main(argv=None):
               file=sys.stderr)
         return 2
 
+    changed = None
+    if args.changed_list:
+        with open(args.changed_list, encoding="utf-8") as fh:
+            changed = {l.strip() for l in fh if l.strip()}
+    elif args.changed_only:
+        changed = changed_files(args.root)
+        if changed is None:
+            print("error: --changed-only needs git and a repository "
+                  "at %s" % args.root, file=sys.stderr)
+            return 2
+
     run = LintRun(args.root)
     findings = run.run()
+    if changed is not None:
+        run.findings = [f for f in run.findings if f.path in changed]
+        findings = run.findings
 
     if args.json:
-        doc = json.dumps(to_json(run), indent=2) + "\n"
+        doc = json.dumps(to_json(run, changed is not None),
+                         indent=2) + "\n"
         if args.json == "-":
             sys.stdout.write(doc)
         else:
